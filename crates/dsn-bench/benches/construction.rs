@@ -1,0 +1,35 @@
+//! Criterion bench: topology construction cost across the paper's families
+//! and sizes (supports Figures 7–9, which rebuild topologies per size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsn_core::dln::DlnRandom;
+use dsn_core::dsn::Dsn;
+use dsn_core::dsn_ext::{DsnD, DsnE};
+use dsn_core::torus::Torus;
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    for &n in &[64usize, 512, 2048] {
+        let p = dsn_core::util::ceil_log2(n);
+        group.bench_with_input(BenchmarkId::new("dsn", n), &n, |b, &n| {
+            b.iter(|| black_box(Dsn::new(n, p - 1).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("dsn_e", n), &n, |b, &n| {
+            b.iter(|| black_box(DsnE::new(n).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("dsn_d2", n), &n, |b, &n| {
+            b.iter(|| black_box(DsnD::new(n, 2).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("torus2d", n), &n, |b, &n| {
+            b.iter(|| black_box(Torus::square_2d(n).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("dln22", n), &n, |b, &n| {
+            b.iter(|| black_box(DlnRandom::new(n, 2, 2, 42).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

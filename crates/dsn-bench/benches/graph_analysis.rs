@@ -1,0 +1,33 @@
+//! Criterion bench: the APSP sweep behind Figures 7 and 8 (diameter and
+//! average shortest path length) — single BFS vs the rayon-parallel sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsn_core::dsn::Dsn;
+use dsn_metrics::{bfs_distances, path_stats};
+use std::hint::black_box;
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_fig8_apsp");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 2048] {
+        let p = dsn_core::util::ceil_log2(n);
+        let g = Dsn::new(n, p - 1).unwrap().into_graph();
+        group.bench_with_input(BenchmarkId::new("parallel_path_stats", n), &g, |b, g| {
+            b.iter(|| black_box(path_stats(g)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("single_bfs");
+    for &n in &[1024usize, 2048] {
+        let p = dsn_core::util::ceil_log2(n);
+        let g = Dsn::new(n, p - 1).unwrap().into_graph();
+        group.bench_with_input(BenchmarkId::new("bfs", n), &g, |b, g| {
+            b.iter(|| black_box(bfs_distances(g, 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: the cable-length computation behind Figure 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsn_core::dln::DlnRandom;
+use dsn_core::dsn::Dsn;
+use dsn_layout::{cable_stats, line_layout_stats, CableModel, LinearPlacement};
+use std::hint::black_box;
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_cable_stats");
+    for &n in &[512usize, 2048] {
+        let p = dsn_core::util::ceil_log2(n);
+        let dsn = Dsn::new(n, p - 1).unwrap().into_graph();
+        let random = DlnRandom::new(n, 2, 2, 42).unwrap().into_graph();
+        let model = CableModel::default();
+        let placement = LinearPlacement::new(n, model.switches_per_cabinet);
+        group.bench_with_input(BenchmarkId::new("dsn", n), &dsn, |b, g| {
+            b.iter(|| black_box(cable_stats(g, &placement, &model)))
+        });
+        group.bench_with_input(BenchmarkId::new("random", n), &random, |b, g| {
+            b.iter(|| black_box(cable_stats(g, &placement, &model)))
+        });
+        group.bench_with_input(BenchmarkId::new("line_metric", n), &dsn, |b, g| {
+            b.iter(|| black_box(line_layout_stats(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: per-route cost of the DSN custom routing algorithm,
+//! up*/down* table construction, and the CDG deadlock checks (Theorem 3
+//! machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsn_core::dsn::Dsn;
+use dsn_route::deadlock::dsnv_cdg;
+use dsn_route::dsn_routing::route;
+use dsn_route::updown::UpDown;
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsn_custom_route");
+    for &n in &[256usize, 2048] {
+        let p = dsn_core::util::ceil_log2(n);
+        let dsn = Dsn::new(n, p - 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("route_all_from_0", n), &dsn, |b, dsn| {
+            b.iter(|| {
+                for t in 1..dsn.n() {
+                    black_box(route(dsn, 0, t).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("updown_tables");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let p = dsn_core::util::ceil_log2(n);
+        let g = Dsn::new(n, p - 1).unwrap().into_graph();
+        group.bench_with_input(BenchmarkId::new("build", n), &g, |b, g| {
+            b.iter(|| black_box(UpDown::new(g, 0)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cdg_check");
+    group.sample_size(10);
+    let dsn = Dsn::new(60, 5).unwrap();
+    group.bench_function("dsnv_cdg_60", |b| {
+        b.iter(|| black_box(dsnv_cdg(&dsn).is_acyclic()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: simulator throughput behind Figure 10 — a shortened
+//! 64-switch run per topology under uniform traffic at 4 Gbit/s/host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsn_bench::trio;
+use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_simulation");
+    group.sample_size(10);
+    let cfg = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: 4_000,
+        drain_cycles: 2_000,
+        ..SimConfig::default()
+    };
+    let rate = cfg.packets_per_cycle_for_gbps(4.0);
+    for spec in trio(64) {
+        let built = spec.build().unwrap();
+        let graph = Arc::new(built.graph);
+        group.bench_with_input(
+            BenchmarkId::new("7k_cycles_4gbps", &built.name),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+                    let sim = Simulator::new(
+                        graph.clone(),
+                        cfg.clone(),
+                        routing,
+                        TrafficPattern::Uniform,
+                        rate,
+                        7,
+                    );
+                    black_box(sim.run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

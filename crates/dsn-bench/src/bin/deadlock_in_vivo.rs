@@ -1,0 +1,68 @@
+//! Dynamic deadlock demonstration: run the *unsafe* single-VC basic DSN
+//! routing (whose channel dependency graph is provably cyclic — the
+//! Section V.A motivation) and the DSN-V 4-VC discipline (provably
+//! acyclic — Theorem 3) side by side under increasing load, and watch the
+//! simulator's stall watchdog catch the real deadlock exactly where the
+//! static analysis predicts it.
+//!
+//! Run: `cargo run --release -p dsn-bench --bin deadlock_in_vivo`
+
+use dsn_core::dsn::Dsn;
+use dsn_sim::{SimConfig, Simulator, SourceRouted, TrafficPattern};
+use std::sync::Arc;
+
+fn main() {
+    let dsn = Arc::new(Dsn::new(60, 5).expect("dsn")); // p | n: clean instance
+    let graph = Arc::new(dsn.graph().clone());
+    let cfg = SimConfig {
+        warmup_cycles: 2_000,
+        measure_cycles: 20_000,
+        drain_cycles: 20_000,
+        ..SimConfig::default()
+    };
+
+    println!("Dynamic deadlock check on DSN-5-60 (60 switches, complete super nodes)");
+    println!(
+        "  {:>7} {:<22} {:>10} {:>14} {:>10}",
+        "load", "routing", "delivered", "longest stall", "deadlock?"
+    );
+    for gbps in [1.0f64, 4.0, 8.0] {
+        let rate = cfg.packets_per_cycle_for_gbps(gbps);
+        for unsafe_mode in [false, true] {
+            let d = dsn.clone();
+            let routing: Arc<dyn dsn_sim::SimRouting> = if unsafe_mode {
+                Arc::new(SourceRouted::dsn_basic_single_vc(d))
+            } else {
+                Arc::new(SourceRouted::dsn_custom(d))
+            };
+            let name = if unsafe_mode {
+                "basic 1-VC (cyclic CDG)"
+            } else {
+                "DSN-V 4-VC (acyclic)"
+            };
+            let stats = Simulator::new(
+                graph.clone(),
+                cfg.clone(),
+                routing,
+                TrafficPattern::Uniform,
+                rate,
+                0xDEAD,
+            )
+            .run();
+            println!(
+                "  {:>6.1}G {:<22} {:>9.3} {:>14} {:>10}",
+                gbps,
+                name,
+                stats.delivery_ratio(),
+                stats.longest_stall_cycles,
+                if stats.deadlock_suspected { "YES" } else { "no" }
+            );
+        }
+    }
+    println!();
+    println!(
+        "The static CDG analysis (theory_validation) predicts exactly this:\n\
+         the single-VC basic routing has a dependency cycle and wedges under\n\
+         load, while DSN-V's phase/dateline VC discipline never stalls."
+    );
+}

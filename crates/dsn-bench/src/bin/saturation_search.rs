@@ -1,0 +1,79 @@
+//! Extension experiment: exact saturation throughput of each topology.
+//!
+//! The paper's Figure 10 x-axis stops at 12 Gbit/s/host with none of the
+//! three topologies saturated ("all the topologies have similar
+//! throughput"). This binary pushes past the plotted range with a bisection
+//! search and reports the actual saturation point plus hotspot-channel
+//! utilization per topology and traffic pattern.
+//!
+//! Run: `cargo run --release -p dsn-bench --bin saturation_search [--quick]`
+
+use dsn_bench::trio;
+use dsn_sim::sweep::find_saturation;
+use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
+use std::sync::Arc;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = SimConfig::default();
+    if quick {
+        cfg.warmup_cycles = 3_000;
+        cfg.measure_cycles = 8_000;
+        cfg.drain_cycles = 8_000;
+    } else {
+        cfg.warmup_cycles = 8_000;
+        cfg.measure_cycles = 20_000;
+        cfg.drain_cycles = 20_000;
+    }
+    let tol = if quick { 2.0 } else { 1.0 };
+
+    println!("Saturation search (beyond the paper's 12 Gbit/s/host axis)");
+    println!(
+        "  {:<14} {:<14} {:>12} {:>10} {:>10}",
+        "topology", "pattern", "sat [Gbps]", "mean-util", "max-util"
+    );
+    for pattern in [
+        TrafficPattern::Uniform,
+        TrafficPattern::BitReversal,
+        TrafficPattern::neighboring_paper(),
+    ] {
+        for spec in trio(64) {
+            let built = spec.build().expect("topology");
+            let graph = Arc::new(built.graph);
+            let vcs = cfg.vcs;
+            let g2 = graph.clone();
+            let make = move || -> Arc<dyn dsn_sim::SimRouting> {
+                Arc::new(AdaptiveEscape::new(g2.clone(), vcs))
+            };
+            let sat = find_saturation(
+                graph.clone(),
+                &cfg,
+                &make,
+                &pattern,
+                2.0,
+                40.0,
+                tol,
+                0x5A7,
+            );
+            // Re-run near saturation to report channel utilization.
+            let rate = cfg.packets_per_cycle_for_gbps(sat * 0.9);
+            let stats = Simulator::new(
+                graph.clone(),
+                cfg.clone(),
+                make(),
+                pattern.clone(),
+                rate,
+                0x5A7,
+            )
+            .run();
+            println!(
+                "  {:<14} {:<14} {:>12.1} {:>10.3} {:>10.3}",
+                built.name,
+                pattern.name(),
+                sat,
+                stats.mean_channel_utilization,
+                stats.max_channel_utilization
+            );
+        }
+    }
+}

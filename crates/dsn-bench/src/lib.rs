@@ -1,0 +1,41 @@
+//! # dsn-bench — figure/table regenerators for the DSN reproduction
+//!
+//! One binary per figure of the paper's evaluation (see `src/bin/`):
+//!
+//! * `fig7_diameter` — diameter vs network size (Figure 7)
+//! * `fig8_aspl` — average shortest path length vs network size (Figure 8)
+//! * `fig9_cable` — average cable length vs network size (Figure 9)
+//! * `fig10_simulation` — latency vs accepted traffic (Figure 10 a/b/c)
+//! * `theory_validation` — Facts 1–3 and Theorems 1–2 measured vs bounds
+//! * `ablation_extensions` — DSN-D-x / DSN-E / flexible-DSN ablations
+//! * `related_work` — Section III diameter-and-degree table
+//!
+//! plus Criterion micro-benchmarks under `benches/`.
+
+#![warn(missing_docs)]
+
+use dsn_core::topology::TopologySpec;
+
+/// The network sizes of Figures 7–9: `log2 N = 5 .. 11`.
+pub fn paper_sizes() -> Vec<usize> {
+    (5..=11).map(|k| 1usize << k).collect()
+}
+
+/// Fixed seed for the RANDOM (DLN-2-2) baseline so every figure binary and
+/// test sees the same instance.
+pub const RANDOM_SEED: u64 = 0xD5B0_2013;
+
+/// The paper's three degree-4 contenders at size `n`.
+pub fn trio(n: usize) -> [TopologySpec; 3] {
+    TopologySpec::paper_trio(n, RANDOM_SEED)
+}
+
+/// Format a gnuplot-style data block header.
+pub fn block_header(title: &str, columns: &[&str]) -> String {
+    let mut s = format!("# {title}\n#");
+    for c in columns {
+        s.push_str(&format!(" {c:>12}"));
+    }
+    s.push('\n');
+    s
+}

@@ -1,0 +1,283 @@
+//! Classic low-degree / low-diameter families from the paper's related-work
+//! section (Section III): hypercube, cube-connected cycles, and de Bruijn
+//! graphs. These let the `related_work` experiment reproduce the quoted
+//! diameter-and-degree pairs (De Bruijn 12-and-4 at 3072 vertices, CCC
+//! 23-and-3, ...).
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind};
+
+/// Binary hypercube on `2^dim` nodes; degree `dim`, diameter `dim`.
+#[derive(Debug, Clone)]
+pub struct Hypercube {
+    dim: u32,
+    graph: Graph,
+}
+
+impl Hypercube {
+    /// Build a `dim`-dimensional hypercube (`1 <= dim <= 30`).
+    pub fn new(dim: u32) -> Result<Self> {
+        if dim == 0 || dim > 30 {
+            return Err(TopologyError::InvalidParameter {
+                name: "dim",
+                constraint: "1 <= dim <= 30".into(),
+                value: dim.to_string(),
+            });
+        }
+        let n = 1usize << dim;
+        let mut graph = Graph::new(n);
+        for v in 0..n {
+            for bit in 0..dim {
+                let u = v ^ (1usize << bit);
+                if v < u {
+                    graph.add_edge(v, u, LinkKind::Hypercube { bit: bit as u8 });
+                }
+            }
+        }
+        Ok(Hypercube { dim, graph })
+    }
+
+    /// Dimension (= degree = diameter).
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// Cube-Connected Cycles CCC(dim): each hypercube node is replaced by a
+/// `dim`-cycle; constant degree 3 for `dim >= 3`.
+#[derive(Debug, Clone)]
+pub struct CubeConnectedCycles {
+    dim: u32,
+    graph: Graph,
+}
+
+impl CubeConnectedCycles {
+    /// Build CCC(dim) on `dim * 2^dim` nodes. Requires `3 <= dim <= 25`.
+    ///
+    /// Node `(w, i)` (cube vertex `w`, cycle position `i`) is numbered
+    /// `w * dim + i`; cycle links join consecutive positions, and the cube
+    /// link at position `i` joins `(w, i)` to `(w ^ 2^i, i)`.
+    pub fn new(dim: u32) -> Result<Self> {
+        if !(3..=25).contains(&dim) {
+            return Err(TopologyError::InvalidParameter {
+                name: "dim",
+                constraint: "3 <= dim <= 25".into(),
+                value: dim.to_string(),
+            });
+        }
+        let d = dim as usize;
+        let cube = 1usize << dim;
+        let n = cube * d;
+        let mut graph = Graph::new(n);
+        for w in 0..cube {
+            for i in 0..d {
+                let v = w * d + i;
+                // cycle link to (w, i+1 mod dim), owned by lower i
+                let j = (i + 1) % d;
+                if i < j {
+                    graph.add_edge(v, w * d + j, LinkKind::Cycle);
+                } else {
+                    // wrap (d-1 -> 0): for d >= 3 this is not a duplicate
+                    graph.add_edge(w * d + j, v, LinkKind::Cycle);
+                }
+                // cube link
+                let w2 = w ^ (1usize << i);
+                if w < w2 {
+                    graph.add_edge(v, w2 * d + i, LinkKind::Hypercube { bit: i as u8 });
+                }
+            }
+        }
+        Ok(CubeConnectedCycles { dim, graph })
+    }
+
+    /// Cube dimension.
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of nodes (`dim * 2^dim`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// Undirected de Bruijn graph B(base, dim) on `base^dim` nodes: node `v` is
+/// adjacent to `(v * base + a) mod n` for every digit `a` (shuffle links,
+/// made undirected).
+#[derive(Debug, Clone)]
+pub struct DeBruijn {
+    base: usize,
+    dim: u32,
+    graph: Graph,
+}
+
+impl DeBruijn {
+    /// Build B(base, dim). Requires `base >= 2`, `dim >= 2`, and
+    /// `base^dim <= 2^26` to bound memory.
+    pub fn new(base: usize, dim: u32) -> Result<Self> {
+        if base < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "base",
+                constraint: "base >= 2".into(),
+                value: base.to_string(),
+            });
+        }
+        if dim < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "dim",
+                constraint: "dim >= 2".into(),
+                value: dim.to_string(),
+            });
+        }
+        let n = base
+            .checked_pow(dim)
+            .filter(|&n| n <= 1 << 26)
+            .ok_or(TopologyError::UnsupportedSize {
+                n: 0,
+                requirement: "base^dim <= 2^26".into(),
+            })?;
+        let mut graph = Graph::new(n);
+        for v in 0..n {
+            for a in 0..base {
+                let u = (v * base + a) % n;
+                if u != v {
+                    graph.add_edge_dedup(v.min(u), v.max(u), LinkKind::Shuffle);
+                }
+            }
+        }
+        Ok(DeBruijn { base, dim, graph })
+    }
+
+    /// Digit base (out-degree of the directed version).
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Word length (= directed diameter).
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of nodes (`base^dim`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bfs_ecc(g: &Graph, s: usize) -> usize {
+        let mut dist = vec![usize::MAX; g.node_count()];
+        let mut q = std::collections::VecDeque::new();
+        dist[s] = 0;
+        q.push_back(s);
+        let mut ecc = 0;
+        while let Some(v) = q.pop_front() {
+            for (u, _) in g.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    ecc = ecc.max(dist[u]);
+                    q.push_back(u);
+                }
+            }
+        }
+        assert!(dist.iter().all(|&d| d != usize::MAX), "graph disconnected");
+        ecc
+    }
+
+    #[test]
+    fn hypercube_properties() {
+        let h = Hypercube::new(5).unwrap();
+        assert_eq!(h.n(), 32);
+        for v in 0..32 {
+            assert_eq!(h.graph().degree(v), 5);
+        }
+        assert_eq!(bfs_ecc(h.graph(), 0), 5);
+    }
+
+    #[test]
+    fn ccc_degree_3() {
+        let c = CubeConnectedCycles::new(3).unwrap();
+        assert_eq!(c.n(), 24);
+        for v in 0..24 {
+            assert_eq!(c.graph().degree(v), 3, "v={v}");
+        }
+        assert!(c.graph().is_connected());
+    }
+
+    #[test]
+    fn ccc_paper_size() {
+        // Section III: CCC has 23-and-3 — degree 3; dim = 8 gives 2048 nodes.
+        let c = CubeConnectedCycles::new(8).unwrap();
+        assert_eq!(c.n(), 2048);
+        assert_eq!(c.graph().max_degree(), 3);
+    }
+
+    #[test]
+    fn debruijn_degree_and_diameter() {
+        // Directed B(2, k) has out-degree 2 and diameter k; the undirected
+        // version has degree <= 4 and diameter <= k.
+        let d = DeBruijn::new(2, 8).unwrap();
+        assert_eq!(d.n(), 256);
+        assert!(d.graph().max_degree() <= 4);
+        assert!(bfs_ecc(d.graph(), 0) <= 8);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Hypercube::new(0).is_err());
+        assert!(CubeConnectedCycles::new(2).is_err());
+        assert!(DeBruijn::new(1, 4).is_err());
+        assert!(DeBruijn::new(2, 1).is_err());
+    }
+}

@@ -1,0 +1,467 @@
+//! Distributed Loop Networks: **DLN-x** and the random-shortcut variant
+//! **DLN-x-y** of Koibuchi et al. (ISCA 2012), the paper's "RANDOM"
+//! baseline.
+//!
+//! DLN-x arranges `n` vertices on a ring and adds, for every vertex `i`, a
+//! shortcut to `j = (i + ceil(n / 2^k)) mod n` for `k = 1, ..., x - 2`
+//! (total degree `x`). DLN-x-y further adds `y` uniform-random links per
+//! node; we realize them as `y` random perfect matchings so that DLN-2-2 has
+//! exactly degree 4, matching the paper's statement that RANDOM "has an
+//! exact degree 4".
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind, NodeId};
+use crate::util::div_ceil;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic DLN-x: ring plus `x - 2` halving shortcuts per node.
+#[derive(Debug, Clone)]
+pub struct Dln {
+    x: u32,
+    graph: Graph,
+}
+
+impl Dln {
+    /// Build DLN-x on `n` vertices. Requires `n >= 4` and `x >= 2`
+    /// (degree-`x`; `x = 2` is the plain ring).
+    pub fn new(n: usize, x: u32) -> Result<Self> {
+        if n < 4 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n >= 4".into(),
+            });
+        }
+        if x < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "x",
+                constraint: "x >= 2".into(),
+                value: x.to_string(),
+            });
+        }
+        let mut graph = Graph::new(n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            graph.add_edge(i.min(j), i.max(j), LinkKind::Ring);
+        }
+        for k in 1..=(x.saturating_sub(2)) {
+            let jump = div_ceil(n, 1usize << k);
+            if jump <= 1 || jump >= n {
+                continue; // degenerate: coincides with ring links
+            }
+            for i in 0..n {
+                let j = (i + jump) % n;
+                graph.add_edge_dedup(i, j, LinkKind::Shortcut { level: k });
+            }
+        }
+        Ok(Dln { x, graph })
+    }
+
+    /// The degree parameter `x`.
+    #[inline]
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// DLN-x-y: DLN-x plus `y` random links per node, realized as `y` random
+/// perfect matchings (seeded, reproducible).
+#[derive(Debug, Clone)]
+pub struct DlnRandom {
+    x: u32,
+    y: u32,
+    seed: u64,
+    graph: Graph,
+}
+
+impl DlnRandom {
+    /// Build DLN-x-y on `n` vertices with a deterministic `seed`.
+    ///
+    /// Each of the `y` rounds draws a random perfect matching over all `n`
+    /// vertices (for odd `n` one vertex per round is left unmatched), so
+    /// every node gains exactly `y` random links for even `n`. Matchings
+    /// that would duplicate an existing link are re-paired locally; after
+    /// `MAX_RETRIES` the duplicate pair is skipped, which only occurs for
+    /// tiny `n`.
+    pub fn new(n: usize, x: u32, y: u32, seed: u64) -> Result<Self> {
+        let base = Dln::new(n, x)?;
+        let mut graph = base.into_graph();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        const MAX_RETRIES: usize = 64;
+
+        for _round in 0..y {
+            let mut order: Vec<NodeId> = (0..n).collect();
+            let mut placed = false;
+            'retry: for _ in 0..MAX_RETRIES {
+                order.shuffle(&mut rng);
+                // Check the whole matching before inserting any edge so a
+                // failed attempt leaves the graph untouched.
+                for pair in order.chunks_exact(2) {
+                    if graph.has_edge(pair[0], pair[1]) {
+                        continue 'retry;
+                    }
+                }
+                for pair in order.chunks_exact(2) {
+                    graph.add_edge(pair[0], pair[1], LinkKind::Random);
+                }
+                placed = true;
+                break;
+            }
+            if !placed {
+                // Fall back to inserting pairwise, skipping duplicates; keeps
+                // construction total for degenerate tiny rings.
+                order.shuffle(&mut rng);
+                for pair in order.chunks_exact(2) {
+                    graph.add_edge_dedup(pair[0], pair[1], LinkKind::Random);
+                }
+            }
+        }
+        Ok(DlnRandom { x, y, seed, graph })
+    }
+
+    /// The base degree parameter `x`.
+    #[inline]
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// Number of random links per node.
+    #[inline]
+    pub fn y(&self) -> u32 {
+        self.y
+    }
+
+    /// RNG seed used for the matchings.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Average length (in ring hops) of the random shortcut links — Theorem
+    /// 2b compares this (≈ n/3 for DLN-2-2) against DSN's ≤ n/p.
+    pub fn avg_random_link_ring_length(&self) -> f64 {
+        let n = self.n();
+        let (sum, count) = self
+            .graph
+            .edges()
+            .iter()
+            .filter(|e| e.kind == LinkKind::Random)
+            .fold((0usize, 0usize), |(s, c), e| {
+                (s + crate::util::ring_dist(e.a, e.b, n), c + 1)
+            });
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+}
+
+/// Layout-conscious random DLN (after Koibuchi et al., HPCA 2013 — the
+/// paper's ref. \[11\]): like [`DlnRandom`] but every random link must span
+/// at most `max_len` ring positions, modeling shortcut randomization under
+/// a cable-length budget. As the paper observes, the length cap costs hop
+/// count in low-radix networks — the trade-off the `layout_conscious`
+/// experiment sweeps.
+#[derive(Debug, Clone)]
+pub struct DlnRandomCapped {
+    x: u32,
+    y: u32,
+    max_len: usize,
+    seed: u64,
+    graph: Graph,
+}
+
+impl DlnRandomCapped {
+    /// Build DLN-x-y with ring-length-capped random links. Requires
+    /// `max_len >= 2` (below that no non-ring link is possible).
+    pub fn new(n: usize, x: u32, y: u32, max_len: usize, seed: u64) -> Result<Self> {
+        if max_len < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "max_len",
+                constraint: "max_len >= 2".into(),
+                value: max_len.to_string(),
+            });
+        }
+        let base = Dln::new(n, x)?;
+        let mut graph = base.into_graph();
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // Greedy capped matching per round: shuffle nodes; each unmatched
+        // node pairs with the nearest-by-shuffle unmatched node within the
+        // cap. Some nodes may stay unmatched in a round (expected only for
+        // tiny caps), so realized degree is 2 + at-most-y.
+        for _round in 0..y {
+            let mut order: Vec<NodeId> = (0..n).collect();
+            order.shuffle(&mut rng);
+            let mut matched = vec![false; n];
+            for i in 0..n {
+                let a = order[i];
+                if matched[a] {
+                    continue;
+                }
+                for &b in order[i + 1..].iter() {
+                    if matched[b] || crate::util::ring_dist(a, b, n) > max_len {
+                        continue;
+                    }
+                    if graph.has_edge(a, b) {
+                        continue;
+                    }
+                    graph.add_edge(a, b, LinkKind::Random);
+                    matched[a] = true;
+                    matched[b] = true;
+                    break;
+                }
+            }
+        }
+        Ok(DlnRandomCapped {
+            x,
+            y,
+            max_len,
+            seed,
+            graph,
+        })
+    }
+
+    /// Base degree parameter.
+    #[inline]
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// Random links requested per node.
+    #[inline]
+    pub fn y(&self) -> u32 {
+        self.y
+    }
+
+    /// Ring-length cap on random links.
+    #[inline]
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// RNG seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dln_2_is_a_ring() {
+        let d = Dln::new(16, 2).unwrap();
+        assert_eq!(d.graph().edge_count(), 16);
+        for v in 0..16 {
+            assert_eq!(d.graph().degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn dln_x_degree() {
+        // DLN-4 on 64: ring + jumps of 32 and 16. The paper counts DLN-x as
+        // "degree x" by out-links; physically the undirected jump-16
+        // shortcut contributes an in-link too, so each node sees
+        // 2 (ring) + 1 (paired jump n/2) + 2 (jump n/4, out + in) = 5.
+        let d = Dln::new(64, 4).unwrap();
+        let g = d.graph();
+        // jump 32: 32 distinct edges (i, i+32); jump 16: 64 edges.
+        assert_eq!(g.edge_count(), 64 + 32 + 64);
+        for v in 0..64 {
+            assert_eq!(g.degree(v), 5, "v={v}");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn dln_log_n_diameter_is_logarithmic() {
+        // DLN-log n has diameter O(log n); sanity-check via BFS at n = 256.
+        let n = 256usize;
+        let d = Dln::new(n, 8).unwrap();
+        let g = d.graph();
+        // BFS from node 0
+        let mut dist = vec![usize::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        dist[0] = 0;
+        q.push_back(0);
+        while let Some(v) = q.pop_front() {
+            for (u, _) in g.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        let ecc = dist.iter().max().copied().unwrap();
+        assert!(ecc <= 2 * 8, "eccentricity {ecc} not logarithmic");
+    }
+
+    #[test]
+    fn dln_2_2_exact_degree_4() {
+        let d = DlnRandom::new(64, 2, 2, 42).unwrap();
+        let g = d.graph();
+        for v in 0..64 {
+            assert_eq!(g.degree(v), 4, "v={v}");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn dln_2_2_reproducible_by_seed() {
+        let a = DlnRandom::new(128, 2, 2, 7).unwrap();
+        let b = DlnRandom::new(128, 2, 2, 7).unwrap();
+        let c = DlnRandom::new(128, 2, 2, 8).unwrap();
+        assert_eq!(a.graph().edges(), b.graph().edges());
+        assert_ne!(a.graph().edges(), c.graph().edges());
+    }
+
+    #[test]
+    fn random_link_length_near_n_over_3() {
+        // Theorem 2b cites avg random shortcut length n/3 for DLN-2-2 on a
+        // ring; uniform matchings give expected ring distance ~ n/4 on the
+        // ring metric (paper's n/3 is on the line metric); accept a loose
+        // band around n/4 here.
+        let n = 2048usize;
+        let d = DlnRandom::new(n, 2, 2, 3).unwrap();
+        let avg = d.avg_random_link_ring_length();
+        assert!(
+            avg > n as f64 * 0.2 && avg < n as f64 * 0.3,
+            "avg random link length {avg} out of expected band"
+        );
+    }
+
+    #[test]
+    fn capped_links_respect_cap() {
+        let n = 256;
+        let cap = 20;
+        let d = DlnRandomCapped::new(n, 2, 2, cap, 11).unwrap();
+        for e in d.graph().edges() {
+            if e.kind == LinkKind::Random {
+                assert!(
+                    crate::util::ring_dist(e.a, e.b, n) <= cap,
+                    "link {}-{} exceeds cap",
+                    e.a,
+                    e.b
+                );
+            }
+        }
+        assert!(d.graph().is_connected());
+        // most nodes should still get their 2 random links
+        assert!(d.graph().avg_degree() > 3.5, "avg {}", d.graph().avg_degree());
+    }
+
+    #[test]
+    fn uncapped_equivalent_when_cap_is_huge() {
+        // cap >= n/2 imposes no constraint; degree should reach ~4.
+        let d = DlnRandomCapped::new(128, 2, 2, 64, 3).unwrap();
+        assert!(d.graph().avg_degree() > 3.9);
+    }
+
+    #[test]
+    fn capped_aspl_degrades_as_cap_shrinks() {
+        // The HPCA'13 observation: tighter caps -> longer paths.
+        fn aspl(g: &Graph) -> f64 {
+            let n = g.node_count();
+            let mut sum = 0u64;
+            let mut cnt = 0u64;
+            for s in 0..n {
+                let mut dist = vec![usize::MAX; n];
+                let mut q = std::collections::VecDeque::new();
+                dist[s] = 0;
+                q.push_back(s);
+                while let Some(v) = q.pop_front() {
+                    for u in g.neighbor_ids(v) {
+                        if dist[u] == usize::MAX {
+                            dist[u] = dist[v] + 1;
+                            q.push_back(u);
+                        }
+                    }
+                }
+                for (t, &d) in dist.iter().enumerate() {
+                    if t != s {
+                        sum += d as u64;
+                        cnt += 1;
+                    }
+                }
+            }
+            sum as f64 / cnt as f64
+        }
+        let tight = DlnRandomCapped::new(256, 2, 2, 8, 5).unwrap();
+        let loose = DlnRandomCapped::new(256, 2, 2, 128, 5).unwrap();
+        assert!(aspl(tight.graph()) > aspl(loose.graph()));
+    }
+
+    #[test]
+    fn capped_rejects_tiny_cap() {
+        assert!(DlnRandomCapped::new(64, 2, 2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn odd_n_tolerated() {
+        let d = DlnRandom::new(65, 2, 2, 9).unwrap();
+        let g = d.graph();
+        assert!(g.is_connected());
+        // every node has degree >= 2 (ring) and at most 2 + y
+        assert!(g.min_degree() >= 2);
+        assert!(g.max_degree() <= 4);
+    }
+}

@@ -1,0 +1,419 @@
+//! The basic Distributed Shortcut Network topology **DSN-x-n** (Section IV
+//! of the paper).
+//!
+//! `n` switches sit on a ring. With `p = ceil(log2 n)`, every node `i` gets
+//! the level `(i mod p) + 1`; each group of `p` consecutive nodes (a *super
+//! node*) therefore holds one node of every level. A node of level `l <= x`
+//! owns one undirected *shortcut* to the clockwise-nearest node of level
+//! `l + 1` at clockwise distance at least `ceil(n / 2^l)`. Collapsing each
+//! super node to a single vertex yields exactly a DLN-x, so the super graph
+//! supports distance-halving routing while each physical node keeps a small
+//! constant degree (Fact 1: degrees in `{2,3,4,5}`, at most `p` nodes of
+//! degree 5).
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind, NodeId};
+use crate::util::{ceil_log2, cw_dist, div_ceil};
+
+/// The basic DSN-x-n topology, plus the node metadata (levels, shortcut
+/// pointers) that the custom routing algorithm consumes.
+#[derive(Debug, Clone)]
+pub struct Dsn {
+    n: usize,
+    p: u32,
+    x: u32,
+    r: usize,
+    /// `shortcut[i]` is the target of node `i`'s owned shortcut, when the
+    /// node's level is `<= x`.
+    shortcut: Vec<Option<NodeId>>,
+    graph: Graph,
+}
+
+impl Dsn {
+    /// Build DSN-x-n.
+    ///
+    /// Requirements: `n >= 8` (so that `p >= 3` and the ring plus shortcut
+    /// structure is meaningful) and `1 <= x <= p - 1` where
+    /// `p = ceil(log2 n)`.
+    pub fn new(n: usize, x: u32) -> Result<Self> {
+        if n < 8 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n >= 8 for a meaningful DSN".into(),
+            });
+        }
+        let p = ceil_log2(n);
+        if x < 1 || x > p - 1 {
+            return Err(TopologyError::InvalidParameter {
+                name: "x",
+                constraint: format!("1 <= x <= p-1 (p = {p})"),
+                value: x.to_string(),
+            });
+        }
+        let r = n % p as usize;
+
+        let mut graph = Graph::new(n);
+        // Ring links: (i, i+1 mod n).
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if i < j {
+                graph.add_edge(i, j, LinkKind::Ring);
+            } else {
+                // wrap link (n-1, 0)
+                graph.add_edge(j, i, LinkKind::Ring);
+            }
+        }
+
+        let mut shortcut = vec![None; n];
+        // Index = node id; enumerate() over the vec would obscure that.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let l = level_of(i, p);
+            if l <= x {
+                let target = shortcut_target(i, l, n, p);
+                shortcut[i] = target;
+                if let Some(j) = target {
+                    // Dedup: on tiny rings a shortcut may coincide with a
+                    // ring link or another shortcut; the *logical* pointer in
+                    // `shortcut` is kept either way so routing still works.
+                    graph.add_edge_dedup(i, j, LinkKind::Shortcut { level: l });
+                }
+            }
+        }
+
+        Ok(Dsn {
+            n,
+            p,
+            x,
+            r,
+            shortcut,
+            graph,
+        })
+    }
+
+    /// Build the recommended "clean" instance for a target size: the largest
+    /// `n <= target` that is a multiple of `p = ceil(log2 target)`, with the
+    /// maximum shortcut set `x = p - 1`. Avoids the incomplete final super
+    /// node discussed at the end of Section IV.C.
+    pub fn new_clean(target: usize) -> Result<Self> {
+        if target < 8 {
+            return Err(TopologyError::UnsupportedSize {
+                n: target,
+                requirement: "target >= 8".into(),
+            });
+        }
+        let p = ceil_log2(target) as usize;
+        let n = (target / p) * p;
+        let p2 = ceil_log2(n);
+        Dsn::new(n, p2 - 1)
+    }
+
+    /// Number of switches.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels / super-node size, `p = ceil(log2 n)`.
+    #[inline]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Size of the shortcut set (levels `1..=x` own shortcuts).
+    #[inline]
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// `r = n mod p`, the size of the incomplete final super node
+    /// (0 when `p` divides `n`).
+    #[inline]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Level of node `v`, in `1..=p` (level `i` is assigned to nodes
+    /// `k*p + i - 1`).
+    #[inline]
+    pub fn level(&self, v: NodeId) -> u32 {
+        level_of(v, self.p)
+    }
+
+    /// Height of node `v`: `p + 1 - level(v)`. Higher nodes own longer
+    /// shortcuts.
+    #[inline]
+    pub fn height(&self, v: NodeId) -> u32 {
+        self.p + 1 - self.level(v)
+    }
+
+    /// The target of `v`'s owned shortcut, if `level(v) <= x`.
+    #[inline]
+    pub fn shortcut(&self, v: NodeId) -> Option<NodeId> {
+        self.shortcut[v]
+    }
+
+    /// Successor on the ring (clockwise neighbor).
+    #[inline]
+    pub fn succ(&self, v: NodeId) -> NodeId {
+        (v + 1) % self.n
+    }
+
+    /// Predecessor on the ring (counter-clockwise neighbor).
+    #[inline]
+    pub fn pred(&self, v: NodeId) -> NodeId {
+        (v + self.n - 1) % self.n
+    }
+
+    /// Index of the super node containing `v` (groups of `p` consecutive
+    /// ids; the final group may be incomplete when `r != 0`).
+    #[inline]
+    pub fn super_node(&self, v: NodeId) -> usize {
+        v / self.p as usize
+    }
+
+    /// Number of super nodes, `ceil(n / p)`.
+    #[inline]
+    pub fn super_node_count(&self) -> usize {
+        div_ceil(self.n, self.p as usize)
+    }
+
+    /// Clockwise distance from `a` to `b`.
+    #[inline]
+    pub fn cw_dist(&self, a: NodeId, b: NodeId) -> usize {
+        cw_dist(a, b, self.n)
+    }
+
+    /// The required shortcut level for a clockwise distance `d > 0`:
+    /// the unique `l >= 1` with `n / 2^l < d <= n / 2^(l-1)`, capped at `p`.
+    /// This is the `l = floor(log2(n / d)) + 1` of the routing pseudo-code.
+    #[inline]
+    pub fn required_level(&self, d: usize) -> u32 {
+        required_level(d, self.n, self.p)
+    }
+}
+
+/// Level of node `v` on a ring with period `p`: `(v mod p) + 1`.
+#[inline]
+pub fn level_of(v: NodeId, p: u32) -> u32 {
+    (v % p as usize) as u32 + 1
+}
+
+/// Required level for clockwise distance `d` on a ring of `n` nodes:
+/// smallest `l` with `d > n / 2^l`, i.e. `floor(log2(n/d)) + 1`, capped to
+/// `p` so degenerate distances stay in range.
+#[inline]
+pub fn required_level(d: usize, n: usize, p: u32) -> u32 {
+    debug_assert!(d > 0 && d < n);
+    let mut l = 1u32;
+    // Find smallest l with n / 2^l < d  <=>  n < d * 2^l.
+    while l < p && (n >> l) >= d {
+        l += 1;
+    }
+    l
+}
+
+/// The clockwise-nearest node of level `l + 1` at distance at least
+/// `ceil(n / 2^l)` from `i`. Returns `None` only in degenerate cases where
+/// no such node exists (never happens for `n >= 8` with `l < p`, but the
+/// search is bounded to one full ring turn for safety).
+pub fn shortcut_target(i: NodeId, l: u32, n: usize, p: u32) -> Option<NodeId> {
+    let min_jump = div_ceil(n, 1usize << l);
+    let mut j = (i + min_jump) % n;
+    for _ in 0..n {
+        if level_of(j, p) == l + 1 && j != i {
+            return Some(j);
+        }
+        j = (j + 1) % n;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Dsn::new(4, 1).is_err());
+        assert!(Dsn::new(16, 0).is_err());
+        // p = ceil(log2 16) = 4 => x in 1..=3
+        assert!(Dsn::new(16, 4).is_err());
+        assert!(Dsn::new(16, 3).is_ok());
+    }
+
+    #[test]
+    fn levels_are_periodic() {
+        let d = Dsn::new(64, 5).unwrap(); // p = 6
+        assert_eq!(d.p(), 6);
+        for v in 0..64 {
+            assert_eq!(d.level(v), (v % 6) as u32 + 1);
+            assert_eq!(d.height(v), 6 + 1 - d.level(v));
+        }
+    }
+
+    #[test]
+    fn paper_figure_1b_dsn_3_16() {
+        // DSN-3-16 from Figure 1(b): n = 16, p = 4, x = 3.
+        let d = Dsn::new(16, 3).unwrap();
+        assert_eq!(d.p(), 4);
+        assert_eq!(d.r(), 0);
+        // Node 0 (level 1): min jump ceil(16/2) = 8 -> first level-2 node at
+        // distance >= 8 clockwise from 0 is node 9 (9 mod 4 = 1 -> level 2).
+        assert_eq!(d.shortcut(0), Some(9));
+        // Node 1 (level 2): min jump ceil(16/4) = 4 -> first level-3 node at
+        // distance >= 4 from 1 is node 6 (6 mod 4 = 2 -> level 3).
+        assert_eq!(d.shortcut(1), Some(6));
+        // Node 2 (level 3): min jump ceil(16/8) = 2 -> first level-4 node at
+        // distance >= 2 from 2 is node 7? 4+3=7 -> level 4 is ids 3,7,11,15.
+        // distance >= 2 from 2 means j >= 4; first level-4 id >= 4 is 7.
+        assert_eq!(d.shortcut(2), Some(7));
+        // Node 3 (level 4 > x = 3): no shortcut.
+        assert_eq!(d.shortcut(3), None);
+    }
+
+    #[test]
+    fn shortcut_spans_at_least_minimum() {
+        for &n in &[64usize, 100, 256, 1000, 1024] {
+            let p = ceil_log2(n);
+            let d = Dsn::new(n, p - 1).unwrap();
+            for v in 0..n {
+                if let Some(t) = d.shortcut(v) {
+                    let l = d.level(v);
+                    let min_jump = div_ceil(n, 1usize << l);
+                    assert!(
+                        d.cw_dist(v, t) >= min_jump,
+                        "n={n} v={v} l={l}: jump {} < {min_jump}",
+                        d.cw_dist(v, t)
+                    );
+                    assert_eq!(d.level(t), l + 1, "shortcut must land on level l+1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_eligible_node_has_a_shortcut() {
+        for &n in &[64usize, 100, 513, 2048] {
+            let p = ceil_log2(n);
+            for x in [1, p / 2, p - 1] {
+                let x = x.max(1);
+                let d = Dsn::new(n, x).unwrap();
+                for v in 0..n {
+                    if d.level(v) <= x {
+                        assert!(d.shortcut(v).is_some(), "n={n} x={x} v={v}");
+                    } else {
+                        assert!(d.shortcut(v).is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fact1_degree_bounds() {
+        // Fact 1: degrees in {2,3,4,5}; avg <= 4; at most p nodes of degree 5.
+        for &n in &[64usize, 128, 250, 1024, 1000] {
+            let p = ceil_log2(n);
+            let d = Dsn::new(n, p - 1).unwrap();
+            let g = d.graph();
+            let mut deg5 = 0usize;
+            for v in 0..n {
+                let deg = g.degree(v);
+                assert!((2..=5).contains(&deg), "n={n} v={v} deg={deg}");
+                if deg == 5 {
+                    deg5 += 1;
+                }
+            }
+            assert!(deg5 <= p as usize, "n={n}: {deg5} deg-5 nodes > p={p}");
+            assert!(g.avg_degree() <= 4.0 + 1e-9, "n={n} avg={}", g.avg_degree());
+        }
+    }
+
+    #[test]
+    fn observation_expected_degree5_count_at_most_half_p() {
+        // The paper's Observation after Fact 1: the *expected* number of
+        // degree-5 nodes is <= p/2 (expectation over instance sizes, since
+        // deg-5 nodes arise from interactions with the incomplete final
+        // super node). Sample every n in one p-band and check the mean.
+        let (lo, hi) = (513usize, 1024usize); // p = 10 throughout
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for n in (lo..=hi).step_by(7) {
+            let d = Dsn::new(n, 9).unwrap();
+            assert_eq!(d.p(), 10);
+            total += d.graph().degree_histogram().get(5).copied().unwrap_or(0);
+            count += 1;
+        }
+        let mean = total as f64 / count as f64;
+        assert!(mean <= 5.0, "mean deg-5 count {mean} > p/2");
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        for &n in &[16usize, 64, 100, 511, 512, 1024] {
+            let p = ceil_log2(n);
+            for x in 1..p {
+                let d = Dsn::new(n, x).unwrap();
+                assert!(d.graph().is_connected(), "n={n} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn required_level_matches_definition() {
+        let n = 1024usize;
+        let p = 10u32;
+        for d in 1..n {
+            let l = required_level(d, n, p);
+            // n / 2^l < d (unless capped at p) and d <= n / 2^(l-1)
+            if l < p {
+                assert!(n >> l < d, "d={d} l={l}");
+            }
+            assert!(d <= n >> (l - 1), "d={d} l={l}");
+        }
+    }
+
+    #[test]
+    fn clean_constructor_is_multiple_of_p() {
+        let d = Dsn::new_clean(1024).unwrap();
+        assert_eq!(d.n() % d.p() as usize, 0);
+        assert_eq!(d.r(), 0);
+        assert_eq!(d.x(), d.p() - 1);
+        let d = Dsn::new_clean(1000).unwrap();
+        assert_eq!(d.n() % d.p() as usize, 0);
+    }
+
+    #[test]
+    fn succ_pred_roundtrip() {
+        let d = Dsn::new(100, 3).unwrap();
+        for v in 0..100 {
+            assert_eq!(d.pred(d.succ(v)), v);
+            assert_eq!(d.succ(d.pred(v)), v);
+        }
+        assert_eq!(d.succ(99), 0);
+        assert_eq!(d.pred(0), 99);
+    }
+
+    #[test]
+    fn super_nodes_partition_ring() {
+        let d = Dsn::new(64, 5).unwrap(); // p = 6, r = 4
+        assert_eq!(d.super_node_count(), 11);
+        assert_eq!(d.super_node(0), 0);
+        assert_eq!(d.super_node(5), 0);
+        assert_eq!(d.super_node(6), 1);
+        assert_eq!(d.super_node(63), 10);
+    }
+}

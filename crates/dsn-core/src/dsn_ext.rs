@@ -1,0 +1,459 @@
+//! Extensions of the basic DSN topology (Section V of the paper):
+//!
+//! * [`DsnE`] — DSN-E, the deadlock-free variant that adds physical *Up*
+//!   links (one per node, parallel to the ring link toward the predecessor
+//!   within the same super node) and *2p Extra* links near node 0
+//!   (Section V.A / Theorem 3). The sibling DSN-V realizes the same thing
+//!   with virtual channels instead of extra links and lives in the routing
+//!   crate, since VCs are a routing-resource concept.
+//! * [`DsnD`] — DSN-D-x, which drops the unhelpful shortest `log p`
+//!   shortcuts (base `x = p - ceil(log2 p)`) and instead adds `x` short
+//!   *Skip* links per super node at stride `q = ceil(p / x)`, shortening the
+//!   PRE-WORK/FINISH local walks (Section V.B).
+//! * [`FlexibleDsn`] — super nodes of flexible size: a convenient base DSN
+//!   over *major* nodes plus *minor* nodes (fractional IDs in the paper)
+//!   that carry no shortcuts, supporting arbitrary `n` and node addition
+//!   (Section V.C).
+
+use crate::dsn::Dsn;
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind, NodeId};
+use crate::util::{ceil_log2, div_ceil};
+
+/// DSN-E: basic DSN-(p-1) plus Up links and 2p Extra links (Section V.A).
+#[derive(Debug, Clone)]
+pub struct DsnE {
+    base: Dsn,
+    graph: Graph,
+    up_edges: usize,
+    extra_edges: usize,
+}
+
+impl DsnE {
+    /// Build DSN-E on `n` nodes. The shortcut parameter is fixed to
+    /// `x = p - 1` as required by the deadlock-freedom construction.
+    pub fn new(n: usize) -> Result<Self> {
+        let p = ceil_log2(n.max(2));
+        let base = Dsn::new(n, p.saturating_sub(1).max(1))?;
+        let p = base.p();
+        let mut graph = base.graph().clone();
+
+        // Up links: a dedicated physical link from each node of level >= 2
+        // to its predecessor (same super node). These are parallel to ring
+        // links on purpose: PRE-WORK traffic uses them exclusively, so the
+        // CDG group of Up channels stays acyclic.
+        let mut up_edges = 0usize;
+        for i in 0..n {
+            if crate::dsn::level_of(i, p) >= 2 {
+                let pred = (i + n - 1) % n;
+                graph.add_edge(pred, i, LinkKind::Up);
+                up_edges += 1;
+            }
+        }
+
+        // Extra links: (i, i-1) for i = 1..=2p — a second lane over the
+        // first 2p ring positions that FINISH uses to break the global ring
+        // cycle (Theorem 3).
+        let span = (2 * p as usize).min(n.saturating_sub(1));
+        let mut extra_edges = 0usize;
+        for i in 1..=span {
+            graph.add_edge(i - 1, i, LinkKind::Extra);
+            extra_edges += 1;
+        }
+
+        Ok(DsnE {
+            base,
+            graph,
+            up_edges,
+            extra_edges,
+        })
+    }
+
+    /// The underlying basic DSN (levels, shortcut pointers).
+    #[inline]
+    pub fn base(&self) -> &Dsn {
+        &self.base
+    }
+
+    /// Number of switches.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// Number of Up links added.
+    #[inline]
+    pub fn up_edge_count(&self) -> usize {
+        self.up_edges
+    }
+
+    /// Number of Extra links added.
+    #[inline]
+    pub fn extra_edge_count(&self) -> usize {
+        self.extra_edges
+    }
+
+    /// The physical multigraph including Up and Extra links.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// DSN-D-x: base DSN with `x_base = p - ceil(log2 p)` plus `x` Skip links
+/// per super node at stride `q = ceil(p / x)` (Section V.B).
+///
+/// The paper reports that DSN-D-2 reduces the diameter to about `7/4 p`
+/// (from `2.5 p + r`) and the routing diameter to about `2 p`.
+#[derive(Debug, Clone)]
+pub struct DsnD {
+    base: Dsn,
+    x: u32,
+    q: usize,
+    graph: Graph,
+    skip_edges: usize,
+}
+
+impl DsnD {
+    /// Build DSN-D-x on `n` nodes. Requires `1 <= x <= p` and `n >= 8`.
+    pub fn new(n: usize, x: u32) -> Result<Self> {
+        if n < 8 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n >= 8".into(),
+            });
+        }
+        let p = ceil_log2(n);
+        if x < 1 || x > p {
+            return Err(TopologyError::InvalidParameter {
+                name: "x",
+                constraint: format!("1 <= x <= p (p = {p})"),
+                value: x.to_string(),
+            });
+        }
+        let x_base = (p - ceil_log2(p as usize)).max(1);
+        let base = Dsn::new(n, x_base)?;
+        let mut graph = base.graph().clone();
+
+        // Skip links at stride q: (iq, (i+1)q) for i = 1..=w-? and the
+        // closing link back to 0, exactly as Construction DSN-D-x states.
+        let q = div_ceil(p as usize, x as usize).max(2);
+        let w = div_ceil(n, q).saturating_sub(1);
+        let mut skip_edges = 0usize;
+        for i in 1..=w {
+            let a = (i * q) % n;
+            let b = ((i + 1) * q) % n;
+            if a != b && graph.add_edge_dedup(a.min(b), a.max(b), LinkKind::Skip).is_some() {
+                skip_edges += 1;
+            }
+        }
+        let closing = ((w + 1) * q) % n;
+        if closing != 0 && graph.add_edge_dedup(0, closing, LinkKind::Skip).is_some() {
+            skip_edges += 1;
+        }
+
+        Ok(DsnD {
+            base,
+            x,
+            q,
+            graph,
+            skip_edges,
+        })
+    }
+
+    /// The underlying basic DSN (with the reduced shortcut set).
+    #[inline]
+    pub fn base(&self) -> &Dsn {
+        &self.base
+    }
+
+    /// Skip links per super node (the `x` of DSN-D-x).
+    #[inline]
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// Skip-link stride `q = ceil(p / x)`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of Skip links actually added.
+    #[inline]
+    pub fn skip_edge_count(&self) -> usize {
+        self.skip_edges
+    }
+
+    /// Number of switches.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// The physical graph including Skip links.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// Flexible-size DSN (Section V.C): a base DSN over *major* nodes plus
+/// *minor* nodes inserted after chosen majors. Minors own no shortcuts; the
+/// paper gives them fractional IDs (e.g. 10½) — here every physical node
+/// gets a dense id `0..n` and we track the major/minor structure.
+#[derive(Debug, Clone)]
+pub struct FlexibleDsn {
+    /// The logical base DSN over majors (defines levels and shortcuts).
+    base: Dsn,
+    graph: Graph,
+    /// `major_of[phys]` = logical major id, `None` for minor nodes.
+    major_of: Vec<Option<usize>>,
+    /// `phys_of[major]` = physical id of that major.
+    phys_of: Vec<NodeId>,
+}
+
+impl FlexibleDsn {
+    /// Build a flexible DSN from `base_n` majors (should be a multiple of
+    /// `p` for a clean base; this is checked) and minors inserted after the
+    /// given major ids (duplicates allowed: two minors after major 10 are
+    /// expressed as `[10, 10]`).
+    pub fn new(base_n: usize, x: u32, minor_after: &[usize]) -> Result<Self> {
+        let base = Dsn::new(base_n, x)?;
+        if base.r() != 0 {
+            return Err(TopologyError::InvalidParameter {
+                name: "base_n",
+                constraint: format!("a multiple of p = {}", base.p()),
+                value: base_n.to_string(),
+            });
+        }
+        for &m in minor_after {
+            if m >= base_n {
+                return Err(TopologyError::InvalidParameter {
+                    name: "minor_after",
+                    constraint: format!("major ids < base_n = {base_n}"),
+                    value: m.to_string(),
+                });
+            }
+        }
+        let mut after_counts = vec![0usize; base_n];
+        for &m in minor_after {
+            after_counts[m] += 1;
+        }
+
+        let n = base_n + minor_after.len();
+        let mut major_of = Vec::with_capacity(n);
+        let mut phys_of = Vec::with_capacity(base_n);
+        for (major, &extra) in after_counts.iter().enumerate() {
+            phys_of.push(major_of.len());
+            major_of.push(Some(major));
+            for _ in 0..extra {
+                major_of.push(None);
+            }
+        }
+        debug_assert_eq!(major_of.len(), n);
+
+        let mut graph = Graph::new(n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            graph.add_edge(i.min(j), i.max(j), LinkKind::Ring);
+        }
+        for major in 0..base_n {
+            if let Some(target) = base.shortcut(major) {
+                let a = phys_of[major];
+                let b = phys_of[target];
+                graph.add_edge_dedup(
+                    a.min(b),
+                    a.max(b),
+                    LinkKind::Shortcut {
+                        level: base.level(major),
+                    },
+                );
+            }
+        }
+
+        Ok(FlexibleDsn {
+            base,
+            graph,
+            major_of,
+            phys_of,
+        })
+    }
+
+    /// The logical base DSN over the majors.
+    #[inline]
+    pub fn base(&self) -> &Dsn {
+        &self.base
+    }
+
+    /// Total physical node count (majors + minors).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Whether physical node `v` is a major (owns levels/shortcuts).
+    #[inline]
+    pub fn is_major(&self, v: NodeId) -> bool {
+        self.major_of[v].is_some()
+    }
+
+    /// Logical major id of physical node `v`, if it is a major.
+    #[inline]
+    pub fn major_of(&self, v: NodeId) -> Option<usize> {
+        self.major_of[v]
+    }
+
+    /// Physical id of logical major `m`.
+    #[inline]
+    pub fn phys_of(&self, m: usize) -> NodeId {
+        self.phys_of[m]
+    }
+
+    /// The nearest major at or counter-clockwise of physical node `v`
+    /// (the paper routes to a minor via "the major node just before it").
+    pub fn major_before(&self, v: NodeId) -> NodeId {
+        let n = self.n();
+        let mut u = v;
+        loop {
+            if self.major_of[u].is_some() {
+                return u;
+            }
+            u = (u + n - 1) % n;
+            debug_assert_ne!(u, v, "no major on the ring");
+        }
+    }
+
+    /// The physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsn_e_adds_up_and_extra() {
+        let e = DsnE::new(64).unwrap(); // p = 6
+        assert_eq!(e.base().x(), 5);
+        // Up links: one per node of level >= 2. n = 64, p = 6 -> levels
+        // cycle 1..6 with r = 4; level-1 nodes are ids ≡ 0 mod 6 -> 11 of
+        // them; Up links = 64 - 11 = 53.
+        assert_eq!(e.up_edge_count(), 53);
+        assert_eq!(e.extra_edge_count(), 12);
+        assert!(e.graph().is_connected());
+        // Parallel edges exist: ring + up between consecutive ids.
+        let kinds = e.graph().edge_kind_counts();
+        assert!(kinds.contains(&(LinkKind::Up, 53)));
+        assert!(kinds.contains(&(LinkKind::Extra, 12)));
+    }
+
+    #[test]
+    fn dsn_e_degree_stays_small() {
+        let e = DsnE::new(256).unwrap();
+        // basic DSN max degree 5, plus <= 2 up links (to pred and from succ)
+        // plus <= 2 extra links -> hard cap 9; typical much lower.
+        assert!(e.graph().max_degree() <= 9);
+        let avg = e.graph().avg_degree();
+        assert!(avg < 6.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn dsn_d_skip_links() {
+        let d = DsnD::new(1024, 2).unwrap(); // p = 10, q = 5
+        assert_eq!(d.q(), 5);
+        assert!(d.skip_edge_count() > 0);
+        assert!(d.graph().is_connected());
+        // Base shortcut set is reduced: x_base = p - ceil(log2 p) = 10-4 = 6.
+        assert_eq!(d.base().x(), 6);
+    }
+
+    #[test]
+    fn dsn_d_reduces_diameter_vs_base() {
+        // BFS diameters: DSN-D should be no worse than its own base.
+        fn diameter(g: &Graph) -> usize {
+            let n = g.node_count();
+            let mut best = 0usize;
+            for s in 0..n {
+                let mut dist = vec![usize::MAX; n];
+                let mut q = std::collections::VecDeque::new();
+                dist[s] = 0;
+                q.push_back(s);
+                while let Some(v) = q.pop_front() {
+                    for (u, _) in g.neighbors(v) {
+                        if dist[u] == usize::MAX {
+                            dist[u] = dist[v] + 1;
+                            q.push_back(u);
+                        }
+                    }
+                }
+                best = best.max(dist.iter().copied().max().unwrap());
+            }
+            best
+        }
+        let d = DsnD::new(256, 2).unwrap();
+        let dd = diameter(d.graph());
+        let bd = diameter(d.base().graph());
+        assert!(dd <= bd, "skip links must not hurt: {dd} > {bd}");
+    }
+
+    #[test]
+    fn flexible_matches_paper_example() {
+        // Section V.C: n = 1024 as DSN-10-1020 plus 4 minors after majors
+        // 10, 20, 30, 40 (paper writes 10½, 20½, 30½, 40½).
+        let f = FlexibleDsn::new(1020, 9, &[10, 20, 30, 40]).unwrap();
+        assert_eq!(f.n(), 1024);
+        assert!(f.graph().is_connected());
+        // minors: physical position of major 10 is 10, so phys 11 is minor.
+        assert!(f.is_major(10));
+        assert!(!f.is_major(11));
+        assert_eq!(f.major_of(11), None);
+        assert_eq!(f.major_of(12), Some(11));
+        assert_eq!(f.major_before(11), 10);
+        assert_eq!(f.major_before(12), 12);
+    }
+
+    #[test]
+    fn flexible_minor_degree_is_2() {
+        let f = FlexibleDsn::new(60, 5, &[5, 5, 30]).unwrap();
+        for v in 0..f.n() {
+            if !f.is_major(v) {
+                assert_eq!(f.graph().degree(v), 2, "minor {v} must only ring-link");
+            }
+        }
+    }
+
+    #[test]
+    fn flexible_rejects_bad_params() {
+        assert!(FlexibleDsn::new(1022, 9, &[]).is_err()); // not multiple of p
+        assert!(FlexibleDsn::new(1020, 9, &[2000]).is_err());
+    }
+
+    #[test]
+    fn dsn_d_rejects_bad_params() {
+        assert!(DsnD::new(4, 1).is_err());
+        assert!(DsnD::new(1024, 0).is_err());
+        assert!(DsnD::new(1024, 11).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by all topology constructors.
+
+use std::fmt;
+
+/// Why a topology could not be constructed from the given parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A parameter was out of its documented range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: String,
+        /// The value that was supplied.
+        value: String,
+    },
+    /// The requested node count is unsupported by this family
+    /// (e.g. a hypercube needs a power of two).
+    UnsupportedSize {
+        /// Requested node count.
+        n: usize,
+        /// What the family requires.
+        requirement: String,
+    },
+    /// A randomized construction failed to converge
+    /// (e.g. random-regular stub matching ran out of retries).
+    ConstructionFailed(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidParameter {
+                name,
+                constraint,
+                value,
+            } => write!(f, "invalid parameter `{name}` = {value}: requires {constraint}"),
+            TopologyError::UnsupportedSize { n, requirement } => {
+                write!(f, "unsupported size n = {n}: requires {requirement}")
+            }
+            TopologyError::ConstructionFailed(msg) => write!(f, "construction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Convenience alias used by every constructor in this crate.
+pub type Result<T> = std::result::Result<T, TopologyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopologyError::InvalidParameter {
+            name: "x",
+            constraint: "1 <= x <= p-1".into(),
+            value: "9".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('x') && s.contains('9') && s.contains("p-1"));
+
+        let e = TopologyError::UnsupportedSize {
+            n: 12,
+            requirement: "a power of two".into(),
+        };
+        assert!(e.to_string().contains("12"));
+
+        let e = TopologyError::ConstructionFailed("ran out of retries".into());
+        assert!(e.to_string().contains("retries"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Graph export for external tooling: Graphviz DOT and a plain edge list
+//! (one `a b kind` line per link), plus a deterministic fingerprint used by
+//! tests and experiment logs to pin exact instances.
+
+use crate::graph::{Graph, LinkKind};
+use std::fmt::Write as _;
+
+/// Render the graph as Graphviz DOT (undirected). Link kinds become edge
+/// colors so DSN structure is visible at a glance.
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{name}\" {{");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=8];");
+    for e in g.edges() {
+        let color = match e.kind {
+            LinkKind::Ring | LinkKind::Grid | LinkKind::Cycle => "black",
+            LinkKind::Shortcut { .. } => "blue",
+            LinkKind::Random | LinkKind::LongRange => "red",
+            LinkKind::Up => "green",
+            LinkKind::Extra => "orange",
+            LinkKind::Skip => "purple",
+            LinkKind::Torus { .. } | LinkKind::Hypercube { .. } | LinkKind::Shuffle => "gray",
+        };
+        let _ = writeln!(out, "  {} -- {} [color={color}];", e.a, e.b);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render as a plain edge list: header line `# nodes=<n>`, then one
+/// `a b <kind>` line per edge.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = format!("# nodes={}\n", g.node_count());
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {} {}", e.a, e.b, e.kind);
+    }
+    out
+}
+
+/// Parse an edge list produced by [`to_edge_list`]. Every [`LinkKind`]
+/// round-trips losslessly; an unrecognized kind string rejects the input.
+pub fn from_edge_list(text: &str) -> Option<Graph> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let n: usize = header.strip_prefix("# nodes=")?.trim().parse().ok()?;
+    let mut g = Graph::new(n);
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let a: usize = parts.next()?.parse().ok()?;
+        let b: usize = parts.next()?.parse().ok()?;
+        let kind = parse_kind(parts.next().unwrap_or("random"))?;
+        if a >= n || b >= n || a == b {
+            return None;
+        }
+        g.add_edge(a, b, kind);
+    }
+    Some(g)
+}
+
+/// Parse the display form of a [`LinkKind`] (the inverse of its `Display`).
+fn parse_kind(s: &str) -> Option<LinkKind> {
+    Some(match s {
+        "ring" => LinkKind::Ring,
+        "grid" => LinkKind::Grid,
+        "up" => LinkKind::Up,
+        "extra" => LinkKind::Extra,
+        "skip" => LinkKind::Skip,
+        "cycle" => LinkKind::Cycle,
+        "shuffle" => LinkKind::Shuffle,
+        "long-range" => LinkKind::LongRange,
+        "random" => LinkKind::Random,
+        k if k.starts_with("shortcut(l=") => LinkKind::Shortcut {
+            level: k
+                .strip_prefix("shortcut(l=")?
+                .strip_suffix(')')?
+                .parse()
+                .ok()?,
+        },
+        k if k.starts_with("hypercube(bit=") => LinkKind::Hypercube {
+            bit: k
+                .strip_prefix("hypercube(bit=")?
+                .strip_suffix(')')?
+                .parse()
+                .ok()?,
+        },
+        k if k.starts_with("torus(d=") => {
+            let inner = k.strip_prefix("torus(d=")?.strip_suffix(')')?;
+            let (dim, wrap) = inner.split_once(",wrap=")?;
+            LinkKind::Torus {
+                dim: dim.parse().ok()?,
+                wrap: wrap.parse().ok()?,
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// A deterministic 64-bit fingerprint of the graph structure (FNV-1a over
+/// the edge list). Equal graphs -> equal fingerprints; used to pin the
+/// seeded RANDOM baselines in experiment logs.
+pub fn fingerprint(g: &Graph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(g.node_count() as u64);
+    for e in g.edges() {
+        eat(e.a as u64);
+        eat(e.b as u64);
+        // kind folded coarsely: discriminant-ish tag
+        eat(match e.kind {
+            LinkKind::Ring => 1,
+            LinkKind::Shortcut { level } => 100 + level as u64,
+            LinkKind::Up => 2,
+            LinkKind::Extra => 3,
+            LinkKind::Skip => 4,
+            LinkKind::Torus { dim, wrap } => 200 + 2 * dim as u64 + wrap as u64,
+            LinkKind::Grid => 5,
+            LinkKind::Random => 6,
+            LinkKind::LongRange => 7,
+            LinkKind::Hypercube { bit } => 300 + bit as u64,
+            LinkKind::Cycle => 8,
+            LinkKind::Shuffle => 9,
+        });
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsn::Dsn;
+    use crate::ring::Ring;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = Ring::new(5).unwrap().into_graph();
+        let dot = to_dot(&g, "ring5");
+        assert!(dot.starts_with("graph \"ring5\""));
+        assert_eq!(dot.matches(" -- ").count(), 5);
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = Dsn::new(64, 5).unwrap().into_graph();
+        let text = to_edge_list(&g);
+        let g2 = from_edge_list(&text).expect("parse");
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        assert_eq!(g.edges(), g2.edges());
+        assert_eq!(fingerprint(&g), fingerprint(&g2));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes() {
+        let a = Dsn::new(64, 5).unwrap().into_graph();
+        let b = Dsn::new(64, 4).unwrap().into_graph();
+        let c = Ring::new(64).unwrap().into_graph();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn malformed_edge_list_rejected() {
+        assert!(from_edge_list("garbage").is_none());
+        assert!(from_edge_list("# nodes=2\n0 5 ring\n").is_none());
+        assert!(from_edge_list("# nodes=2\n1 1 ring\n").is_none());
+        assert!(from_edge_list("# nodes=2\n0 1 flux-capacitor\n").is_none());
+    }
+
+    #[test]
+    fn parameterized_kinds_roundtrip() {
+        let g = crate::torus::Torus::new(&[4, 4]).unwrap().into_graph();
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g.edges(), back.edges());
+        let h = crate::classic::Hypercube::new(4).unwrap().into_graph();
+        let back = from_edge_list(&to_edge_list(&h)).unwrap();
+        assert_eq!(h.edges(), back.edges());
+    }
+}

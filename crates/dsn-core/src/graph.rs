@@ -1,0 +1,442 @@
+//! Compact undirected multigraph substrate used by every topology.
+//!
+//! Interconnection networks are sparse (degree 3–6 here), so we store an
+//! explicit edge list plus a per-node adjacency vector of `(neighbor, edge)`
+//! pairs. Parallel edges are allowed on purpose: the DSN-E extension adds a
+//! second physical "Up"/"Extra" link alongside an existing ring link, and the
+//! two must remain distinct channels for deadlock analysis.
+
+use std::fmt;
+
+/// Index of a node (switch) in a topology. Nodes are always `0..n`.
+pub type NodeId = usize;
+
+/// Index into [`Graph::edges`].
+pub type EdgeId = usize;
+
+/// Role of a physical link. The routing crates dispatch on this, and the
+/// layout crate uses it to report per-class cable statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkKind {
+    /// Local ring link between consecutive node IDs (`pred`/`succ`).
+    Ring,
+    /// A DSN/DLN distance-halving shortcut created for the given level
+    /// (`1`-based; a level-`l` shortcut spans at least `ceil(n / 2^l)`).
+    Shortcut {
+        /// Level of the node that owns the shortcut.
+        level: u32,
+    },
+    /// DSN-E dedicated uphill link (parallel to a ring link, used only by
+    /// the PRE-WORK phase of deadlock-free routing).
+    Up,
+    /// DSN-E extra link near node 0 breaking the FINISH-phase ring cycle.
+    Extra,
+    /// DSN-D-x short skip link added inside super nodes.
+    Skip,
+    /// Torus / mesh link along the given dimension.
+    Torus {
+        /// Dimension index (0-based).
+        dim: u8,
+        /// True when this is the wrap-around link of that dimension.
+        wrap: bool,
+    },
+    /// Base grid link of a Kleinberg small-world lattice.
+    Grid,
+    /// Uniform-random shortcut (DLN-x-y, random regular graphs).
+    Random,
+    /// Kleinberg long-range contact (distance-biased random).
+    LongRange,
+    /// Hypercube link flipping the given bit.
+    Hypercube {
+        /// Bit position flipped by this link.
+        bit: u8,
+    },
+    /// Local cycle link of a cube-connected-cycles node group.
+    Cycle,
+    /// Shuffle link of a de Bruijn graph.
+    Shuffle,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::Ring => write!(f, "ring"),
+            LinkKind::Shortcut { level } => write!(f, "shortcut(l={level})"),
+            LinkKind::Up => write!(f, "up"),
+            LinkKind::Extra => write!(f, "extra"),
+            LinkKind::Skip => write!(f, "skip"),
+            LinkKind::Torus { dim, wrap } => write!(f, "torus(d={dim},wrap={wrap})"),
+            LinkKind::Grid => write!(f, "grid"),
+            LinkKind::Random => write!(f, "random"),
+            LinkKind::LongRange => write!(f, "long-range"),
+            LinkKind::Hypercube { bit } => write!(f, "hypercube(bit={bit})"),
+            LinkKind::Cycle => write!(f, "cycle"),
+            LinkKind::Shuffle => write!(f, "shuffle"),
+        }
+    }
+}
+
+/// An undirected physical link between two switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Link role, used by routing and layout analyses.
+    pub kind: LinkKind,
+}
+
+impl Edge {
+    /// The endpoint of this edge that is not `from`.
+    ///
+    /// # Panics
+    /// Panics if `from` is not an endpoint of the edge.
+    #[inline]
+    pub fn other(&self, from: NodeId) -> NodeId {
+        if from == self.a {
+            self.b
+        } else {
+            debug_assert_eq!(from, self.b, "node {from} is not an endpoint");
+            self.a
+        }
+    }
+}
+
+/// Undirected multigraph with typed edges.
+///
+/// Construction is append-only; analyses treat the graph as immutable.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// `adj[v]` lists `(neighbor, edge_id)` pairs in insertion order.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Create an empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges (parallel edges counted individually).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edge by id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id]
+    }
+
+    /// Add an undirected edge. Parallel edges and distinct kinds are allowed;
+    /// self-loops are rejected because no interconnect wires a switch port to
+    /// itself.
+    ///
+    /// # Panics
+    /// Panics on a self-loop or an out-of-range endpoint.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, kind: LinkKind) -> EdgeId {
+        assert!(a != b, "self-loop {a}->{b} rejected");
+        assert!(a < self.n && b < self.n, "endpoint out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { a, b, kind });
+        self.adj[a].push((b, id));
+        self.adj[b].push((a, id));
+        id
+    }
+
+    /// Add the edge only if no edge (of any kind) already joins `a` and `b`.
+    /// Returns the id of the new edge, or `None` if a parallel edge existed.
+    pub fn add_edge_dedup(&mut self, a: NodeId, b: NodeId, kind: LinkKind) -> Option<EdgeId> {
+        if self.has_edge(a, b) {
+            None
+        } else {
+            Some(self.add_edge(a, b, kind))
+        }
+    }
+
+    /// Whether any edge joins `a` and `b`.
+    #[inline]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        let (probe, other) = if self.adj[a].len() <= self.adj[b].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[probe].iter().any(|&(v, _)| v == other)
+    }
+
+    /// Degree of `v` (parallel edges each count once).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Neighbors of `v` with the connecting edge id, in insertion order.
+    /// A neighbor reachable over two parallel links appears twice.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// Neighbor node ids only.
+    #[inline]
+    pub fn neighbor_ids(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v].iter().map(|&(u, _)| u)
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Average degree, `2 * |E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Histogram of node degrees: `hist[d]` = number of nodes with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_degree() + 1];
+        for a in &self.adj {
+            hist[a.len()] += 1;
+        }
+        hist
+    }
+
+    /// Number of edges of each kind, sorted by kind for deterministic output.
+    pub fn edge_kind_counts(&self) -> Vec<(LinkKind, usize)> {
+        let mut counts: Vec<(LinkKind, usize)> = Vec::new();
+        for e in &self.edges {
+            match counts.iter_mut().find(|(k, _)| *k == e.kind) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((e.kind, 1)),
+            }
+        }
+        counts.sort_by_key(|a| a.0);
+        counts
+    }
+
+    /// True if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for (u, _) in self.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// A copy of the graph with the given edges removed (fault injection).
+    /// Edge ids are re-assigned densely in the surviving insertion order.
+    pub fn without_edges(&self, failed: &[EdgeId]) -> Graph {
+        let mut dead = vec![false; self.edges.len()];
+        for &e in failed {
+            assert!(e < self.edges.len(), "edge {e} out of range");
+            dead[e] = true;
+        }
+        let mut g = Graph::new(self.n);
+        for (i, e) in self.edges.iter().enumerate() {
+            if !dead[i] {
+                g.add_edge(e.a, e.b, e.kind);
+            }
+        }
+        g
+    }
+
+    /// The set of directed channels: each undirected edge yields two, one per
+    /// direction. Channel `2*e` goes `a -> b`; channel `2*e + 1` goes
+    /// `b -> a`. Simulators and CDG analysis use this numbering.
+    #[inline]
+    pub fn channel_count(&self) -> usize {
+        self.edges.len() * 2
+    }
+
+    /// Directed channel id for traversing `edge` out of node `from`.
+    #[inline]
+    pub fn channel_id(&self, edge: EdgeId, from: NodeId) -> usize {
+        let e = &self.edges[edge];
+        if from == e.a {
+            2 * edge
+        } else {
+            debug_assert_eq!(from, e.b);
+            2 * edge + 1
+        }
+    }
+
+    /// `(source, destination)` endpoints of a directed channel id.
+    #[inline]
+    pub fn channel_endpoints(&self, channel: usize) -> (NodeId, NodeId) {
+        let e = &self.edges[channel / 2];
+        if channel.is_multiple_of(2) {
+            (e.a, e.b)
+        } else {
+            (e.b, e.a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, LinkKind::Ring);
+        g.add_edge(1, 2, LinkKind::Ring);
+        g.add_edge(2, 0, LinkKind::Ring);
+        g
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_listed_once_per_edge() {
+        let mut g = triangle();
+        // add a parallel edge: neighbor 1 now appears twice from node 0
+        g.add_edge(0, 1, LinkKind::Up);
+        let nbrs: Vec<NodeId> = g.neighbor_ids(0).collect();
+        assert_eq!(nbrs.iter().filter(|&&v| v == 1).count(), 2);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn dedup_rejects_parallel() {
+        let mut g = triangle();
+        assert!(g.add_edge_dedup(0, 1, LinkKind::Random).is_none());
+        assert!(g.add_edge_dedup(0, 1, LinkKind::Ring).is_none());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1, LinkKind::Ring);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, LinkKind::Ring);
+        g.add_edge(2, 3, LinkKind::Ring);
+        assert!(!g.is_connected());
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn channels_are_paired() {
+        let g = triangle();
+        assert_eq!(g.channel_count(), 6);
+        for e in 0..g.edge_count() {
+            let Edge { a, b, .. } = *g.edge(e);
+            let ab = g.channel_id(e, a);
+            let ba = g.channel_id(e, b);
+            assert_eq!(ab ^ 1, ba);
+            assert_eq!(g.channel_endpoints(ab), (a, b));
+            assert_eq!(g.channel_endpoints(ba), (b, a));
+        }
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(0);
+        assert_eq!(e.other(0), 1);
+        assert_eq!(e.other(1), 0);
+    }
+
+    #[test]
+    fn degree_histogram_shape() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, LinkKind::Ring);
+        g.add_edge(1, 2, LinkKind::Ring);
+        // degrees: 1, 2, 1, 0
+        assert_eq!(g.degree_histogram(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn without_edges_removes_and_renumbers() {
+        let g = triangle();
+        let g2 = g.without_edges(&[1]);
+        assert_eq!(g2.edge_count(), 2);
+        assert_eq!(g2.node_count(), 3);
+        assert!(g2.has_edge(0, 1));
+        assert!(!g2.has_edge(1, 2));
+        assert!(g2.has_edge(2, 0));
+        // original untouched
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn without_edges_empty_list_copies() {
+        let g = triangle();
+        let g2 = g.without_edges(&[]);
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn without_edges_checks_ids() {
+        triangle().without_edges(&[99]);
+    }
+
+    #[test]
+    fn kind_counts() {
+        let mut g = triangle();
+        g.add_edge(0, 1, LinkKind::Up);
+        let counts = g.edge_kind_counts();
+        assert!(counts.contains(&(LinkKind::Ring, 3)));
+        assert!(counts.contains(&(LinkKind::Up, 1)));
+    }
+}

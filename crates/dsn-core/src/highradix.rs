@@ -1,0 +1,306 @@
+//! High-radix topologies: **Flattened Butterfly** (Kim/Dally/Abts, ISCA
+//! 2007 — the paper's ref. \[22\], source of its cable cost model) and
+//! **Dragonfly** (Kim/Dally/Scott/Abts, ISCA 2008 — ref. \[4\]).
+//!
+//! The paper positions DSN in the *low-radix* regime and cites these as
+//! the high-radix alternatives; having them lets the examples reproduce
+//! the low-vs-high-radix trade-off the introduction discusses (fewer hops
+//! per packet vs many more, longer cables per switch).
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind};
+
+/// k-ary n-flat flattened butterfly: `k^(n-1)` routers; in every dimension
+/// the `k` routers that differ only in that dimension form a clique.
+/// Router degree is `(k - 1) * (n - 1)`.
+#[derive(Debug, Clone)]
+pub struct FlattenedButterfly {
+    k: usize,
+    nflat: u32,
+    graph: Graph,
+}
+
+impl FlattenedButterfly {
+    /// Build a k-ary n-flat. Requires `k >= 2`, `n >= 2`, and at most
+    /// `2^22` routers.
+    pub fn new(k: usize, n: u32) -> Result<Self> {
+        if k < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "k",
+                constraint: "k >= 2".into(),
+                value: k.to_string(),
+            });
+        }
+        if n < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "n",
+                constraint: "n >= 2".into(),
+                value: n.to_string(),
+            });
+        }
+        let dims = (n - 1) as usize;
+        let routers = k
+            .checked_pow(dims as u32)
+            .filter(|&r| r <= 1 << 22)
+            .ok_or(TopologyError::UnsupportedSize {
+                n: 0,
+                requirement: "k^(n-1) <= 2^22".into(),
+            })?;
+
+        let mut graph = Graph::new(routers);
+        // For each dimension, connect all pairs differing only there.
+        let mut stride = 1usize;
+        for _d in 0..dims {
+            for base in 0..routers {
+                let digit = (base / stride) % k;
+                // Connect to higher digits only (each pair once).
+                for other in digit + 1..k {
+                    let peer = base + (other - digit) * stride;
+                    graph.add_edge(base, peer, LinkKind::Shuffle);
+                }
+            }
+            stride *= k;
+        }
+        Ok(FlattenedButterfly { k, nflat: n, graph })
+    }
+
+    /// Radix parameter `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `n` of "k-ary n-flat" (dimensions + 1).
+    #[inline]
+    pub fn nflat(&self) -> u32 {
+        self.nflat
+    }
+
+    /// Number of routers, `k^(n-1)`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// Canonical (balanced) dragonfly: groups of `a` routers, each group a
+/// clique; every router owns `h` global links; `g = a*h + 1` groups, each
+/// ordered group pair joined by exactly one global link ("absolute"
+/// arrangement). Router degree is `(a - 1) + h`.
+#[derive(Debug, Clone)]
+pub struct Dragonfly {
+    a: usize,
+    h: usize,
+    groups: usize,
+    graph: Graph,
+}
+
+impl Dragonfly {
+    /// Build a balanced dragonfly from `a` (routers per group) and `h`
+    /// (global links per router). Requires `a >= 2`, `h >= 1`, and at most
+    /// `2^22` routers.
+    pub fn new(a: usize, h: usize) -> Result<Self> {
+        if a < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "a",
+                constraint: "a >= 2".into(),
+                value: a.to_string(),
+            });
+        }
+        if h < 1 {
+            return Err(TopologyError::InvalidParameter {
+                name: "h",
+                constraint: "h >= 1".into(),
+                value: h.to_string(),
+            });
+        }
+        let groups = a * h + 1;
+        let routers = groups
+            .checked_mul(a)
+            .filter(|&r| r <= 1 << 22)
+            .ok_or(TopologyError::UnsupportedSize {
+                n: 0,
+                requirement: "(a*h + 1) * a <= 2^22".into(),
+            })?;
+
+        let mut graph = Graph::new(routers);
+        // Intra-group cliques.
+        for g in 0..groups {
+            for i in 0..a {
+                for j in i + 1..a {
+                    graph.add_edge(g * a + i, g * a + j, LinkKind::Cycle);
+                }
+            }
+        }
+        // Global links, absolute arrangement: group pair (g1, g2), g1 < g2,
+        // is the (g2 - g1 - 1)-th outgoing "slot" of g1 and similar for g2.
+        // Each group has a*h outgoing slots; slot s belongs to router s / h.
+        for g1 in 0..groups {
+            for g2 in g1 + 1..groups {
+                let slot1 = g2 - g1 - 1; // 0 .. a*h-1
+                let slot2 = groups - 1 - (g2 - g1); // complementary slot at g2
+                let r1 = g1 * a + slot1 / h;
+                let r2 = g2 * a + slot2 / h;
+                graph.add_edge(r1, r2, LinkKind::LongRange);
+            }
+        }
+        Ok(Dragonfly {
+            a,
+            h,
+            groups,
+            graph,
+        })
+    }
+
+    /// Routers per group.
+    #[inline]
+    pub fn a(&self) -> usize {
+        self.a
+    }
+
+    /// Global links per router.
+    #[inline]
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Number of groups (`a*h + 1`).
+    #[inline]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Total router count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bfs_ecc(g: &Graph, s: usize) -> usize {
+        let mut dist = vec![usize::MAX; g.node_count()];
+        let mut q = std::collections::VecDeque::new();
+        dist[s] = 0;
+        q.push_back(s);
+        let mut ecc = 0;
+        while let Some(v) = q.pop_front() {
+            for u in g.neighbor_ids(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    ecc = ecc.max(dist[u]);
+                    q.push_back(u);
+                }
+            }
+        }
+        assert!(dist.iter().all(|&d| d != usize::MAX), "disconnected");
+        ecc
+    }
+
+    #[test]
+    fn fb_8ary_2flat_is_a_clique() {
+        // k-ary 2-flat = complete graph on k routers.
+        let fb = FlattenedButterfly::new(8, 2).unwrap();
+        assert_eq!(fb.n(), 8);
+        assert_eq!(fb.graph().edge_count(), 8 * 7 / 2);
+        assert_eq!(bfs_ecc(fb.graph(), 0), 1);
+    }
+
+    #[test]
+    fn fb_degree_and_diameter() {
+        // 4-ary 3-flat: 16 routers, degree (4-1)*2 = 6, diameter 2.
+        let fb = FlattenedButterfly::new(4, 3).unwrap();
+        assert_eq!(fb.n(), 16);
+        for v in 0..16 {
+            assert_eq!(fb.graph().degree(v), 6);
+        }
+        assert_eq!(bfs_ecc(fb.graph(), 0), 2);
+    }
+
+    #[test]
+    fn fb_paper_scale() {
+        // 8-ary 4-flat: 512 routers, degree 21, diameter 3.
+        let fb = FlattenedButterfly::new(8, 4).unwrap();
+        assert_eq!(fb.n(), 512);
+        assert_eq!(fb.graph().max_degree(), 21);
+        assert_eq!(bfs_ecc(fb.graph(), 0), 3);
+    }
+
+    #[test]
+    fn dragonfly_structure() {
+        // a = 4, h = 2: 9 groups of 4 = 36 routers, degree 3 + 2 = 5.
+        let df = Dragonfly::new(4, 2).unwrap();
+        assert_eq!(df.groups(), 9);
+        assert_eq!(df.n(), 36);
+        for v in 0..36 {
+            assert_eq!(df.graph().degree(v), 5, "v={v}");
+        }
+        assert!(df.graph().is_connected());
+        // Diameter <= 3 (local, global, local).
+        assert!(bfs_ecc(df.graph(), 0) <= 3);
+    }
+
+    #[test]
+    fn dragonfly_every_group_pair_linked_once() {
+        let df = Dragonfly::new(3, 1).unwrap(); // 4 groups of 3
+        let a = df.a();
+        let mut pairs = std::collections::HashSet::new();
+        for e in df.graph().edges() {
+            if e.kind == LinkKind::LongRange {
+                let (g1, g2) = (e.a / a, e.b / a);
+                assert_ne!(g1, g2);
+                assert!(pairs.insert((g1.min(g2), g1.max(g2))), "duplicate global");
+            }
+        }
+        assert_eq!(pairs.len(), 4 * 3 / 2);
+    }
+
+    #[test]
+    fn dragonfly_global_slots_balanced() {
+        // Every router carries exactly h global links.
+        let df = Dragonfly::new(4, 2).unwrap();
+        let mut counts = vec![0usize; df.n()];
+        for e in df.graph().edges() {
+            if e.kind == LinkKind::LongRange {
+                counts[e.a] += 1;
+                counts[e.b] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(FlattenedButterfly::new(1, 3).is_err());
+        assert!(FlattenedButterfly::new(4, 1).is_err());
+        assert!(Dragonfly::new(1, 2).is_err());
+        assert!(Dragonfly::new(4, 0).is_err());
+    }
+}

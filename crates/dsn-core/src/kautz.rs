@@ -1,0 +1,202 @@
+//! Kautz graphs K(d, n) — the shuffle-based family the paper's related
+//! work quotes as "Kautz has 11-and-4" (diameter-and-degree) near 3k
+//! vertices.
+//!
+//! Vertices are strings `s_0 s_1 ... s_n` over an alphabet of `d + 1`
+//! symbols with `s_i != s_{i+1}`; there are `(d+1) * d^n` of them. The
+//! directed edges shift the string left and append any symbol different
+//! from the last; we build the undirected version (degree at most `2d`).
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind};
+use crate::NodeId;
+
+/// Kautz graph K(d, n) on `(d+1) * d^n` vertices.
+#[derive(Debug, Clone)]
+pub struct Kautz {
+    d: usize,
+    len: u32,
+    graph: Graph,
+}
+
+impl Kautz {
+    /// Build K(d, n). Requires `d >= 2`, `n >= 1`, and at most `2^24`
+    /// vertices.
+    pub fn new(d: usize, n: u32) -> Result<Self> {
+        if d < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "d",
+                constraint: "d >= 2".into(),
+                value: d.to_string(),
+            });
+        }
+        if n < 1 {
+            return Err(TopologyError::InvalidParameter {
+                name: "n",
+                constraint: "n >= 1".into(),
+                value: n.to_string(),
+            });
+        }
+        let count = (d + 1)
+            .checked_mul(d.checked_pow(n).ok_or(TopologyError::UnsupportedSize {
+                n: 0,
+                requirement: "(d+1) * d^n within usize".into(),
+            })?)
+            .filter(|&c| c <= 1 << 24)
+            .ok_or(TopologyError::UnsupportedSize {
+                n: 0,
+                requirement: "(d+1) * d^n <= 2^24".into(),
+            })?;
+
+        let mut graph = Graph::new(count);
+        for v in 0..count {
+            let word = Self::word_of(v, d, n);
+            // shift left, append any a != last symbol
+            for a in 0..=d {
+                if a == *word.last().unwrap() {
+                    continue;
+                }
+                let mut next = word[1..].to_vec();
+                next.push(a);
+                let u = Self::id_of(&next, d);
+                if u != v {
+                    graph.add_edge_dedup(v.min(u), v.max(u), LinkKind::Shuffle);
+                }
+            }
+        }
+        Ok(Kautz { d, len: n, graph })
+    }
+
+    /// Decode vertex `v` into its symbol word of length `n + 1`.
+    fn word_of(v: NodeId, d: usize, n: u32) -> Vec<usize> {
+        // v = s0 * d^n + sum_{i=1..n} c_i * d^(n-i), where c_i in 0..d
+        // encodes s_i relative to s_{i-1} (skipping equality).
+        let mut rest = v;
+        let mut pow = d.pow(n);
+        let s0 = rest / pow;
+        rest %= pow;
+        let mut word = vec![s0];
+        for _ in 0..n {
+            pow /= d;
+            let c = rest / pow;
+            rest %= pow;
+            let prev = *word.last().unwrap();
+            let s = if c < prev { c } else { c + 1 };
+            word.push(s);
+        }
+        word
+    }
+
+    /// Inverse of [`Self::word_of`].
+    fn id_of(word: &[usize], d: usize) -> NodeId {
+        let mut v = word[0];
+        for i in 1..word.len() {
+            let prev = word[i - 1];
+            let s = word[i];
+            debug_assert_ne!(prev, s, "Kautz words never repeat symbols");
+            let c = if s < prev { s } else { s - 1 };
+            v = v * d + c;
+        }
+        v
+    }
+
+    /// Alphabet parameter `d` (directed out-degree).
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Word length parameter `n` (= directed diameter).
+    #[inline]
+    pub fn word_len(&self) -> u32 {
+        self.len
+    }
+
+    /// Number of vertices, `(d+1) * d^n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bfs_ecc(g: &Graph, s: usize) -> usize {
+        let mut dist = vec![usize::MAX; g.node_count()];
+        let mut q = std::collections::VecDeque::new();
+        dist[s] = 0;
+        q.push_back(s);
+        let mut ecc = 0;
+        while let Some(v) = q.pop_front() {
+            for u in g.neighbor_ids(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    ecc = ecc.max(dist[u]);
+                    q.push_back(u);
+                }
+            }
+        }
+        assert!(dist.iter().all(|&d| d != usize::MAX), "disconnected");
+        ecc
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let (d, n) = (3usize, 4u32);
+        let count = (d + 1) * d.pow(n);
+        for v in (0..count).step_by(7) {
+            let w = Kautz::word_of(v, d, n);
+            assert_eq!(w.len(), n as usize + 1);
+            for pair in w.windows(2) {
+                assert_ne!(pair[0], pair[1]);
+            }
+            assert_eq!(Kautz::id_of(&w, d), v);
+        }
+    }
+
+    #[test]
+    fn sizes_and_degree() {
+        let k = Kautz::new(2, 3).unwrap();
+        assert_eq!(k.n(), 3 * 8); // (d+1) d^n = 3 * 2^3
+        assert!(k.graph().max_degree() <= 4); // 2d
+        assert!(k.graph().is_connected());
+    }
+
+    #[test]
+    fn diameter_is_logarithmic() {
+        // Directed Kautz on words of length n + 1 has diameter n + 1
+        // (shift in the whole target word); undirected <= n + 1.
+        let k = Kautz::new(3, 4).unwrap(); // 4 * 81 = 324 vertices
+        assert!(bfs_ecc(k.graph(), 0) <= 5);
+    }
+
+    #[test]
+    fn paper_scale_instance() {
+        // Near the paper's 3k-vertex examples: K(4, 4) = 5 * 256 = 1280,
+        // K(4, 5) = 5 * 1024 = 5120; check the smaller one fully.
+        let k = Kautz::new(4, 4).unwrap();
+        assert_eq!(k.n(), 1280);
+        assert!(k.graph().max_degree() <= 8);
+        assert!(bfs_ecc(k.graph(), 0) <= 5);
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(Kautz::new(1, 3).is_err());
+        assert!(Kautz::new(2, 0).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Kleinberg's small-world lattice (STOC 2000), one of the models that
+//! motivated the DSN design (Section II of the paper).
+//!
+//! A `side x side` base grid is augmented with `q` long-range contacts per
+//! node, drawn with probability proportional to `d(u, v)^(-alpha)` where `d`
+//! is the lattice (Manhattan) distance. `alpha = 2` is Kleinberg's
+//! navigable exponent on a 2-D lattice.
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind, NodeId};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Kleinberg small-world grid.
+#[derive(Debug, Clone)]
+pub struct Kleinberg {
+    side: usize,
+    q: u32,
+    alpha: f64,
+    seed: u64,
+    graph: Graph,
+}
+
+impl Kleinberg {
+    /// Build a `side x side` Kleinberg grid with `q` long-range contacts per
+    /// node and clustering exponent `alpha` (use `2.0` for the navigable
+    /// regime). Long-range links are undirected; duplicates are skipped so
+    /// realized degree may occasionally be below `4 + 2q`.
+    pub fn new(side: usize, q: u32, alpha: f64, seed: u64) -> Result<Self> {
+        if side < 2 {
+            return Err(TopologyError::UnsupportedSize {
+                n: side,
+                requirement: "side >= 2".into(),
+            });
+        }
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(TopologyError::InvalidParameter {
+                name: "alpha",
+                constraint: "finite and >= 0".into(),
+                value: alpha.to_string(),
+            });
+        }
+        let n = side * side;
+        let mut graph = Graph::new(n);
+        // Base grid links (no wrap; Kleinberg's model is a lattice).
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    graph.add_edge(v, v + 1, LinkKind::Grid);
+                }
+                if r + 1 < side {
+                    graph.add_edge(v, v + side, LinkKind::Grid);
+                }
+            }
+        }
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let manhattan = |a: NodeId, b: NodeId| -> usize {
+            let (ra, ca) = (a / side, a % side);
+            let (rb, cb) = (b / side, b % side);
+            ra.abs_diff(rb) + ca.abs_diff(cb)
+        };
+
+        for u in 0..n {
+            // Weights over all other nodes: d^-alpha.
+            let weights: Vec<f64> = (0..n)
+                .map(|v| {
+                    if v == u {
+                        0.0
+                    } else {
+                        (manhattan(u, v) as f64).powf(-alpha)
+                    }
+                })
+                .collect();
+            let dist = WeightedIndex::new(&weights).map_err(|e| {
+                TopologyError::ConstructionFailed(format!("weighted sampling: {e}"))
+            })?;
+            for _ in 0..q {
+                // Resample when the drawn contact already shares a link with
+                // `u` (common under alpha = 2, which prefers lattice
+                // neighbors), so nodes realize their q contacts whenever the
+                // neighborhood is not saturated.
+                const RESAMPLE: usize = 16;
+                for _ in 0..RESAMPLE {
+                    let v = dist.sample(&mut rng);
+                    if graph.add_edge_dedup(u, v, LinkKind::LongRange).is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        Ok(Kleinberg {
+            side,
+            q,
+            alpha,
+            seed,
+            graph,
+        })
+    }
+
+    /// Grid side length.
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Long-range contacts requested per node.
+    #[inline]
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+
+    /// Clustering exponent.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// RNG seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of nodes (`side^2`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Lattice (Manhattan) distance between two nodes.
+    pub fn lattice_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ra, ca) = (a / self.side, a % self.side);
+        let (rb, cb) = (b / self.side, b % self.side);
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_grid_structure() {
+        let k = Kleinberg::new(4, 0, 2.0, 1).unwrap();
+        let g = k.graph();
+        assert_eq!(k.n(), 16);
+        // 4x4 grid: 2 * 4 * 3 = 24 links
+        assert_eq!(g.edge_count(), 24);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn long_range_links_added() {
+        let k = Kleinberg::new(8, 1, 2.0, 5).unwrap();
+        let long: usize = k
+            .graph()
+            .edges()
+            .iter()
+            .filter(|e| e.kind == LinkKind::LongRange)
+            .count();
+        // 64 draws, some may dedup; expect the vast majority to land.
+        assert!(long > 48, "only {long} long-range links realized");
+    }
+
+    #[test]
+    fn reproducible_by_seed() {
+        let a = Kleinberg::new(6, 1, 2.0, 11).unwrap();
+        let b = Kleinberg::new(6, 1, 2.0, 11).unwrap();
+        assert_eq!(a.graph().edges(), b.graph().edges());
+    }
+
+    #[test]
+    fn distance_bias_prefers_nearby() {
+        // With alpha = 2 most contacts should be short; compare the mean
+        // lattice length of long-range links against the uniform expectation
+        // (~ 2/3 * side for a side x side grid).
+        let side = 16usize;
+        let k = Kleinberg::new(side, 1, 2.0, 23).unwrap();
+        let lens: Vec<usize> = k
+            .graph()
+            .edges()
+            .iter()
+            .filter(|e| e.kind == LinkKind::LongRange)
+            .map(|e| k.lattice_distance(e.a, e.b))
+            .collect();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        let uniform_mean = 2.0 / 3.0 * side as f64;
+        assert!(
+            mean < uniform_mean,
+            "mean long-range length {mean} not biased below uniform {uniform_mean}"
+        );
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Kleinberg::new(1, 1, 2.0, 0).is_err());
+        assert!(Kleinberg::new(4, 1, f64::NAN, 0).is_err());
+        assert!(Kleinberg::new(4, 1, -1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Fully random regular graphs (Jellyfish-style, NSDI 2012), cited by the
+//! paper as the other way random topologies are generated ("either as fully
+//! random graphs \[9\] or by adding random shortcuts to classical topologies").
+//!
+//! Construction is the classic stub-matching (configuration model) with
+//! rejection of self-loops and parallel edges, plus a local edge-swap repair
+//! pass, which converges quickly for the small degrees used here.
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A uniformly random `d`-regular graph on `n` nodes.
+#[derive(Debug, Clone)]
+pub struct RandomRegular {
+    d: u32,
+    seed: u64,
+    graph: Graph,
+}
+
+impl RandomRegular {
+    /// Build a random `d`-regular graph. Requires `n * d` even, `d < n`,
+    /// and `d >= 2` (for a chance at connectivity).
+    pub fn new(n: usize, d: u32, seed: u64) -> Result<Self> {
+        if !(n * d as usize).is_multiple_of(2) {
+            return Err(TopologyError::InvalidParameter {
+                name: "d",
+                constraint: "n * d must be even".into(),
+                value: format!("n = {n}, d = {d}"),
+            });
+        }
+        if d as usize >= n || d < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "d",
+                constraint: "2 <= d < n".into(),
+                value: d.to_string(),
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        const MAX_ATTEMPTS: usize = 200;
+        for _ in 0..MAX_ATTEMPTS {
+            if let Some(graph) = Self::try_build(n, d, &mut rng) {
+                if graph.is_connected() {
+                    return Ok(RandomRegular { d, seed, graph });
+                }
+            }
+        }
+        Err(TopologyError::ConstructionFailed(format!(
+            "no connected {d}-regular graph on {n} nodes after {MAX_ATTEMPTS} attempts"
+        )))
+    }
+
+    fn try_build(n: usize, d: u32, rng: &mut SmallRng) -> Option<Graph> {
+        // Stub matching.
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d as usize)).collect();
+        stubs.shuffle(rng);
+        let mut pairs: Vec<(NodeId, NodeId)> = stubs
+            .chunks_exact(2)
+            .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
+            .collect();
+
+        // Repair self-loops / duplicates by random swaps.
+        use std::collections::HashSet;
+        const MAX_SWAPS: usize = 10_000;
+        let mut swaps = 0usize;
+        loop {
+            let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(pairs.len());
+            let mut bad: Vec<usize> = Vec::new();
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                if a == b || !seen.insert((a, b)) {
+                    bad.push(i);
+                }
+            }
+            if bad.is_empty() {
+                break;
+            }
+            swaps += bad.len();
+            if swaps > MAX_SWAPS {
+                return None;
+            }
+            for i in bad {
+                // Swap one endpoint with a random other pair.
+                let j = rng.gen_range(0..pairs.len());
+                if i == j {
+                    continue;
+                }
+                let (a, b) = pairs[i];
+                let (c, d2) = pairs[j];
+                pairs[i] = (a.min(d2), a.max(d2));
+                pairs[j] = (c.min(b), c.max(b));
+            }
+        }
+
+        let mut graph = Graph::new(n);
+        for (a, b) in pairs {
+            graph.add_edge(a, b, LinkKind::Random);
+        }
+        Some(graph)
+    }
+
+    /// The degree `d`.
+    #[inline]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// RNG seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regularity() {
+        for &(n, d) in &[(16usize, 3u32), (64, 4), (100, 4), (128, 6)] {
+            let g = RandomRegular::new(n, d, 42).unwrap();
+            for v in 0..n {
+                assert_eq!(g.graph().degree(v), d as usize, "n={n} d={d} v={v}");
+            }
+            assert!(g.graph().is_connected());
+        }
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = RandomRegular::new(200, 4, 7).unwrap();
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for e in g.graph().edges() {
+            assert_ne!(e.a, e.b);
+            assert!(seen.insert((e.a.min(e.b), e.a.max(e.b))), "duplicate edge");
+        }
+    }
+
+    #[test]
+    fn reproducible_by_seed() {
+        let a = RandomRegular::new(64, 4, 3).unwrap();
+        let b = RandomRegular::new(64, 4, 3).unwrap();
+        assert_eq!(a.graph().edges(), b.graph().edges());
+    }
+
+    #[test]
+    fn odd_degree_odd_n_rejected() {
+        assert!(RandomRegular::new(15, 3, 0).is_err());
+        assert!(RandomRegular::new(8, 1, 0).is_err());
+        assert!(RandomRegular::new(4, 4, 0).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Plain ring topology — the degenerate base every loop network shares, and
+//! a useful worst-case baseline in the analyses.
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind};
+
+/// A ring of `n` nodes (degree 2, diameter `floor(n/2)`).
+#[derive(Debug, Clone)]
+pub struct Ring {
+    graph: Graph,
+}
+
+impl Ring {
+    /// Build a ring on `n >= 3` nodes.
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 3 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n >= 3".into(),
+            });
+        }
+        let mut graph = Graph::new(n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            graph.add_edge(i.min(j), i.max(j), LinkKind::Ring);
+        }
+        Ok(Ring { graph })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let r = Ring::new(10).unwrap();
+        assert_eq!(r.graph().edge_count(), 10);
+        for v in 0..10 {
+            assert_eq!(r.graph().degree(v), 2);
+        }
+        assert!(r.graph().is_connected());
+    }
+
+    #[test]
+    fn tiny_rejected() {
+        assert!(Ring::new(2).is_err());
+        assert!(Ring::new(3).is_ok());
+    }
+}

@@ -1,0 +1,213 @@
+//! (n, k)-star graphs — Akers/Krishnamurthy/Harel's "attractive alternative
+//! to the n-cube" cited in the paper's related work (ICPP 1987).
+//!
+//! Vertices are the `n! / (n-k)!` arrangements of `k` distinct symbols from
+//! `{1..n}`. Vertex `u` is adjacent to:
+//! * the arrangement obtained by swapping position 1 with position `i`
+//!   (`i = 2..k`) — *swap* edges;
+//! * the arrangement obtained by replacing the first symbol with any symbol
+//!   not present in `u` — *unused-symbol* edges.
+//!
+//! Every vertex has degree exactly `n - 1`. `S(n, n-1)` is the classic star
+//! graph.
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind};
+use std::collections::HashMap;
+
+/// The (n, k)-star graph.
+#[derive(Debug, Clone)]
+pub struct StarGraph {
+    sym: usize,
+    k: usize,
+    graph: Graph,
+    /// Vertex id -> arrangement.
+    arrangements: Vec<Vec<u8>>,
+}
+
+impl StarGraph {
+    /// Build S(n, k). Requires `2 <= k < n <= 12` and at most `2^22`
+    /// vertices.
+    pub fn new(n: usize, k: usize) -> Result<Self> {
+        if n > 12 || k < 2 || k >= n {
+            return Err(TopologyError::InvalidParameter {
+                name: "(n, k)",
+                constraint: "2 <= k < n <= 12".into(),
+                value: format!("({n}, {k})"),
+            });
+        }
+        let count: usize = ((n - k + 1)..=n).product();
+        if count > 1 << 22 {
+            return Err(TopologyError::UnsupportedSize {
+                n: count,
+                requirement: "n!/(n-k)! <= 2^22".into(),
+            });
+        }
+
+        // Enumerate arrangements in lexicographic order.
+        let mut arrangements = Vec::with_capacity(count);
+        let mut cur: Vec<u8> = Vec::with_capacity(k);
+        let mut used = vec![false; n + 1];
+        fn rec(
+            n: usize,
+            k: usize,
+            cur: &mut Vec<u8>,
+            used: &mut [bool],
+            out: &mut Vec<Vec<u8>>,
+        ) {
+            if cur.len() == k {
+                out.push(cur.clone());
+                return;
+            }
+            for s in 1..=n {
+                if !used[s] {
+                    used[s] = true;
+                    cur.push(s as u8);
+                    rec(n, k, cur, used, out);
+                    cur.pop();
+                    used[s] = false;
+                }
+            }
+        }
+        rec(n, k, &mut cur, &mut used, &mut arrangements);
+        debug_assert_eq!(arrangements.len(), count);
+
+        let index: HashMap<Vec<u8>, usize> = arrangements
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, a)| (a, i))
+            .collect();
+
+        let mut graph = Graph::new(count);
+        for (v, arr) in arrangements.iter().enumerate() {
+            // swap edges
+            for i in 1..k {
+                let mut next = arr.clone();
+                next.swap(0, i);
+                let u = index[&next];
+                if v < u {
+                    graph.add_edge(v, u, LinkKind::Shuffle);
+                }
+            }
+            // unused-symbol edges
+            let present: Vec<bool> = {
+                let mut p = vec![false; n + 1];
+                for &s in arr {
+                    p[s as usize] = true;
+                }
+                p
+            };
+            #[allow(clippy::needless_range_loop)] // s is a symbol, 1-based
+            for s in 1..=n {
+                if !present[s] {
+                    let mut next = arr.clone();
+                    next[0] = s as u8;
+                    let u = index[&next];
+                    if v < u {
+                        graph.add_edge(v, u, LinkKind::Random);
+                    }
+                }
+            }
+        }
+
+        Ok(StarGraph {
+            sym: n,
+            k,
+            graph,
+            arrangements,
+        })
+    }
+
+    /// Symbol-set size `n` (degree is `n - 1`).
+    #[inline]
+    pub fn symbols(&self) -> usize {
+        self.sym
+    }
+
+    /// Arrangement length `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices, `n! / (n-k)!`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The arrangement labeling vertex `v`.
+    #[inline]
+    pub fn arrangement(&self, v: usize) -> &[u8] {
+        &self.arrangements[v]
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s43_shape() {
+        // S(4,3): 4!/1! = 24 vertices, degree 3.
+        let s = StarGraph::new(4, 3).unwrap();
+        assert_eq!(s.n(), 24);
+        for v in 0..24 {
+            assert_eq!(s.graph().degree(v), 3, "v={v}");
+        }
+        assert!(s.graph().is_connected());
+    }
+
+    #[test]
+    fn snk_degree_is_n_minus_1() {
+        for (n, k) in [(5usize, 2usize), (5, 3), (6, 3)] {
+            let s = StarGraph::new(n, k).unwrap();
+            for v in 0..s.n() {
+                assert_eq!(s.graph().degree(v), n - 1, "S({n},{k}) v={v}");
+            }
+            assert!(s.graph().is_connected());
+        }
+    }
+
+    #[test]
+    fn arrangements_are_distinct_symbols() {
+        let s = StarGraph::new(6, 3).unwrap();
+        for v in 0..s.n() {
+            let a = s.arrangement(v);
+            assert_eq!(a.len(), 3);
+            let mut sorted = a.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate symbol in {a:?}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_instance() {
+        // Near the paper's ~3k examples: S(7,4) = 7!/3! = 840;
+        // S(8,4) = 8!/4! = 1680.
+        let s = StarGraph::new(8, 4).unwrap();
+        assert_eq!(s.n(), 1680);
+        assert_eq!(s.graph().max_degree(), 7);
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(StarGraph::new(4, 4).is_err());
+        assert!(StarGraph::new(13, 3).is_err());
+        assert!(StarGraph::new(4, 1).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! k-ary n-dimensional torus and mesh topologies (the paper's primary
+//! non-random baseline, Section VI).
+//!
+//! The paper compares DSN against a same-degree 2-D torus; we also provide
+//! 3-D tori (for the degree-6 comparison mentioned in Section VI.B) and
+//! meshes, all as special cases of a general mixed-radix torus.
+
+use crate::error::{Result, TopologyError};
+use crate::graph::{Graph, LinkKind, NodeId};
+
+/// A mixed-radix torus (or mesh) with the given per-dimension radices.
+#[derive(Debug, Clone)]
+pub struct Torus {
+    radices: Vec<usize>,
+    wrap: bool,
+    graph: Graph,
+}
+
+impl Torus {
+    /// Build a torus with wrap-around links in every dimension.
+    ///
+    /// Every radix must be at least 2. A radix-2 dimension contributes a
+    /// single link (the "wrap" would be a parallel edge and is omitted).
+    pub fn new(radices: &[usize]) -> Result<Self> {
+        Self::build(radices, true)
+    }
+
+    /// Build a mesh (no wrap-around links).
+    pub fn mesh(radices: &[usize]) -> Result<Self> {
+        Self::build(radices, false)
+    }
+
+    /// Build the most-square 2-D torus with exactly `n` nodes when `n` is a
+    /// power of two (radices `2^ceil(k/2) x 2^floor(k/2)`), or the most
+    /// square factorization otherwise.
+    pub fn square_2d(n: usize) -> Result<Self> {
+        if n < 4 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n >= 4 for a 2-D torus".into(),
+            });
+        }
+        // Most-square factorization: largest divisor <= sqrt(n).
+        let mut a = (n as f64).sqrt() as usize;
+        while a > 1 && !n.is_multiple_of(a) {
+            a -= 1;
+        }
+        let b = n / a;
+        if a < 2 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n must have a divisor in [2, sqrt(n)] for a 2-D torus".into(),
+            });
+        }
+        Self::new(&[a, b])
+    }
+
+    /// Build the most-cubic 3-D torus with exactly `n` nodes.
+    pub fn cube_3d(n: usize) -> Result<Self> {
+        if n < 8 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n >= 8 for a 3-D torus".into(),
+            });
+        }
+        // Find the factorization a*b*c = n minimizing max/min ratio, with
+        // a <= b <= c and a, b >= 2.
+        let mut best: Option<(usize, usize, usize)> = None;
+        let mut a = 2usize;
+        while a * a * a <= n {
+            if n.is_multiple_of(a) {
+                let m = n / a;
+                let mut b = a;
+                while b * b <= m {
+                    if m.is_multiple_of(b) {
+                        let c = m / b;
+                        let cand = (a, b, c);
+                        best = match best {
+                            None => Some(cand),
+                            Some(prev) => {
+                                if (cand.2 as f64 / cand.0 as f64) < (prev.2 as f64 / prev.0 as f64)
+                                {
+                                    Some(cand)
+                                } else {
+                                    Some(prev)
+                                }
+                            }
+                        };
+                    }
+                    b += 1;
+                }
+            }
+            a += 1;
+        }
+        let (a, b, c) = best.ok_or_else(|| TopologyError::UnsupportedSize {
+            n,
+            requirement: "n must factor as a*b*c with a,b >= 2".into(),
+        })?;
+        Self::new(&[a, b, c])
+    }
+
+    fn build(radices: &[usize], wrap: bool) -> Result<Self> {
+        if radices.is_empty() {
+            return Err(TopologyError::InvalidParameter {
+                name: "radices",
+                constraint: "at least one dimension".into(),
+                value: "[]".into(),
+            });
+        }
+        if radices.len() > u8::MAX as usize {
+            return Err(TopologyError::InvalidParameter {
+                name: "radices",
+                constraint: "at most 255 dimensions".into(),
+                value: radices.len().to_string(),
+            });
+        }
+        for (d, &k) in radices.iter().enumerate() {
+            if k < 2 {
+                return Err(TopologyError::InvalidParameter {
+                    name: "radices",
+                    constraint: "every radix >= 2".into(),
+                    value: format!("radices[{d}] = {k}"),
+                });
+            }
+        }
+        let n: usize = radices.iter().product();
+        let mut graph = Graph::new(n);
+        let mut coord = vec![0usize; radices.len()];
+        for v in 0..n {
+            Self::coords_of(v, radices, &mut coord);
+            for (d, &k) in radices.iter().enumerate() {
+                let c = coord[d];
+                // +1 neighbor (internal link), owned by the lower coordinate.
+                if c + 1 < k {
+                    coord[d] = c + 1;
+                    let u = Self::id_of(&coord, radices);
+                    coord[d] = c;
+                    graph.add_edge(v, u, LinkKind::Torus { dim: d as u8, wrap: false });
+                } else if wrap && k > 2 {
+                    // wrap link k-1 -> 0, owned by the highest coordinate;
+                    // for k == 2 the wrap would duplicate the internal link.
+                    coord[d] = 0;
+                    let u = Self::id_of(&coord, radices);
+                    coord[d] = c;
+                    graph.add_edge(u, v, LinkKind::Torus { dim: d as u8, wrap: true });
+                }
+            }
+        }
+        Ok(Torus {
+            radices: radices.to_vec(),
+            wrap,
+            graph,
+        })
+    }
+
+    /// Per-dimension radices.
+    #[inline]
+    pub fn radices(&self) -> &[usize] {
+        &self.radices
+    }
+
+    /// Whether wrap-around links are present.
+    #[inline]
+    pub fn is_torus(&self) -> bool {
+        self.wrap
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying physical graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume self and return the physical graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Coordinates of node `v` (row-major: last dimension varies fastest).
+    pub fn coords(&self, v: NodeId) -> Vec<usize> {
+        let mut c = vec![0; self.radices.len()];
+        Self::coords_of(v, &self.radices, &mut c);
+        c
+    }
+
+    /// Node id for the given coordinates.
+    pub fn node_at(&self, coords: &[usize]) -> NodeId {
+        Self::id_of(coords, &self.radices)
+    }
+
+    fn coords_of(v: NodeId, radices: &[usize], out: &mut [usize]) {
+        let mut rest = v;
+        for d in (0..radices.len()).rev() {
+            out[d] = rest % radices[d];
+            rest /= radices[d];
+        }
+    }
+
+    fn id_of(coords: &[usize], radices: &[usize]) -> NodeId {
+        let mut v = 0usize;
+        for (c, k) in coords.iter().zip(radices) {
+            v = v * k + c;
+        }
+        v
+    }
+
+    /// Torus (wrap-aware) hop distance between two nodes — the graph
+    /// distance, usable as an oracle in tests.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        ca.iter()
+            .zip(&cb)
+            .zip(&self.radices)
+            .map(|((&x, &y), &k)| {
+                let d = x.abs_diff(y);
+                if self.wrap {
+                    d.min(k - d)
+                } else {
+                    d
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_4x4_is_4_regular() {
+        let t = Torus::new(&[4, 4]).unwrap();
+        assert_eq!(t.n(), 16);
+        let g = t.graph();
+        assert_eq!(g.edge_count(), 32);
+        for v in 0..16 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn radix_2_dimension_has_no_parallel_wrap() {
+        let t = Torus::new(&[2, 4]).unwrap();
+        let g = t.graph();
+        // 2x4: dim-0 contributes 4 links (one per column), dim-1 contributes
+        // 2 rows * 4 links = 8. Total 12, max degree 4.
+        assert_eq!(g.edge_count(), 12);
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn mesh_has_no_wrap() {
+        let m = Torus::mesh(&[4, 4]).unwrap();
+        assert_eq!(m.graph().edge_count(), 24);
+        assert!(m
+            .graph()
+            .edges()
+            .iter()
+            .all(|e| matches!(e.kind, LinkKind::Torus { wrap: false, .. })));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus::new(&[3, 4, 5]).unwrap();
+        for v in 0..t.n() {
+            assert_eq!(t.node_at(&t.coords(v)), v);
+        }
+    }
+
+    #[test]
+    fn square_2d_powers_of_two() {
+        for k in 5..=11u32 {
+            let n = 1usize << k;
+            let t = Torus::square_2d(n).unwrap();
+            assert_eq!(t.n(), n);
+            let r = t.radices();
+            assert_eq!(r.len(), 2);
+            assert_eq!(r[0] * r[1], n);
+            // most-square: ratio at most 2 for powers of two
+            assert!(r[1] / r[0] <= 2);
+            assert!(t.graph().is_connected());
+        }
+    }
+
+    #[test]
+    fn cube_3d_balanced() {
+        let t = Torus::cube_3d(64).unwrap();
+        assert_eq!(t.radices(), &[4, 4, 4]);
+        let t = Torus::cube_3d(512).unwrap();
+        assert_eq!(t.radices(), &[8, 8, 8]);
+        for v in 0..512 {
+            assert_eq!(t.graph().degree(v), 6);
+        }
+    }
+
+    #[test]
+    fn hop_distance_is_graph_distance() {
+        let t = Torus::new(&[4, 8]).unwrap();
+        // node 0 = (0,0); node (3,7) wraps to distance 1+1 = 2
+        let far = t.node_at(&[3, 7]);
+        assert_eq!(t.hop_distance(0, far), 2);
+        let mid = t.node_at(&[2, 4]);
+        assert_eq!(t.hop_distance(0, mid), 2 + 4);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Torus::new(&[]).is_err());
+        assert!(Torus::new(&[1, 4]).is_err());
+        assert!(Torus::square_2d(2).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Small numeric helpers shared by topology constructions.
+
+/// `ceil(log2(n))` for `n >= 1`. By the paper's convention `p = ceil(log2 n)`
+/// is the number of levels in a DSN and the size of a super node.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[inline]
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n > 0, "ceil_log2(0) is undefined");
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// `floor(log2(n))` for `n >= 1`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[inline]
+pub fn floor_log2(n: usize) -> u32 {
+    assert!(n > 0, "floor_log2(0) is undefined");
+    usize::BITS - 1 - n.leading_zeros()
+}
+
+/// Integer ceiling division `ceil(a / b)`.
+///
+/// # Panics
+/// Panics if `b == 0`.
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    assert!(b > 0, "division by zero");
+    a.div_ceil(b)
+}
+
+/// Clockwise distance from `a` to `b` on a ring of `n` nodes
+/// (the number of `succ` steps to walk from `a` to `b`).
+#[inline]
+pub fn cw_dist(a: usize, b: usize, n: usize) -> usize {
+    debug_assert!(a < n && b < n);
+    (b + n - a) % n
+}
+
+/// Ring (undirected) distance between `a` and `b` on a ring of `n` nodes.
+#[inline]
+pub fn ring_dist(a: usize, b: usize, n: usize) -> usize {
+    let d = cw_dist(a, b, n);
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn floor_log2_values() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(1023), 9);
+        assert_eq!(floor_log2(1024), 10);
+    }
+
+    #[test]
+    fn ceil_floor_agree_on_powers_of_two() {
+        for k in 0..20 {
+            let n = 1usize << k;
+            assert_eq!(ceil_log2(n), floor_log2(n));
+            assert_eq!(ceil_log2(n), k as u32);
+        }
+    }
+
+    #[test]
+    fn div_ceil_values() {
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(div_ceil(1, 1), 1);
+        assert_eq!(div_ceil(0, 5), 0);
+    }
+
+    #[test]
+    fn ring_distances() {
+        assert_eq!(cw_dist(2, 5, 8), 3);
+        assert_eq!(cw_dist(5, 2, 8), 5);
+        assert_eq!(ring_dist(5, 2, 8), 3);
+        assert_eq!(ring_dist(0, 4, 8), 4);
+        assert_eq!(cw_dist(3, 3, 8), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Machine-room cabinet floorplan (Section VI.B of the paper).
+//!
+//! Cabinets are aligned on a 2-D grid: with `m` cabinets there are
+//! `q = ceil(sqrt(m))` rows and `ceil(m / q)` cabinets per row. Each cabinet
+//! is 0.6 m wide and 2.1 m deep *including aisle space* (HP data-center
+//! recommendations, paper ref. \[21\]). Cable distance between cabinets is
+//! Manhattan distance between their grid positions.
+
+/// Grid floorplan of `m` cabinets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorPlan {
+    cabinets: usize,
+    rows: usize,
+    cols: usize,
+    cabinet_width_m: f64,
+    cabinet_depth_m: f64,
+}
+
+/// Cabinet width used by the paper (meters).
+pub const DEFAULT_CABINET_WIDTH_M: f64 = 0.6;
+/// Cabinet depth including aisle used by the paper (meters).
+pub const DEFAULT_CABINET_DEPTH_M: f64 = 2.1;
+
+impl FloorPlan {
+    /// Build the paper's floorplan for `m >= 1` cabinets:
+    /// `q = ceil(sqrt m)` rows, `ceil(m / q)` cabinets per row,
+    /// 0.6 m x 2.1 m cabinets.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        Self::with_dims(m, DEFAULT_CABINET_WIDTH_M, DEFAULT_CABINET_DEPTH_M)
+    }
+
+    /// Build a floorplan with custom cabinet dimensions (meters).
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or a dimension is not positive and finite.
+    pub fn with_dims(m: usize, cabinet_width_m: f64, cabinet_depth_m: f64) -> Self {
+        assert!(m >= 1, "at least one cabinet");
+        assert!(
+            cabinet_width_m > 0.0 && cabinet_width_m.is_finite(),
+            "cabinet width must be positive"
+        );
+        assert!(
+            cabinet_depth_m > 0.0 && cabinet_depth_m.is_finite(),
+            "cabinet depth must be positive"
+        );
+        let rows = (m as f64).sqrt().ceil() as usize;
+        let cols = m.div_ceil(rows);
+        FloorPlan {
+            cabinets: m,
+            rows,
+            cols,
+            cabinet_width_m,
+            cabinet_depth_m,
+        }
+    }
+
+    /// Number of cabinets.
+    #[inline]
+    pub fn cabinets(&self) -> usize {
+        self.cabinets
+    }
+
+    /// Number of cabinet rows (`q = ceil(sqrt m)`).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Cabinets per full row.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(row, col)` grid position of cabinet `c` (row-major).
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn grid_position(&self, c: usize) -> (usize, usize) {
+        assert!(c < self.cabinets, "cabinet {c} out of range");
+        (c / self.cols, c % self.cols)
+    }
+
+    /// `(x, y)` center coordinates of cabinet `c` in meters; `x` runs along
+    /// a row (width direction), `y` across rows (depth direction).
+    pub fn position_m(&self, c: usize) -> (f64, f64) {
+        let (row, col) = self.grid_position(c);
+        (
+            (col as f64 + 0.5) * self.cabinet_width_m,
+            (row as f64 + 0.5) * self.cabinet_depth_m,
+        )
+    }
+
+    /// Manhattan distance between two cabinets in meters (0 for the same
+    /// cabinet).
+    pub fn manhattan_m(&self, a: usize, b: usize) -> f64 {
+        let (xa, ya) = self.position_m(a);
+        let (xb, yb) = self.position_m(b);
+        (xa - xb).abs() + (ya - yb).abs()
+    }
+
+    /// Total floor extent `(width, depth)` in meters.
+    pub fn extent_m(&self) -> (f64, f64) {
+        (
+            self.cols as f64 * self.cabinet_width_m,
+            self.rows as f64 * self.cabinet_depth_m,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_follows_paper() {
+        // m = 10: q = ceil(sqrt 10) = 4 rows, ceil(10/4) = 3 per row.
+        let f = FloorPlan::new(10);
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.cols(), 3);
+        // All cabinets placeable:
+        for c in 0..10 {
+            let (r, col) = f.grid_position(c);
+            assert!(r < 4 && col < 3);
+        }
+    }
+
+    #[test]
+    fn perfect_square() {
+        let f = FloorPlan::new(16);
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.cols(), 4);
+    }
+
+    #[test]
+    fn single_cabinet() {
+        let f = FloorPlan::new(1);
+        assert_eq!(f.rows(), 1);
+        assert_eq!(f.cols(), 1);
+        assert_eq!(f.manhattan_m(0, 0), 0.0);
+    }
+
+    #[test]
+    fn manhattan_distances() {
+        let f = FloorPlan::new(16); // 4 x 4
+        // Cabinets 0 and 1: same row, adjacent columns -> 0.6 m.
+        assert!((f.manhattan_m(0, 1) - 0.6).abs() < 1e-9);
+        // Cabinets 0 and 4: adjacent rows, same column -> 2.1 m.
+        assert!((f.manhattan_m(0, 4) - 2.1).abs() < 1e-9);
+        // Diagonal: 0 to 5 -> 0.6 + 2.1.
+        assert!((f.manhattan_m(0, 5) - 2.7).abs() < 1e-9);
+        // Symmetry
+        assert_eq!(f.manhattan_m(3, 12), f.manhattan_m(12, 3));
+    }
+
+    #[test]
+    fn extent() {
+        let f = FloorPlan::new(16);
+        let (w, d) = f.extent_m();
+        assert!((w - 2.4).abs() < 1e-9);
+        assert!((d - 8.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cabinet")]
+    fn zero_cabinets_panics() {
+        FloorPlan::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cabinet_panics() {
+        FloorPlan::new(4).grid_position(4);
+    }
+}

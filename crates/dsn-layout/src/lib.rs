@@ -1,0 +1,30 @@
+//! # dsn-layout — machine-room floorplan and cable-length model
+//!
+//! Reimplements the physical-layout analysis of Section VI.B of the DSN
+//! paper: cabinets on a `ceil(sqrt m)`-row grid with 0.6 m x 2.1 m
+//! footprints, 16 switches per cabinet, Manhattan cable routing, 2 m
+//! intra-cabinet cables and a 2 m inter-cabinet wiring overhead. This is
+//! what regenerates Figure 9 (average cable length vs network size).
+//!
+//! ```
+//! use dsn_core::dsn::Dsn;
+//! use dsn_layout::{cable_stats, CableModel, LinearPlacement};
+//!
+//! let dsn = Dsn::new_clean(256).unwrap();
+//! let placement = LinearPlacement::new(dsn.n(), 16);
+//! let stats = cable_stats(dsn.graph(), &placement, &CableModel::default());
+//! assert!(stats.avg_m > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cable;
+pub mod floorplan;
+pub mod optimize;
+pub mod placement;
+
+pub use cable::{cable_stats, line_layout_stats, ring_layout_stats, CableModel, CableStats, KindStats, LineStats};
+pub use floorplan::{FloorPlan, DEFAULT_CABINET_DEPTH_M, DEFAULT_CABINET_WIDTH_M};
+pub use optimize::{anneal_placement, AnnealConfig, OptimizedPlacement};
+pub use placement::{ExplicitPlacement, LinearPlacement, Placement};

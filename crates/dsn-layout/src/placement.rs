@@ -1,0 +1,122 @@
+//! Switch-to-cabinet placement strategies.
+//!
+//! The paper lays every topology out in node-id order: consecutive switch
+//! ids fill a cabinet before moving to the next. For ring-based topologies
+//! (DSN, DLN) this is the natural physical order; for a row-major-numbered
+//! 2-D torus it is the conventional row-by-row layout (and the paper notes
+//! that a folded torus has the *same aggregate* cable length, so comparing
+//! the unfolded layout is fair).
+
+use dsn_core::NodeId;
+
+/// Maps switches to cabinets.
+pub trait Placement {
+    /// Cabinet index of switch `v`.
+    fn cabinet_of(&self, v: NodeId) -> usize;
+    /// Total number of cabinets in use.
+    fn cabinet_count(&self) -> usize;
+}
+
+/// Consecutive node ids share a cabinet: switch `v` goes to cabinet
+/// `v / switches_per_cabinet`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearPlacement {
+    nodes: usize,
+    per_cabinet: usize,
+}
+
+impl LinearPlacement {
+    /// Place `nodes` switches, `per_cabinet` to a cabinet (paper: 16).
+    ///
+    /// # Panics
+    /// Panics if `per_cabinet == 0`.
+    pub fn new(nodes: usize, per_cabinet: usize) -> Self {
+        assert!(per_cabinet > 0, "cabinet capacity must be positive");
+        LinearPlacement { nodes, per_cabinet }
+    }
+
+    /// Switches per cabinet.
+    #[inline]
+    pub fn per_cabinet(&self) -> usize {
+        self.per_cabinet
+    }
+}
+
+impl Placement for LinearPlacement {
+    #[inline]
+    fn cabinet_of(&self, v: NodeId) -> usize {
+        debug_assert!(v < self.nodes, "switch {v} out of range");
+        v / self.per_cabinet
+    }
+
+    #[inline]
+    fn cabinet_count(&self) -> usize {
+        self.nodes.div_ceil(self.per_cabinet)
+    }
+}
+
+/// An arbitrary explicit placement (e.g. the output of a layout optimizer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitPlacement {
+    cabinet: Vec<usize>,
+    cabinets: usize,
+}
+
+impl ExplicitPlacement {
+    /// Build from a per-switch cabinet assignment.
+    ///
+    /// # Panics
+    /// Panics if `cabinet` is empty.
+    pub fn new(cabinet: Vec<usize>) -> Self {
+        assert!(!cabinet.is_empty(), "placement must cover at least one switch");
+        let cabinets = cabinet.iter().max().copied().unwrap_or(0) + 1;
+        ExplicitPlacement { cabinet, cabinets }
+    }
+}
+
+impl Placement for ExplicitPlacement {
+    #[inline]
+    fn cabinet_of(&self, v: NodeId) -> usize {
+        self.cabinet[v]
+    }
+
+    #[inline]
+    fn cabinet_count(&self) -> usize {
+        self.cabinets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_packing() {
+        let p = LinearPlacement::new(64, 16);
+        assert_eq!(p.cabinet_count(), 4);
+        assert_eq!(p.cabinet_of(0), 0);
+        assert_eq!(p.cabinet_of(15), 0);
+        assert_eq!(p.cabinet_of(16), 1);
+        assert_eq!(p.cabinet_of(63), 3);
+    }
+
+    #[test]
+    fn linear_partial_last_cabinet() {
+        let p = LinearPlacement::new(20, 16);
+        assert_eq!(p.cabinet_count(), 2);
+        assert_eq!(p.cabinet_of(19), 1);
+    }
+
+    #[test]
+    fn explicit_roundtrip() {
+        let p = ExplicitPlacement::new(vec![0, 0, 2, 1]);
+        assert_eq!(p.cabinet_count(), 3);
+        assert_eq!(p.cabinet_of(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        LinearPlacement::new(4, 0);
+    }
+}

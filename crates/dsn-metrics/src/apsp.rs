@@ -1,0 +1,336 @@
+//! All-pairs shortest path analysis: diameter, average shortest path length
+//! (ASPL), eccentricities and hop-distance histograms — the quantities
+//! plotted in the paper's Figures 7 and 8.
+//!
+//! One BFS per source, fanned out over a rayon pool; the per-source partial
+//! results (max distance, distance sum, histogram) are reduced
+//! associatively, so the parallel sweep is deterministic.
+
+use crate::bfs::{BfsWorkspace, UNREACHABLE};
+use dsn_core::graph::Graph;
+use rayon::prelude::*;
+
+/// Hop-count statistics of a graph, from an exact APSP sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStats {
+    /// Number of nodes the sweep covered.
+    pub nodes: usize,
+    /// Maximum finite shortest-path length over all ordered pairs.
+    pub diameter: u32,
+    /// Average shortest path length over ordered pairs of distinct,
+    /// mutually reachable nodes.
+    pub aspl: f64,
+    /// `histogram[d]` = number of ordered pairs at distance `d`
+    /// (`histogram[0]` counts the trivial self pairs).
+    pub histogram: Vec<u64>,
+    /// Eccentricity of each node (max finite distance from it).
+    pub eccentricity: Vec<u32>,
+    /// Number of ordered pairs of distinct nodes that are unreachable.
+    pub unreachable_pairs: u64,
+}
+
+impl PathStats {
+    /// Radius: the minimum eccentricity.
+    pub fn radius(&self) -> u32 {
+        self.eccentricity.iter().copied().min().unwrap_or(0)
+    }
+
+    /// True when every node reaches every other node.
+    pub fn is_connected(&self) -> bool {
+        self.unreachable_pairs == 0
+    }
+
+    /// Fraction of ordered reachable pairs whose distance is at most `d`.
+    pub fn cdf_at(&self, d: u32) -> f64 {
+        let total: u64 = self.histogram.iter().skip(1).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let within: u64 = self
+            .histogram
+            .iter()
+            .skip(1)
+            .take(d as usize)
+            .sum();
+        within as f64 / total as f64
+    }
+}
+
+/// Per-source partial accumulation, merged pairwise.
+#[derive(Debug, Clone)]
+struct Partial {
+    max: u32,
+    sum: u64,
+    count: u64,
+    unreachable: u64,
+    hist: Vec<u64>,
+}
+
+impl Partial {
+    fn empty() -> Self {
+        Partial {
+            max: 0,
+            sum: 0,
+            count: 0,
+            unreachable: 0,
+            hist: Vec::new(),
+        }
+    }
+
+    fn merge(mut self, other: Partial) -> Self {
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+        self.unreachable += other.unreachable;
+        if self.hist.len() < other.hist.len() {
+            self.hist.resize(other.hist.len(), 0);
+        }
+        for (i, v) in other.hist.into_iter().enumerate() {
+            self.hist[i] += v;
+        }
+        self
+    }
+}
+
+/// Exact APSP statistics via a parallel BFS sweep (one BFS per source).
+pub fn path_stats(g: &Graph) -> PathStats {
+    let n = g.node_count();
+    if n == 0 {
+        return PathStats {
+            nodes: 0,
+            diameter: 0,
+            aspl: 0.0,
+            histogram: vec![0],
+            eccentricity: Vec::new(),
+            unreachable_pairs: 0,
+        };
+    }
+
+    let per_source: Vec<(u32, Partial)> = (0..n)
+        .into_par_iter()
+        .map_init(
+            || BfsWorkspace::new(n),
+            |ws, s| {
+                let dist = ws.run(g, s);
+                let mut part = Partial::empty();
+                let mut ecc = 0u32;
+                for (v, &d) in dist.iter().enumerate() {
+                    if v == s {
+                        continue;
+                    }
+                    if d == UNREACHABLE {
+                        part.unreachable += 1;
+                    } else {
+                        ecc = ecc.max(d);
+                        part.sum += d as u64;
+                        part.count += 1;
+                        let idx = d as usize;
+                        if part.hist.len() <= idx {
+                            part.hist.resize(idx + 1, 0);
+                        }
+                        part.hist[idx] += 1;
+                    }
+                }
+                part.max = ecc;
+                (ecc, part)
+            },
+        )
+        .collect();
+
+    let eccentricity: Vec<u32> = per_source.iter().map(|(e, _)| *e).collect();
+    let total = per_source
+        .into_iter()
+        .map(|(_, p)| p)
+        .reduce(Partial::merge)
+        .unwrap_or_else(Partial::empty);
+
+    let mut histogram = total.hist;
+    if histogram.is_empty() {
+        histogram.push(0);
+    }
+    // Slot 0 counts self pairs for a complete ordered-pair accounting.
+    histogram[0] = n as u64;
+
+    PathStats {
+        nodes: n,
+        diameter: total.max,
+        aspl: if total.count == 0 {
+            0.0
+        } else {
+            total.sum as f64 / total.count as f64
+        },
+        histogram,
+        eccentricity,
+        unreachable_pairs: total.unreachable,
+    }
+}
+
+/// Diameter only (still a full sweep; kept for call-site clarity).
+pub fn diameter(g: &Graph) -> u32 {
+    path_stats(g).diameter
+}
+
+/// Average shortest path length only.
+pub fn aspl(g: &Graph) -> f64 {
+    path_stats(g).aspl
+}
+
+/// Approximate ASPL/diameter from `samples` BFS sources chosen
+/// deterministically (evenly spaced). Exact when `samples >= n`. Useful for
+/// quick sweeps over very large graphs; the figure harnesses use the exact
+/// sweep since the paper tops out at 2048 switches.
+pub fn sampled_path_stats(g: &Graph, samples: usize) -> PathStats {
+    let n = g.node_count();
+    if samples >= n {
+        return path_stats(g);
+    }
+    let stride = (n as f64 / samples as f64).max(1.0);
+    let sources: Vec<usize> = (0..samples)
+        .map(|i| ((i as f64 * stride) as usize).min(n - 1))
+        .collect();
+
+    let parts: Vec<(u32, Partial)> = sources
+        .par_iter()
+        .map_init(
+            || BfsWorkspace::new(n),
+            |ws, &s| {
+                let dist = ws.run(g, s);
+                let mut part = Partial::empty();
+                let mut ecc = 0u32;
+                for (v, &d) in dist.iter().enumerate() {
+                    if v == s {
+                        continue;
+                    }
+                    if d == UNREACHABLE {
+                        part.unreachable += 1;
+                    } else {
+                        ecc = ecc.max(d);
+                        part.sum += d as u64;
+                        part.count += 1;
+                        let idx = d as usize;
+                        if part.hist.len() <= idx {
+                            part.hist.resize(idx + 1, 0);
+                        }
+                        part.hist[idx] += 1;
+                    }
+                }
+                part.max = ecc;
+                (ecc, part)
+            },
+        )
+        .collect();
+
+    let eccentricity: Vec<u32> = parts.iter().map(|(e, _)| *e).collect();
+    let total = parts
+        .into_iter()
+        .map(|(_, p)| p)
+        .reduce(Partial::merge)
+        .unwrap_or_else(Partial::empty);
+    let mut histogram = total.hist;
+    if histogram.is_empty() {
+        histogram.push(0);
+    }
+    histogram[0] = sources.len() as u64;
+
+    PathStats {
+        nodes: n,
+        diameter: total.max,
+        aspl: if total.count == 0 {
+            0.0
+        } else {
+            total.sum as f64 / total.count as f64
+        },
+        histogram,
+        eccentricity,
+        unreachable_pairs: total.unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsn_core::graph::LinkKind;
+    use dsn_core::ring::Ring;
+    use dsn_core::torus::Torus;
+
+    #[test]
+    fn ring_diameter_and_aspl() {
+        // Ring of n: diameter floor(n/2); ASPL for even n is n^2/4 / (n-1).
+        let g = Ring::new(8).unwrap().into_graph();
+        let s = path_stats(&g);
+        assert_eq!(s.diameter, 4);
+        // distances from any node: 1,1,2,2,3,3,4 -> sum 16, avg 16/7
+        assert!((s.aspl - 16.0 / 7.0).abs() < 1e-12);
+        assert!(s.is_connected());
+        assert_eq!(s.radius(), 4);
+    }
+
+    #[test]
+    fn torus_4x4_diameter() {
+        let g = Torus::new(&[4, 4]).unwrap().into_graph();
+        let s = path_stats(&g);
+        assert_eq!(s.diameter, 4); // 2 + 2
+        assert_eq!(s.eccentricity.len(), 16);
+        assert!(s.eccentricity.iter().all(|&e| e == 4));
+    }
+
+    #[test]
+    fn histogram_sums_to_ordered_pairs() {
+        let g = Torus::new(&[4, 8]).unwrap().into_graph();
+        let s = path_stats(&g);
+        let n = g.node_count() as u64;
+        let total: u64 = s.histogram.iter().sum();
+        assert_eq!(total, n * n - s.unreachable_pairs);
+        assert_eq!(s.histogram[0], n);
+        assert_eq!(s.unreachable_pairs, 0);
+    }
+
+    #[test]
+    fn disconnected_graph_counts_unreachable() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, LinkKind::Ring);
+        g.add_edge(2, 3, LinkKind::Ring);
+        let s = path_stats(&g);
+        assert_eq!(s.unreachable_pairs, 8); // 2 components of 2: 2*2*2
+        assert!(!s.is_connected());
+        assert_eq!(s.diameter, 1);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let g = Torus::new(&[4, 4]).unwrap().into_graph();
+        let s = path_stats(&g);
+        let mut prev = 0.0;
+        for d in 0..=s.diameter {
+            let c = s.cdf_at(d);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((s.cdf_at(s.diameter) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_matches_exact_when_full() {
+        let g = Torus::new(&[4, 4]).unwrap().into_graph();
+        let exact = path_stats(&g);
+        let sampled = sampled_path_stats(&g, 1000);
+        assert_eq!(exact, sampled);
+    }
+
+    #[test]
+    fn sampled_subset_is_close() {
+        let g = Ring::new(64).unwrap().into_graph();
+        let exact = path_stats(&g);
+        let sampled = sampled_path_stats(&g, 16);
+        assert_eq!(sampled.diameter, exact.diameter); // symmetric graph
+        assert!((sampled.aspl - exact.aspl).abs() < 0.5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        let s = path_stats(&g);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.aspl, 0.0);
+    }
+}

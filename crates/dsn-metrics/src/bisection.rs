@@ -1,0 +1,168 @@
+//! Bisection-width estimation: the number of links crossing a balanced
+//! bipartition, the classic throughput proxy for interconnects.
+//!
+//! Exact minimum bisection is NP-hard; we compute an *upper bound* with a
+//! seeded Kernighan–Lin-style refinement from several starting partitions,
+//! which is tight on the structured topologies used here (torus bisection
+//! is known in closed form and the tests check against it).
+
+use dsn_core::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a bisection estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bisection {
+    /// Links crossing the best partition found (an upper bound on the true
+    /// minimum bisection width).
+    pub width: usize,
+    /// Side assignment: `side[v]` is `false`/`true` for the two halves.
+    pub side: Vec<bool>,
+}
+
+/// Estimate the minimum bisection width: best of `restarts` KL-refined
+/// partitions (the first start is the id-order split, which is optimal for
+/// ring-ordered topologies; the rest are random balanced splits).
+pub fn estimate_bisection(g: &Graph, restarts: usize, seed: u64) -> Bisection {
+    let n = g.node_count();
+    assert!(n >= 2, "bisection needs at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best: Option<Bisection> = None;
+
+    for r in 0..restarts.max(1) {
+        let mut side = vec![false; n];
+        if r == 0 {
+            // id-order split
+            for (v, s) in side.iter_mut().enumerate() {
+                *s = v >= n / 2;
+            }
+        } else {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            for &v in &perm[n / 2..] {
+                side[v] = true;
+            }
+        }
+        refine(g, &mut side);
+        let width = cut_size(g, &side);
+        if best.as_ref().is_none_or(|b| width < b.width) {
+            best = Some(Bisection { width, side });
+        }
+    }
+    best.expect("at least one restart")
+}
+
+/// Count edges crossing the partition.
+pub fn cut_size(g: &Graph, side: &[bool]) -> usize {
+    g.edges().iter().filter(|e| side[e.a] != side[e.b]).count()
+}
+
+/// One KL-style refinement pass repeated to a local optimum: each round
+/// computes every node's move gain once (O(n + m)), then evaluates swaps
+/// only among the top-K gain candidates of each side — the classic KL
+/// shortcut that keeps rounds near-linear instead of scanning all O(n^2)
+/// opposite-side pairs.
+fn refine(g: &Graph, side: &mut [bool]) {
+    const TOP_K: usize = 12;
+    let n = g.node_count();
+    // gain(v) = external(v) - internal(v): cut reduction of moving v alone.
+    let gain = |side: &[bool], v: usize| -> i64 {
+        let mut ext = 0i64;
+        let mut int = 0i64;
+        for u in g.neighbor_ids(v) {
+            if side[u] != side[v] {
+                ext += 1;
+            } else {
+                int += 1;
+            }
+        }
+        ext - int
+    };
+    // Bounded number of improvement rounds; each strictly reduces the cut.
+    for _ in 0..4 * n {
+        let gains: Vec<i64> = (0..n).map(|v| gain(side, v)).collect();
+        let top = |want: bool| -> Vec<usize> {
+            let mut c: Vec<usize> = (0..n).filter(|&v| side[v] == want).collect();
+            c.sort_by_key(|&v| std::cmp::Reverse(gains[v]));
+            c.truncate(TOP_K);
+            c
+        };
+        let left = top(false);
+        let right = top(true);
+        let mut best_pair: Option<(usize, usize, i64)> = None;
+        for &a in &left {
+            for &b in &right {
+                // Combined gain; subtract 2 per a-b edge (they stay cut).
+                let ab_edges = g.neighbors(a).filter(|&(u, _)| u == b).count() as i64;
+                let total = gains[a] + gains[b] - 2 * ab_edges;
+                if total > best_pair.map_or(0, |(_, _, t)| t) {
+                    best_pair = Some((a, b, total));
+                }
+            }
+        }
+        match best_pair {
+            Some((a, b, _)) => {
+                side[a] = true;
+                side[b] = false;
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsn_core::dsn::Dsn;
+    use dsn_core::ring::Ring;
+    use dsn_core::torus::Torus;
+
+    #[test]
+    fn ring_bisection_is_two() {
+        let g = Ring::new(16).unwrap().into_graph();
+        let b = estimate_bisection(&g, 3, 1);
+        assert_eq!(b.width, 2);
+        assert_eq!(cut_size(&g, &b.side), b.width);
+        // balanced halves
+        let ones = b.side.iter().filter(|&&s| s).count();
+        assert_eq!(ones, 8);
+    }
+
+    #[test]
+    fn torus_bisection_known_value() {
+        // k x k torus bisection = 2k (two rows of wraparound+internal cuts).
+        let g = Torus::new(&[4, 4]).unwrap().into_graph();
+        let b = estimate_bisection(&g, 4, 2);
+        assert_eq!(b.width, 8, "4x4 torus bisection");
+    }
+
+    #[test]
+    fn cut_size_matches_side() {
+        let g = Ring::new(8).unwrap().into_graph();
+        let side = vec![false, false, false, false, true, true, true, true];
+        assert_eq!(cut_size(&g, &side), 2);
+    }
+
+    #[test]
+    fn dsn_bisection_exceeds_ring() {
+        // Shortcuts must raise the bisection well above the ring's 2.
+        let dsn = Dsn::new(64, 5).unwrap();
+        let b = estimate_bisection(dsn.graph(), 3, 3);
+        assert!(b.width >= 6, "width {}", b.width);
+        // and is at most the id-split cut
+        let mut id_split = vec![false; 64];
+        for (v, s) in id_split.iter_mut().enumerate() {
+            *s = v >= 32;
+        }
+        assert!(b.width <= cut_size(dsn.graph(), &id_split));
+    }
+
+    #[test]
+    fn halves_stay_balanced_after_refinement() {
+        let dsn = Dsn::new(100, 6).unwrap();
+        let b = estimate_bisection(dsn.graph(), 2, 4);
+        let ones = b.side.iter().filter(|&&s| s).count();
+        assert_eq!(ones, 50);
+    }
+}

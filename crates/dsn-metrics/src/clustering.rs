@@ -1,0 +1,146 @@
+//! Clustering coefficient and Watts–Strogatz small-world index.
+//!
+//! The paper motivates DSN by the small-world effect (Watts & Strogatz,
+//! Kleinberg); these metrics let the examples quantify *how* small-world a
+//! topology is: high clustering with low path length relative to an
+//! equivalent random graph.
+
+use dsn_core::graph::Graph;
+use rayon::prelude::*;
+use std::collections::HashSet;
+
+/// Local clustering coefficient of node `v`: the fraction of realized links
+/// among its neighbors. Parallel edges are collapsed; nodes with fewer than
+/// two distinct neighbors have coefficient 0.
+pub fn local_clustering(g: &Graph, v: usize) -> f64 {
+    let nbrs: HashSet<usize> = g.neighbor_ids(v).filter(|&u| u != v).collect();
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let nbr_vec: Vec<usize> = nbrs.iter().copied().collect();
+    let mut links = 0usize;
+    for (i, &a) in nbr_vec.iter().enumerate() {
+        for &b in &nbr_vec[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Average local clustering coefficient (Watts–Strogatz definition).
+pub fn avg_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = (0..n)
+        .into_par_iter()
+        .map(|v| local_clustering(g, v))
+        .sum();
+    sum / n as f64
+}
+
+/// Expected clustering coefficient of an Erdős–Rényi random graph with the
+/// same node count and average degree: `C_rand ≈ <k> / n`.
+pub fn random_clustering_baseline(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        0.0
+    } else {
+        g.avg_degree() / n as f64
+    }
+}
+
+/// Expected average path length of an equivalent random graph:
+/// `L_rand ≈ ln(n) / ln(<k>)` (valid for `<k> > 1`).
+pub fn random_aspl_baseline(g: &Graph) -> f64 {
+    let n = g.node_count() as f64;
+    let k = g.avg_degree();
+    if n <= 1.0 || k <= 1.0 {
+        return f64::NAN;
+    }
+    n.ln() / k.ln()
+}
+
+/// Watts–Strogatz small-world index
+/// `sigma = (C / C_rand) / (L / L_rand)`; `sigma > 1` indicates small-world
+/// structure. `aspl` must come from [`crate::apsp::path_stats`].
+pub fn small_world_sigma(g: &Graph, aspl: f64) -> f64 {
+    let c = avg_clustering(g);
+    let c_rand = random_clustering_baseline(g);
+    let l_rand = random_aspl_baseline(g);
+    if c_rand <= 0.0 || aspl <= 0.0 || !l_rand.is_finite() {
+        return f64::NAN;
+    }
+    (c / c_rand) / (aspl / l_rand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsn_core::graph::LinkKind;
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in a + 1..n {
+                g.add_edge(a, b, LinkKind::Random);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn complete_graph_clusters_fully() {
+        let g = complete(5);
+        for v in 0..5 {
+            assert!((local_clustering(&g, v) - 1.0).abs() < 1e-12);
+        }
+        assert!((avg_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let mut g = Graph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v, LinkKind::Random);
+        }
+        assert_eq!(avg_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        let mut g = complete(3);
+        // add node 3 hanging off node 0
+        let mut g2 = Graph::new(4);
+        for e in g.edges() {
+            g2.add_edge(e.a, e.b, e.kind);
+        }
+        g2.add_edge(0, 3, LinkKind::Random);
+        g = g2;
+        // node 0 neighbors {1,2,3}: links 1-2 only -> C = 1/3
+        assert!((local_clustering(&g, 0) - 1.0 / 3.0).abs() < 1e-12);
+        // nodes 1,2 still fully clustered, node 3 has one neighbor -> 0
+        assert!((avg_clustering(&g) - (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_do_not_inflate() {
+        let mut g = complete(3);
+        g.add_edge(0, 1, LinkKind::Up); // parallel
+        assert!((local_clustering(&g, 2) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baselines_sane() {
+        let g = complete(10);
+        assert!(random_clustering_baseline(&g) > 0.0);
+        assert!(random_aspl_baseline(&g) > 0.0);
+        let sigma = small_world_sigma(&g, 1.0);
+        assert!(sigma.is_finite());
+    }
+}

@@ -1,0 +1,201 @@
+//! Path diversity and fault tolerance: edge-disjoint path counts via
+//! unit-capacity max-flow, and global edge connectivity.
+//!
+//! The paper motivates random/small-world topologies partly by fault
+//! tolerance (Section III cites Jellyfish and Small-World Datacenters);
+//! these metrics let the examples compare DSN's redundancy against the
+//! baselines: a degree-4 topology can have at most 4 edge-disjoint paths
+//! between any pair, and a good one achieves that bound for most pairs.
+
+use dsn_core::graph::Graph;
+use dsn_core::NodeId;
+use std::collections::VecDeque;
+
+/// Maximum number of edge-disjoint paths between `s` and `t`
+/// (= the minimum edge cut separating them, by Menger's theorem).
+///
+/// Unit-capacity max-flow via BFS augmentation on a residual structure.
+/// Each undirected edge can carry one unit in either direction (but not
+/// both, which would cancel).
+pub fn edge_disjoint_paths(g: &Graph, s: NodeId, t: NodeId) -> usize {
+    assert!(s < g.node_count() && t < g.node_count());
+    if s == t {
+        return 0;
+    }
+    // Residual flow per edge: -1, 0, +1 in the a->b orientation.
+    let mut flow: Vec<i8> = vec![0; g.edge_count()];
+    let mut parent_edge: Vec<Option<usize>> = vec![None; g.node_count()];
+    let mut total = 0usize;
+
+    loop {
+        // BFS over residual edges.
+        parent_edge.iter_mut().for_each(|p| *p = None);
+        let mut q = VecDeque::new();
+        let mut seen = vec![false; g.node_count()];
+        seen[s] = true;
+        q.push_back(s);
+        'bfs: while let Some(v) = q.pop_front() {
+            for (u, e) in g.neighbors(v) {
+                if seen[u] {
+                    continue;
+                }
+                // Residual capacity of traversing e from v to u.
+                let edge = g.edge(e);
+                let forward = edge.a == v;
+                let f = flow[e] as i32;
+                let residual = if forward { 1 - f } else { 1 + f };
+                if residual <= 0 {
+                    continue;
+                }
+                seen[u] = true;
+                parent_edge[u] = Some(e);
+                if u == t {
+                    break 'bfs;
+                }
+                q.push_back(u);
+            }
+        }
+        if parent_edge[t].is_none() {
+            break;
+        }
+        // Augment along the found path.
+        let mut v = t;
+        while v != s {
+            let e = parent_edge[v].expect("path edge");
+            let edge = g.edge(e);
+            let prev = edge.other(v);
+            if edge.a == prev {
+                flow[e] += 1;
+            } else {
+                flow[e] -= 1;
+            }
+            v = prev;
+        }
+        total += 1;
+        if total > g.max_degree() {
+            // Cannot exceed min(deg(s), deg(t)); guard against bugs.
+            break;
+        }
+    }
+    total
+}
+
+/// Global edge connectivity: the minimum, over all `v != 0`, of the max
+/// flow from node 0 to `v` (a classic exact reduction for undirected
+/// graphs). Equals the smallest number of link failures that can
+/// disconnect the network.
+pub fn edge_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n < 2 {
+        return 0;
+    }
+    (1..n)
+        .map(|v| edge_disjoint_paths(g, 0, v))
+        .min()
+        .unwrap_or(0)
+}
+
+/// Distribution of pairwise path diversity over a deterministic sample of
+/// `pairs` node pairs: returns `hist[k]` = number of sampled pairs with
+/// exactly `k` edge-disjoint paths.
+pub fn path_diversity_histogram(g: &Graph, pairs: usize) -> Vec<usize> {
+    let n = g.node_count();
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    if n < 2 {
+        return hist;
+    }
+    for i in 0..pairs {
+        let s = (i * 7919) % n;
+        let mut t = (i * 104729 + n / 2) % n;
+        if s == t {
+            t = (t + 1) % n;
+        }
+        let k = edge_disjoint_paths(g, s, t);
+        let top = hist.len() - 1;
+        hist[k.min(top)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsn_core::dsn::Dsn;
+    use dsn_core::graph::LinkKind;
+    use dsn_core::ring::Ring;
+    use dsn_core::torus::Torus;
+
+    #[test]
+    fn ring_has_two_disjoint_paths() {
+        let g = Ring::new(10).unwrap().into_graph();
+        for t in 1..10 {
+            assert_eq!(edge_disjoint_paths(&g, 0, t), 2, "t={t}");
+        }
+        assert_eq!(edge_connectivity(&g), 2);
+    }
+
+    #[test]
+    fn torus_is_4_connected() {
+        let g = Torus::new(&[4, 4]).unwrap().into_graph();
+        assert_eq!(edge_connectivity(&g), 4);
+        assert_eq!(edge_disjoint_paths(&g, 0, 15), 4);
+    }
+
+    #[test]
+    fn bridge_limits_connectivity() {
+        // Two triangles joined by one bridge: connectivity 1.
+        let mut g = Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(a, b, LinkKind::Random);
+        }
+        g.add_edge(2, 3, LinkKind::Random);
+        assert_eq!(edge_disjoint_paths(&g, 0, 5), 1);
+        assert_eq!(edge_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn disconnected_pair_has_zero() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, LinkKind::Random);
+        g.add_edge(2, 3, LinkKind::Random);
+        assert_eq!(edge_disjoint_paths(&g, 0, 3), 0);
+        assert_eq!(edge_connectivity(&g), 0);
+    }
+
+    #[test]
+    fn self_pair_is_zero() {
+        let g = Ring::new(5).unwrap().into_graph();
+        assert_eq!(edge_disjoint_paths(&g, 2, 2), 0);
+    }
+
+    #[test]
+    fn dsn_connectivity_at_least_min_degree_heuristic() {
+        // DSN's min degree is 3 for x = p-1 (Fact 1); its edge
+        // connectivity is at least 2 (ring) and typically equals the min
+        // degree.
+        let dsn = Dsn::new(126, 6).unwrap();
+        let k = edge_connectivity(dsn.graph());
+        assert!(k >= 2, "connectivity {k}");
+        assert!(k <= dsn.graph().min_degree());
+    }
+
+    #[test]
+    fn diversity_histogram_sums_to_pairs() {
+        let g = Torus::new(&[4, 4]).unwrap().into_graph();
+        let hist = path_diversity_histogram(&g, 40);
+        assert_eq!(hist.iter().sum::<usize>(), 40);
+        // all torus pairs have 4 disjoint paths
+        assert_eq!(hist[4], 40);
+    }
+
+    #[test]
+    fn paths_bounded_by_endpoint_degree() {
+        let dsn = Dsn::new(64, 5).unwrap();
+        let g = dsn.graph();
+        for t in (1..64).step_by(5) {
+            let k = edge_disjoint_paths(g, 0, t);
+            assert!(k <= g.degree(0).min(g.degree(t)));
+            assert!(k >= 1);
+        }
+    }
+}

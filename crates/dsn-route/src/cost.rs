@@ -1,0 +1,157 @@
+//! Routing hardware-cost estimation — the paper's recurring argument that
+//! DSN's topological regularity "makes routing logic simple and small"
+//! while topology-agnostic routing "needs a global knowledge of the
+//! topology" (Sections I, II, VIII).
+//!
+//! We estimate the per-switch routing state in bits:
+//!
+//! * **DSN custom routing** — a switch needs its own id, `n`, `p`, `x` and
+//!   its shortcut pointer; the decision is pure arithmetic on the
+//!   destination id. State is `O(log n)` bits, table-free.
+//! * **up*/down*** (as used for escape paths) — a per-destination next-hop
+//!   table: `n` entries, each holding a port set (up to `degree` bits) plus
+//!   the link orientation bits; `O(n * degree)` bits.
+//! * **minimal-adaptive** — a per-destination candidate-port table of the
+//!   same shape as up*/down* (it needs hop distances or precomputed
+//!   next-hop sets).
+//! * **torus DOR** — coordinates arithmetic: `O(log n)` bits, table-free.
+
+use dsn_core::dsn::Dsn;
+use dsn_core::graph::Graph;
+use dsn_core::torus::Torus;
+use dsn_core::util::ceil_log2;
+
+/// Estimated routing-logic cost for one scheme on one topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingCost {
+    /// Scheme name.
+    pub scheme: String,
+    /// Worst-case per-switch state, in bits.
+    pub state_bits_per_switch: u64,
+    /// Table entries per switch (0 for arithmetic/table-free schemes).
+    pub table_entries_per_switch: u64,
+    /// One-line description of the per-hop decision logic.
+    pub decision_logic: &'static str,
+}
+
+impl RoutingCost {
+    /// Aggregate state over the whole network, in bytes.
+    pub fn total_bytes(&self, switches: usize) -> u64 {
+        self.state_bits_per_switch * switches as u64 / 8
+    }
+}
+
+/// Cost of the DSN custom three-phase routing.
+pub fn dsn_custom_cost(dsn: &Dsn) -> RoutingCost {
+    let id_bits = ceil_log2(dsn.n().max(2)) as u64;
+    // own id + n + p + x + shortcut target + a handful of comparators'
+    // operand registers (destination, distance, required level).
+    let state = id_bits /* own id */
+        + id_bits /* n */
+        + 8 /* p */
+        + 8 /* x */
+        + id_bits /* shortcut pointer */
+        + 3 * id_bits /* dest, distance, level scratch */;
+    RoutingCost {
+        scheme: format!("dsn-custom (n = {})", dsn.n()),
+        state_bits_per_switch: state,
+        table_entries_per_switch: 0,
+        decision_logic: "compare level(u) with floor(log2(n/d))+1; pick pred/succ/shortcut",
+    }
+}
+
+/// Cost of table-based up*/down* routing on an arbitrary graph.
+pub fn updown_cost(g: &Graph) -> RoutingCost {
+    let n = g.node_count() as u64;
+    let ports = g.max_degree() as u64;
+    // Per destination: a legal-next-hop bitmask over ports, for each of the
+    // two phases, plus per-port orientation bits.
+    let entry_bits = 2 * ports;
+    let state = n * entry_bits + ports /* up/down orientation */;
+    RoutingCost {
+        scheme: format!("up*/down* table (n = {})", g.node_count()),
+        state_bits_per_switch: state,
+        table_entries_per_switch: n,
+        decision_logic: "index table by destination; mask by phase legality",
+    }
+}
+
+/// Cost of minimal-adaptive routing with an escape layer (the paper's
+/// simulator scheme): candidate table + the up*/down* escape table.
+pub fn adaptive_escape_cost(g: &Graph) -> RoutingCost {
+    let n = g.node_count() as u64;
+    let ports = g.max_degree() as u64;
+    let ud = updown_cost(g);
+    let state = n * ports /* minimal candidate mask per destination */
+        + ud.state_bits_per_switch;
+    RoutingCost {
+        scheme: format!("adaptive+escape tables (n = {})", g.node_count()),
+        state_bits_per_switch: state,
+        table_entries_per_switch: 2 * n,
+        decision_logic: "candidate mask lookup; fall back to escape table",
+    }
+}
+
+/// Cost of dimension-order routing on a torus.
+pub fn dor_cost(t: &Torus) -> RoutingCost {
+    let coord_bits: u64 = t
+        .radices()
+        .iter()
+        .map(|&k| ceil_log2(k.max(2)) as u64)
+        .sum();
+    let state = 2 * coord_bits /* own + destination coordinates */ + 8 /* dim cursor + vc */;
+    RoutingCost {
+        scheme: format!("torus DOR ({:?})", t.radices()),
+        state_bits_per_switch: state,
+        table_entries_per_switch: 0,
+        decision_logic: "per-dimension coordinate compare; dateline VC flip",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn custom_routing_is_logarithmic() {
+        let small = dsn_custom_cost(&Dsn::new(64, 5).unwrap());
+        let large = dsn_custom_cost(&Dsn::new(2048, 10).unwrap());
+        // Growing n 32x adds only a few bits per id field.
+        assert!(large.state_bits_per_switch < small.state_bits_per_switch + 64);
+        assert_eq!(large.table_entries_per_switch, 0);
+    }
+
+    #[test]
+    fn table_routing_is_linear() {
+        let small = updown_cost(Dsn::new(64, 5).unwrap().graph());
+        let large = updown_cost(Dsn::new(2048, 10).unwrap().graph());
+        assert!(large.state_bits_per_switch >= 16 * small.state_bits_per_switch);
+        assert_eq!(large.table_entries_per_switch, 2048);
+    }
+
+    #[test]
+    fn paper_claim_custom_much_smaller_than_tables() {
+        // "routing logic at each switch is expected to be simple and small"
+        let dsn = Dsn::new(1020, 9).unwrap();
+        let custom = dsn_custom_cost(&dsn);
+        let table = updown_cost(dsn.graph());
+        let adaptive = adaptive_escape_cost(dsn.graph());
+        assert!(custom.state_bits_per_switch * 50 < table.state_bits_per_switch);
+        assert!(table.state_bits_per_switch < adaptive.state_bits_per_switch);
+    }
+
+    #[test]
+    fn dor_is_tiny_too() {
+        let t = Torus::square_2d(1024).unwrap();
+        let c = dor_cost(&t);
+        assert!(c.state_bits_per_switch < 64);
+        assert_eq!(c.table_entries_per_switch, 0);
+    }
+
+    #[test]
+    fn total_bytes_scales_with_switches() {
+        let dsn = Dsn::new(256, 7).unwrap();
+        let c = updown_cost(dsn.graph());
+        assert_eq!(c.total_bytes(256), c.state_bits_per_switch * 256 / 8);
+    }
+}

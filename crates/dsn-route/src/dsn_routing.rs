@@ -1,0 +1,570 @@
+//! The paper's custom three-phase routing algorithm for DSN-x (Figure 2).
+//!
+//! Routing from `s` to `t` works on clockwise ring distance `d`:
+//!
+//! 1. **PRE-WORK** — walk `pred` links until the current node's level drops
+//!    to the *required level* `l = floor(log2(n/d)) + 1`, i.e. climb to a
+//!    node high enough to "look over" to `t`;
+//! 2. **MAIN-PROCESS** — repeatedly either take the owned shortcut (when
+//!    the current level equals the required level; this halves the
+//!    remaining distance) or walk one `succ` step (to reach the super-node
+//!    sibling that owns the right shortcut). Stops when the level runs out
+//!    of shortcuts (`l_u = x + 1`), the remaining distance is at most `p`,
+//!    or a shortcut overshot `t`;
+//! 3. **FINISH** — a local `succ`/`pred` walk to `t`.
+//!
+//! Fact 2 bounds the resulting path by `3p + r` hops for
+//! `x > p - log2 p`; Theorem 2a bounds the expected length by `2p`.
+
+use dsn_core::dsn::Dsn;
+use dsn_core::NodeId;
+
+/// Kind of move the router took on one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteStep {
+    /// Counter-clockwise ring move (PRE-WORK, or FINISH after overshoot).
+    Pred,
+    /// Clockwise ring move (MAIN-PROCESS gap walk, or FINISH).
+    Succ,
+    /// Distance-halving shortcut (MAIN-PROCESS).
+    Shortcut,
+}
+
+/// Which phase a hop belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePhase {
+    /// Climb to the required height.
+    PreWork,
+    /// Distance-halving loop.
+    Main,
+    /// Local walk to the destination.
+    Finish,
+}
+
+/// A fully traced route: node sequence plus per-hop step/phase labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteTrace {
+    /// Visited nodes, starting at the source and ending at the destination.
+    pub path: Vec<NodeId>,
+    /// `steps[i]` describes the hop from `path[i]` to `path[i+1]`.
+    pub steps: Vec<RouteStep>,
+    /// `phases[i]` is the phase of hop `i`.
+    pub phases: Vec<RoutePhase>,
+    /// Whether the MAIN-PROCESS overshot the destination.
+    pub overshoot: bool,
+}
+
+impl RouteTrace {
+    /// Total hop count.
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Hops spent in the given phase.
+    pub fn hops_in(&self, phase: RoutePhase) -> usize {
+        self.phases.iter().filter(|&&p| p == phase).count()
+    }
+
+    /// Number of shortcut hops taken.
+    pub fn shortcut_hops(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|&&s| s == RouteStep::Shortcut)
+            .count()
+    }
+}
+
+/// Errors the router can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A node id was out of range.
+    NodeOutOfRange(NodeId),
+    /// The step cap was exceeded — indicates a construction bug, never an
+    /// expected outcome.
+    StepCapExceeded {
+        /// Source of the failed route.
+        s: NodeId,
+        /// Destination of the failed route.
+        t: NodeId,
+        /// Cap that was hit.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NodeOutOfRange(v) => write!(f, "node {v} out of range"),
+            RouteError::StepCapExceeded { s, t, cap } => {
+                write!(f, "routing {s} -> {t} exceeded the {cap}-hop step cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Route `s -> t` on the basic DSN with the paper's algorithm and return the
+/// full trace.
+pub fn route(dsn: &Dsn, s: NodeId, t: NodeId) -> Result<RouteTrace, RouteError> {
+    let n = dsn.n();
+    if s >= n {
+        return Err(RouteError::NodeOutOfRange(s));
+    }
+    if t >= n {
+        return Err(RouteError::NodeOutOfRange(t));
+    }
+
+    let mut trace = RouteTrace {
+        path: vec![s],
+        steps: Vec::new(),
+        phases: Vec::new(),
+        overshoot: false,
+    };
+    if s == t {
+        return Ok(trace);
+    }
+
+    let p = dsn.p() as usize;
+    let x = dsn.x();
+    // Generous cap: PRE-WORK <= p, MAIN <= 2p + overshoot, FINISH can be
+    // long for small x (up to n / 2^x), so cap at the trivially safe 4n.
+    let cap = 4 * n;
+    let mut u = s;
+
+    let push = |trace: &mut RouteTrace, v: NodeId, step: RouteStep, phase: RoutePhase| {
+        trace.path.push(v);
+        trace.steps.push(step);
+        trace.phases.push(phase);
+    };
+
+    // PRE-WORK: move pred while our level is below the required height
+    // (numerically: level greater than required level).
+    loop {
+        let d = dsn.cw_dist(u, t);
+        if d == 0 {
+            return Ok(trace);
+        }
+        let l = dsn.required_level(d);
+        if dsn.level(u) <= l {
+            break;
+        }
+        u = dsn.pred(u);
+        push(&mut trace, u, RouteStep::Pred, RoutePhase::PreWork);
+        if trace.steps.len() > cap {
+            return Err(RouteError::StepCapExceeded { s, t, cap });
+        }
+    }
+
+    // MAIN-PROCESS: shortcut when level matches, otherwise succ.
+    loop {
+        let d = dsn.cw_dist(u, t);
+        if d == 0 {
+            return Ok(trace);
+        }
+        if d <= p {
+            break; // close enough; leave the rest to FINISH
+        }
+        let lu = dsn.level(u);
+        if lu > x {
+            // The paper writes this stop condition as "l_u = x + 1"; for
+            // small x the current level can also sit above x + 1 right
+            // after PRE-WORK, so test the general form.
+            break; // no shortcut at this level
+        }
+        let l = dsn.required_level(d);
+        if lu == l {
+            let target = dsn
+                .shortcut(u)
+                .expect("level <= x nodes always own a shortcut");
+            let jump = dsn.cw_dist(u, target);
+            let overshoot = jump > d;
+            u = target;
+            push(&mut trace, u, RouteStep::Shortcut, RoutePhase::Main);
+            if overshoot {
+                trace.overshoot = true;
+                break;
+            }
+        } else {
+            u = dsn.succ(u);
+            push(&mut trace, u, RouteStep::Succ, RoutePhase::Main);
+        }
+        if trace.steps.len() > cap {
+            return Err(RouteError::StepCapExceeded { s, t, cap });
+        }
+    }
+
+    // FINISH: local walk. If the last shortcut overshot, walk back via
+    // pred; otherwise walk forward via succ.
+    while u != t {
+        let d = dsn.cw_dist(u, t);
+        let back = dsn.cw_dist(t, u);
+        if d <= back {
+            u = dsn.succ(u);
+            push(&mut trace, u, RouteStep::Succ, RoutePhase::Finish);
+        } else {
+            u = dsn.pred(u);
+            push(&mut trace, u, RouteStep::Pred, RoutePhase::Finish);
+        }
+        if trace.steps.len() > cap {
+            return Err(RouteError::StepCapExceeded { s, t, cap });
+        }
+    }
+
+    Ok(trace)
+}
+
+/// The Section V.D *overshoot-avoiding* routing variant: when the selected
+/// shortcut would overshoot the destination, step to the successor and use
+/// its (shorter, next-level) shortcut instead. The returned trace never
+/// overshoots, so FINISH only ever walks forward — at the cost of a
+/// possibly longer MAIN-PROCESS, exactly the trade-off the paper predicts.
+pub fn route_avoid_overshoot(dsn: &Dsn, s: NodeId, t: NodeId) -> Result<RouteTrace, RouteError> {
+    let n = dsn.n();
+    if s >= n {
+        return Err(RouteError::NodeOutOfRange(s));
+    }
+    if t >= n {
+        return Err(RouteError::NodeOutOfRange(t));
+    }
+    let mut trace = RouteTrace {
+        path: vec![s],
+        steps: Vec::new(),
+        phases: Vec::new(),
+        overshoot: false,
+    };
+    if s == t {
+        return Ok(trace);
+    }
+    let p = dsn.p() as usize;
+    let x = dsn.x();
+    let cap = 4 * n;
+    let mut u = s;
+
+    let push = |trace: &mut RouteTrace, v: NodeId, step: RouteStep, phase: RoutePhase| {
+        trace.path.push(v);
+        trace.steps.push(step);
+        trace.phases.push(phase);
+    };
+
+    // PRE-WORK: identical to the basic algorithm.
+    loop {
+        let d = dsn.cw_dist(u, t);
+        if d == 0 {
+            return Ok(trace);
+        }
+        let l = dsn.required_level(d);
+        if dsn.level(u) <= l {
+            break;
+        }
+        u = dsn.pred(u);
+        push(&mut trace, u, RouteStep::Pred, RoutePhase::PreWork);
+        if trace.steps.len() > cap {
+            return Err(RouteError::StepCapExceeded { s, t, cap });
+        }
+    }
+
+    // MAIN: take any non-overshooting shortcut at or above the required
+    // level; otherwise step succ (which also walks past overshooting
+    // shortcuts onto the next, shorter one — the Section V.D twist).
+    loop {
+        let d = dsn.cw_dist(u, t);
+        if d == 0 {
+            return Ok(trace);
+        }
+        if d <= p {
+            break;
+        }
+        let lu = dsn.level(u);
+        if lu > x {
+            break;
+        }
+        let l = dsn.required_level(d);
+        let jump_ok = lu >= l
+            && dsn
+                .shortcut(u)
+                .is_some_and(|sc| dsn.cw_dist(u, sc) <= d);
+        if jump_ok {
+            let target = dsn.shortcut(u).expect("checked above");
+            u = target;
+            push(&mut trace, u, RouteStep::Shortcut, RoutePhase::Main);
+        } else {
+            u = dsn.succ(u);
+            push(&mut trace, u, RouteStep::Succ, RoutePhase::Main);
+        }
+        if trace.steps.len() > cap {
+            return Err(RouteError::StepCapExceeded { s, t, cap });
+        }
+    }
+
+    // FINISH: forward-only by construction.
+    while u != t {
+        u = dsn.succ(u);
+        push(&mut trace, u, RouteStep::Succ, RoutePhase::Finish);
+        if trace.steps.len() > cap {
+            return Err(RouteError::StepCapExceeded { s, t, cap });
+        }
+    }
+    Ok(trace)
+}
+
+/// Summary statistics of the custom routing over every ordered pair
+/// (or a deterministic sample when `sample` is set below `n*(n-1)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingStats {
+    /// Pairs measured.
+    pub pairs: usize,
+    /// Maximum route length (the *routing diameter* of Fact 2).
+    pub max_hops: usize,
+    /// Mean route length (Theorem 2a bounds this by `2p`).
+    pub avg_hops: f64,
+    /// Mean hops per phase: (PRE-WORK, MAIN, FINISH).
+    pub avg_phase_hops: (f64, f64, f64),
+    /// Fraction of routes that overshot.
+    pub overshoot_rate: f64,
+}
+
+/// Route every ordered pair `(s, t)` with `s != t` and aggregate.
+pub fn routing_stats(dsn: &Dsn) -> RoutingStats {
+    let n = dsn.n();
+    let mut max_hops = 0usize;
+    let mut sum = 0u64;
+    let mut sums = (0u64, 0u64, 0u64);
+    let mut overshoots = 0usize;
+    let mut pairs = 0usize;
+    for s in 0..n {
+        for t in 0..n {
+            if s == t {
+                continue;
+            }
+            let tr = route(dsn, s, t).expect("routing must not fail on a valid DSN");
+            max_hops = max_hops.max(tr.hops());
+            sum += tr.hops() as u64;
+            sums.0 += tr.hops_in(RoutePhase::PreWork) as u64;
+            sums.1 += tr.hops_in(RoutePhase::Main) as u64;
+            sums.2 += tr.hops_in(RoutePhase::Finish) as u64;
+            overshoots += tr.overshoot as usize;
+            pairs += 1;
+        }
+    }
+    let pf = pairs.max(1) as f64;
+    RoutingStats {
+        pairs,
+        max_hops,
+        avg_hops: sum as f64 / pf,
+        avg_phase_hops: (sums.0 as f64 / pf, sums.1 as f64 / pf, sums.2 as f64 / pf),
+        overshoot_rate: overshoots as f64 / pf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_path_valid(dsn: &Dsn, tr: &RouteTrace, s: NodeId, t: NodeId) {
+        assert_eq!(tr.path[0], s);
+        assert_eq!(*tr.path.last().unwrap(), t);
+        assert_eq!(tr.path.len(), tr.steps.len() + 1);
+        for (i, step) in tr.steps.iter().enumerate() {
+            let (a, b) = (tr.path[i], tr.path[i + 1]);
+            match step {
+                RouteStep::Succ => assert_eq!(b, dsn.succ(a), "hop {i}"),
+                RouteStep::Pred => assert_eq!(b, dsn.pred(a), "hop {i}"),
+                RouteStep::Shortcut => {
+                    assert_eq!(Some(b), dsn.shortcut(a), "hop {i}");
+                    // Shortcuts are physical links.
+                    assert!(dsn.graph().has_edge(a, b), "hop {i} not a link");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_every_destination_small() {
+        let dsn = Dsn::new(64, 5).unwrap();
+        for s in 0..64 {
+            for t in 0..64 {
+                let tr = route(&dsn, s, t).unwrap();
+                check_path_valid(&dsn, &tr, s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_route() {
+        let dsn = Dsn::new(64, 5).unwrap();
+        let tr = route(&dsn, 7, 7).unwrap();
+        assert_eq!(tr.hops(), 0);
+        assert_eq!(tr.path, vec![7]);
+    }
+
+    #[test]
+    fn fact2_routing_diameter_bound() {
+        // Fact 2: max path length <= 3p + r for x > p - log2 p.
+        for &n in &[64usize, 128, 200, 256] {
+            let p = dsn_core::util::ceil_log2(n);
+            let dsn = Dsn::new(n, p - 1).unwrap();
+            let stats = routing_stats(&dsn);
+            let bound = 3 * p as usize + dsn.r();
+            assert!(
+                stats.max_hops <= bound,
+                "n={n}: routing diameter {} > {bound}",
+                stats.max_hops
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2a_expected_route_length() {
+        // E[route] <= 2p for uniform s, t (Theorem 2a).
+        for &n in &[128usize, 256, 512] {
+            let p = dsn_core::util::ceil_log2(n);
+            let dsn = Dsn::new(n, p - 1).unwrap();
+            let stats = routing_stats(&dsn);
+            assert!(
+                stats.avg_hops <= 2.0 * p as f64,
+                "n={n}: avg {} > 2p = {}",
+                stats.avg_hops,
+                2 * p
+            );
+        }
+    }
+
+    #[test]
+    fn phases_ordered_correctly() {
+        let dsn = Dsn::new(256, 7).unwrap();
+        for (s, t) in [(3usize, 250usize), (100, 5), (0, 128), (255, 254)] {
+            let tr = route(&dsn, s, t).unwrap();
+            // Phases must appear in PreWork* Main* Finish* order.
+            let mut max_rank = 0u8;
+            for ph in &tr.phases {
+                let rank = match ph {
+                    RoutePhase::PreWork => 0,
+                    RoutePhase::Main => 1,
+                    RoutePhase::Finish => 2,
+                };
+                assert!(rank >= max_rank, "phase order violated for {s}->{t}");
+                max_rank = max_rank.max(rank);
+            }
+        }
+    }
+
+    #[test]
+    fn prework_bounded_by_p() {
+        let dsn = Dsn::new(512, 8).unwrap();
+        for s in (0..512).step_by(7) {
+            for t in (0..512).step_by(13) {
+                let tr = route(&dsn, s, t).unwrap();
+                assert!(tr.hops_in(RoutePhase::PreWork) <= dsn.p() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn small_x_still_terminates() {
+        // With x = 1 the MAIN loop stops at level 2 and FINISH may be long,
+        // but routing must still succeed.
+        let dsn = Dsn::new(64, 1).unwrap();
+        for s in 0..64 {
+            for t in 0..64 {
+                let tr = route(&dsn, s, t).unwrap();
+                check_path_valid(&dsn, &tr, s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_supernode_handled() {
+        // n = 100, p = 7, r = 2: the final super node is incomplete.
+        let dsn = Dsn::new(100, 6).unwrap();
+        assert!(dsn.r() > 0);
+        let stats = routing_stats(&dsn);
+        assert!(stats.max_hops <= 3 * 7 + dsn.r());
+    }
+
+    #[test]
+    fn stats_consistency() {
+        let dsn = Dsn::new(64, 5).unwrap();
+        let stats = routing_stats(&dsn);
+        assert_eq!(stats.pairs, 64 * 63);
+        let (a, b, c) = stats.avg_phase_hops;
+        assert!((a + b + c - stats.avg_hops).abs() < 1e-9);
+        assert!(stats.overshoot_rate >= 0.0 && stats.overshoot_rate <= 1.0);
+    }
+
+    #[test]
+    fn avoid_overshoot_never_overshoots_and_reaches() {
+        for &n in &[64usize, 100, 256] {
+            let p = dsn_core::util::ceil_log2(n);
+            let dsn = Dsn::new(n, p - 1).unwrap();
+            for s in (0..n).step_by(3) {
+                for t in (0..n).step_by(5) {
+                    let tr = route_avoid_overshoot(&dsn, s, t).unwrap();
+                    assert!(!tr.overshoot);
+                    assert_eq!(*tr.path.last().unwrap(), t);
+                    // Forward-only FINISH: no Pred steps outside PRE-WORK.
+                    for (i, &st) in tr.steps.iter().enumerate() {
+                        if st == RouteStep::Pred {
+                            assert_eq!(tr.phases[i], RoutePhase::PreWork, "{s}->{t}");
+                        }
+                    }
+                    // Every hop is still a physical link.
+                    for w in tr.path.windows(2) {
+                        assert!(dsn.graph().has_edge(w[0], w[1]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avoid_overshoot_stays_within_routing_bound() {
+        // The variant should stay within the same asymptotic envelope; use
+        // a slightly relaxed 3.5p + r cap (MAIN may be longer, FINISH
+        // shorter).
+        let n = 252; // p = 8, r = 4
+        let dsn = Dsn::new(n, 7).unwrap();
+        let bound = (3.5 * 8.0) as usize + dsn.r();
+        for s in 0..n {
+            for t in 0..n {
+                let tr = route_avoid_overshoot(&dsn, s, t).unwrap();
+                assert!(tr.hops() <= bound, "{s}->{t}: {} > {bound}", tr.hops());
+            }
+        }
+    }
+
+    #[test]
+    fn avoid_overshoot_shrinks_finish_on_average() {
+        // Section V.D: "will help to reduce a lot in the FINISH, but may
+        // prolong the MAIN-PROCESS".
+        let dsn = Dsn::new(256, 7).unwrap();
+        let (mut fin_basic, mut fin_avoid) = (0usize, 0usize);
+        let (mut main_basic, mut main_avoid) = (0usize, 0usize);
+        for s in (0..256).step_by(3) {
+            for t in (0..256).step_by(7) {
+                let b = route(&dsn, s, t).unwrap();
+                let a = route_avoid_overshoot(&dsn, s, t).unwrap();
+                fin_basic += b.hops_in(RoutePhase::Finish);
+                fin_avoid += a.hops_in(RoutePhase::Finish);
+                main_basic += b.hops_in(RoutePhase::Main);
+                main_avoid += a.hops_in(RoutePhase::Main);
+            }
+        }
+        assert!(
+            fin_avoid <= fin_basic,
+            "FINISH should shrink: {fin_avoid} vs {fin_basic}"
+        );
+        assert!(
+            main_avoid >= main_basic,
+            "MAIN expected to grow or stay: {main_avoid} vs {main_basic}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let dsn = Dsn::new(64, 5).unwrap();
+        assert_eq!(route(&dsn, 64, 0), Err(RouteError::NodeOutOfRange(64)));
+        assert_eq!(route(&dsn, 0, 99), Err(RouteError::NodeOutOfRange(99)));
+    }
+}

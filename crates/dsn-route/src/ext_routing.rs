@@ -1,0 +1,280 @@
+//! Routing on the Section V extended topologies:
+//!
+//! * [`route_dsnd`] — DSN-D-x routing: the basic three-phase algorithm with
+//!   the PRE-WORK/FINISH local walks accelerated by the stride-`q` Skip
+//!   links ("this helps to reduce the long local walks ... our routing
+//!   algorithm can also be updated a little bit to reduce routing diameter
+//!   to 2p", Section V.B);
+//! * [`route_flexible`] — flexible-DSN routing: the base algorithm over
+//!   major nodes, lifted to physical ids, with the paper's minor-node rule
+//!   ("to route to a minor node we need to firstly route to the major node
+//!   just before it, and then use Succ links to reach it", Section V.C).
+
+use crate::dsn_routing::{route, RouteError, RoutePhase, RouteStep, RouteTrace};
+use dsn_core::dsn_ext::{DsnD, FlexibleDsn};
+use dsn_core::NodeId;
+
+/// Route on DSN-D-x: run the basic algorithm on the reduced-shortcut base,
+/// then compress every maximal run of same-direction local (ring) steps
+/// with Skip links where a full stride fits.
+pub fn route_dsnd(dsnd: &DsnD, s: NodeId, t: NodeId) -> Result<RouteTrace, RouteError> {
+    let base_trace = route(dsnd.base(), s, t)?;
+    let n = dsnd.n();
+    let q = dsnd.q();
+    let g = dsnd.graph();
+
+    let mut out = RouteTrace {
+        path: vec![s],
+        steps: Vec::new(),
+        phases: Vec::new(),
+        overshoot: base_trace.overshoot,
+    };
+
+    // Walk the base trace, grouping consecutive (step, phase) ring moves.
+    let mut i = 0usize;
+    while i < base_trace.steps.len() {
+        let step = base_trace.steps[i];
+        let phase = base_trace.phases[i];
+        if step == RouteStep::Shortcut {
+            let v = base_trace.path[i + 1];
+            out.path.push(v);
+            out.steps.push(RouteStep::Shortcut);
+            out.phases.push(phase);
+            i += 1;
+            continue;
+        }
+        // Extent of this run of identical ring moves.
+        let mut j = i;
+        while j < base_trace.steps.len()
+            && base_trace.steps[j] == step
+            && base_trace.phases[j] == phase
+        {
+            j += 1;
+        }
+        let run_len = j - i;
+        let target = base_trace.path[j];
+        // Re-walk the run from the current endpoint using Skip links.
+        let mut cur = *out.path.last().expect("non-empty path");
+        let mut remaining = run_len;
+        while remaining > 0 {
+            let skip_target = match step {
+                RouteStep::Succ => (cur + q) % n,
+                RouteStep::Pred => (cur + n - q) % n,
+                RouteStep::Shortcut => unreachable!(),
+            };
+            if remaining >= q && cur.is_multiple_of(q) && g.has_edge(cur, skip_target) {
+                cur = skip_target;
+                remaining -= q;
+                out.path.push(cur);
+                out.steps.push(RouteStep::Shortcut); // rides a Skip link
+                out.phases.push(phase);
+            } else {
+                cur = match step {
+                    RouteStep::Succ => (cur + 1) % n,
+                    RouteStep::Pred => (cur + n - 1) % n,
+                    RouteStep::Shortcut => unreachable!(),
+                };
+                remaining -= 1;
+                out.path.push(cur);
+                out.steps.push(step);
+                out.phases.push(phase);
+            }
+        }
+        debug_assert_eq!(cur, target, "skip-compressed run must land on target");
+        i = j;
+    }
+    Ok(out)
+}
+
+/// Route on a flexible DSN between *physical* node ids. The path is the
+/// base algorithm's route over majors, lifted to physical ids (ring steps
+/// between adjacent majors expand over any minors in between), with a
+/// final Succ walk for a minor destination and an initial walk from a
+/// minor source to its preceding major.
+pub fn route_flexible(
+    flex: &FlexibleDsn,
+    s: NodeId,
+    t: NodeId,
+) -> Result<RouteTrace, RouteError> {
+    let n = flex.n();
+    if s >= n {
+        return Err(RouteError::NodeOutOfRange(s));
+    }
+    if t >= n {
+        return Err(RouteError::NodeOutOfRange(t));
+    }
+    let mut out = RouteTrace {
+        path: vec![s],
+        steps: Vec::new(),
+        phases: Vec::new(),
+        overshoot: false,
+    };
+    if s == t {
+        return Ok(out);
+    }
+
+    // 1. From a minor source, walk pred to the preceding major (these are
+    //    PRE-WORK-like local moves).
+    let mut cur = s;
+    while !flex.is_major(cur) {
+        cur = (cur + n - 1) % n;
+        out.path.push(cur);
+        out.steps.push(RouteStep::Pred);
+        out.phases.push(RoutePhase::PreWork);
+    }
+    let s_major = flex.major_of(cur).expect("major");
+
+    // 2. Destination's covering major.
+    let t_anchor = flex.major_before(t);
+    let t_major = flex.major_of(t_anchor).expect("major");
+
+    // 3. Base route over majors, lifted to physical ids.
+    if s_major != t_major {
+        let base_trace = route(flex.base(), s_major, t_major)?;
+        for (k, &step) in base_trace.steps.iter().enumerate() {
+            let next_major = base_trace.path[k + 1];
+            let next_phys = flex.phys_of(next_major);
+            match step {
+                RouteStep::Shortcut => {
+                    out.path.push(next_phys);
+                    out.steps.push(RouteStep::Shortcut);
+                    out.phases.push(base_trace.phases[k]);
+                    cur = next_phys;
+                }
+                RouteStep::Succ => {
+                    while cur != next_phys {
+                        cur = (cur + 1) % n;
+                        out.path.push(cur);
+                        out.steps.push(RouteStep::Succ);
+                        out.phases.push(base_trace.phases[k]);
+                    }
+                }
+                RouteStep::Pred => {
+                    while cur != next_phys {
+                        cur = (cur + n - 1) % n;
+                        out.path.push(cur);
+                        out.steps.push(RouteStep::Pred);
+                        out.phases.push(base_trace.phases[k]);
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Succ-walk from the covering major to the destination (minor rule).
+    while cur != t {
+        cur = (cur + 1) % n;
+        out.path.push(cur);
+        out.steps.push(RouteStep::Succ);
+        out.phases.push(RoutePhase::Finish);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsn_routing::routing_stats;
+    use dsn_core::dsn::Dsn;
+
+    fn check_physical(g: &dsn_core::Graph, tr: &RouteTrace, s: NodeId, t: NodeId) {
+        assert_eq!(tr.path[0], s);
+        assert_eq!(*tr.path.last().unwrap(), t);
+        for w in tr.path.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "hop {}->{} missing", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn dsnd_routes_everywhere() {
+        let d = DsnD::new(256, 2).unwrap();
+        for s in (0..256).step_by(7) {
+            for t in (0..256).step_by(11) {
+                let tr = route_dsnd(&d, s, t).unwrap();
+                check_physical(d.graph(), &tr, s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn dsnd_never_longer_than_base() {
+        let d = DsnD::new(512, 2).unwrap();
+        let mut saved = 0usize;
+        for s in (0..512).step_by(13) {
+            for t in (0..512).step_by(17) {
+                let base = route(d.base(), s, t).unwrap();
+                let skip = route_dsnd(&d, s, t).unwrap();
+                assert!(skip.hops() <= base.hops(), "{s}->{t}");
+                saved += base.hops() - skip.hops();
+            }
+        }
+        assert!(saved > 0, "skip links should shorten some routes");
+    }
+
+    #[test]
+    fn dsnd_routing_diameter_improves() {
+        // Section V.B: the updated routing reduces the routing diameter
+        // (paper: toward ~2p). Verify DSN-D-2 beats the plain base and
+        // stays within 2.5p.
+        let n = 1024usize; // p = 10
+        let d = DsnD::new(n, 2).unwrap();
+        let mut max_base = 0usize;
+        let mut max_skip = 0usize;
+        for s in (0..n).step_by(3) {
+            for t in (0..n).step_by(41) {
+                max_base = max_base.max(route(d.base(), s, t).unwrap().hops());
+                max_skip = max_skip.max(route_dsnd(&d, s, t).unwrap().hops());
+            }
+        }
+        assert!(max_skip <= max_base);
+        assert!(
+            max_skip as f64 <= 2.5 * 10.0,
+            "routing diameter {max_skip} > 2.5p"
+        );
+    }
+
+    #[test]
+    fn flexible_routes_between_all_kinds_of_nodes() {
+        let flex = FlexibleDsn::new(60, 5, &[5, 20, 20, 40]).unwrap();
+        let n = flex.n();
+        for s in 0..n {
+            for t in 0..n {
+                let tr = route_flexible(&flex, s, t).unwrap();
+                check_physical(flex.graph(), &tr, s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn flexible_route_cost_is_near_base() {
+        // Minors only add local Succ/Pred hops; average should stay within
+        // a few hops of the pure-major base.
+        let flex = FlexibleDsn::new(126, 6, &[10, 50, 100]).unwrap();
+        let base = Dsn::new(126, 6).unwrap();
+        let base_avg = routing_stats(&base).avg_hops;
+        let n = flex.n();
+        let mut sum = 0usize;
+        let mut cnt = 0usize;
+        for s in (0..n).step_by(3) {
+            for t in (0..n).step_by(5) {
+                if s != t {
+                    sum += route_flexible(&flex, s, t).unwrap().hops();
+                    cnt += 1;
+                }
+            }
+        }
+        let avg = sum as f64 / cnt as f64;
+        assert!(
+            avg <= base_avg + 3.0,
+            "flexible avg {avg} vs base {base_avg}"
+        );
+    }
+
+    #[test]
+    fn flexible_trivial_and_error_cases() {
+        let flex = FlexibleDsn::new(60, 5, &[7]).unwrap();
+        assert_eq!(route_flexible(&flex, 5, 5).unwrap().hops(), 0);
+        assert!(route_flexible(&flex, 0, 61).is_err());
+        assert!(route_flexible(&flex, 61, 0).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Measurement collection: packet latency and accepted throughput over the
+//! measurement window, reported in both cycles and the paper's units
+//! (nanoseconds, Gbit/s/host).
+
+use crate::config::SimConfig;
+
+/// Collects events during a run.
+#[derive(Debug, Clone)]
+pub struct StatsCollector {
+    window_start: u64,
+    window_end: u64,
+    offered_packets_window: u64,
+    accepted_flits_window: u64,
+    measured_created: u64,
+    measured_delivered: u64,
+    latency_sum_cycles: u64,
+    latency_max_cycles: u64,
+    latency_min_cycles: u64,
+    /// Latency histogram in 16-cycle bins (for percentile estimation).
+    latency_hist: Vec<u64>,
+    delivered_total: u64,
+}
+
+const BIN: u64 = 16;
+
+impl StatsCollector {
+    /// New collector with the config's measurement window.
+    pub fn new(cfg: &SimConfig) -> Self {
+        StatsCollector {
+            window_start: cfg.warmup_cycles,
+            window_end: cfg.warmup_cycles + cfg.measure_cycles,
+            offered_packets_window: 0,
+            accepted_flits_window: 0,
+            measured_created: 0,
+            measured_delivered: 0,
+            latency_sum_cycles: 0,
+            latency_max_cycles: 0,
+            latency_min_cycles: u64::MAX,
+            latency_hist: Vec::new(),
+            delivered_total: 0,
+        }
+    }
+
+    /// A packet was offered (generated) at `now`.
+    pub fn on_offered(&mut self, now: u64, _flits: usize) {
+        if now >= self.window_start && now < self.window_end {
+            self.offered_packets_window += 1;
+            self.measured_created += 1;
+        }
+    }
+
+    /// A packet's tail flit was delivered at `now`.
+    pub fn on_delivered(&mut self, now: u64, created: u64, measured: bool, flits: usize) {
+        self.delivered_total += 1;
+        if now >= self.window_start && now < self.window_end {
+            self.accepted_flits_window += flits as u64;
+        }
+        if measured {
+            self.measured_delivered += 1;
+            let lat = now - created;
+            self.latency_sum_cycles += lat;
+            self.latency_max_cycles = self.latency_max_cycles.max(lat);
+            self.latency_min_cycles = self.latency_min_cycles.min(lat);
+            let bin = (lat / BIN) as usize;
+            if self.latency_hist.len() <= bin {
+                self.latency_hist.resize(bin + 1, 0);
+            }
+            self.latency_hist[bin] += 1;
+        }
+    }
+
+    /// Finalize into a [`RunStats`].
+    pub fn finish(self, cfg: &SimConfig, hosts: usize, total_packets: usize) -> RunStats {
+        let window = (self.window_end - self.window_start) as f64;
+        let avg_latency_cycles = if self.measured_delivered > 0 {
+            self.latency_sum_cycles as f64 / self.measured_delivered as f64
+        } else {
+            0.0
+        };
+        let accepted_fpc = self.accepted_flits_window as f64 / window / hosts as f64;
+        let offered_fpc =
+            self.offered_packets_window as f64 * cfg.packet_flits as f64 / window / hosts as f64;
+        let p99 = percentile(&self.latency_hist, self.measured_delivered, 0.99);
+        RunStats {
+            delivered_packets: self.measured_delivered,
+            created_packets: self.measured_created,
+            total_packets_all_time: total_packets as u64,
+            avg_latency_cycles,
+            avg_latency_ns: avg_latency_cycles * cfg.cycle_ns,
+            p99_latency_cycles: p99,
+            max_latency_cycles: if self.measured_delivered > 0 {
+                self.latency_max_cycles
+            } else {
+                0
+            },
+            min_latency_cycles: if self.measured_delivered > 0 {
+                self.latency_min_cycles
+            } else {
+                0
+            },
+            accepted_flits_per_cycle_per_host: accepted_fpc,
+            offered_flits_per_cycle_per_host: offered_fpc,
+            accepted_gbps_per_host: accepted_fpc * cfg.flit_bits as f64 / cfg.cycle_ns,
+            offered_gbps_per_host: offered_fpc * cfg.flit_bits as f64 / cfg.cycle_ns,
+            mean_channel_utilization: 0.0,
+            max_channel_utilization: 0.0,
+            longest_stall_cycles: 0,
+            deadlock_suspected: false,
+            completion_cycle: None,
+        }
+    }
+}
+
+fn percentile(hist: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = (total as f64 * q).ceil() as u64;
+    let mut seen = 0u64;
+    for (bin, &c) in hist.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return (bin as u64 + 1) * BIN;
+        }
+    }
+    hist.len() as u64 * BIN
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Packets created in the measurement window and delivered by run end.
+    pub delivered_packets: u64,
+    /// Packets created in the measurement window.
+    pub created_packets: u64,
+    /// Every packet ever created in the run.
+    pub total_packets_all_time: u64,
+    /// Mean end-to-end latency (cycles) of measured packets.
+    pub avg_latency_cycles: f64,
+    /// Mean end-to-end latency in nanoseconds — the paper's y-axis.
+    pub avg_latency_ns: f64,
+    /// Approximate 99th-percentile latency (cycles).
+    pub p99_latency_cycles: u64,
+    /// Maximum measured latency (cycles).
+    pub max_latency_cycles: u64,
+    /// Minimum measured latency (cycles).
+    pub min_latency_cycles: u64,
+    /// Accepted throughput, flits per cycle per host.
+    pub accepted_flits_per_cycle_per_host: f64,
+    /// Offered load, flits per cycle per host.
+    pub offered_flits_per_cycle_per_host: f64,
+    /// Accepted throughput in Gbit/s/host — the paper's x-axis.
+    pub accepted_gbps_per_host: f64,
+    /// Offered load in Gbit/s/host.
+    pub offered_gbps_per_host: f64,
+    /// Mean per-channel link utilization during the window (flits per
+    /// cycle per directed channel; 1.0 = fully busy). Filled by the engine.
+    pub mean_channel_utilization: f64,
+    /// Utilization of the busiest directed channel (the hotspot).
+    pub max_channel_utilization: f64,
+    /// Longest stretch of cycles with packets in flight but zero flit
+    /// movement anywhere in the network. Filled by the engine.
+    pub longest_stall_cycles: u64,
+    /// True when the stall watchdog fired: undelivered packets plus a
+    /// whole-network stall far beyond any legitimate pipeline wait —
+    /// the dynamic signature of a routing deadlock.
+    pub deadlock_suspected: bool,
+    /// For closed (batch) workloads: the cycle of the last delivery, i.e.
+    /// the makespan of the batch. `None` when the batch did not finish (or
+    /// the workload was open-loop).
+    pub completion_cycle: Option<u64>,
+}
+
+impl RunStats {
+    /// Fraction of measured packets that were delivered before the run
+    /// ended; below ~1.0 indicates saturation (or too little drain time).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.created_packets == 0 {
+            1.0
+        } else {
+            self.delivered_packets as f64 / self.created_packets as f64
+        }
+    }
+
+    /// Heuristic saturation flag: a run is saturated when it fails to
+    /// deliver most measured packets or accepted lags offered by > 10%.
+    pub fn saturated(&self) -> bool {
+        self.delivery_ratio() < 0.9
+            || (self.offered_flits_per_cycle_per_host > 0.0
+                && self.accepted_flits_per_cycle_per_host
+                    < 0.9 * self.offered_flits_per_cycle_per_host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::test_small()
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let c = cfg();
+        let mut s = StatsCollector::new(&c);
+        let t0 = c.warmup_cycles + 10;
+        s.on_offered(t0, c.packet_flits);
+        s.on_delivered(t0 + 50, t0, true, c.packet_flits);
+        let r = s.finish(&c, 8, 1);
+        assert_eq!(r.delivered_packets, 1);
+        assert_eq!(r.created_packets, 1);
+        assert!((r.avg_latency_cycles - 50.0).abs() < 1e-12);
+        assert_eq!(r.max_latency_cycles, 50);
+        assert_eq!(r.min_latency_cycles, 50);
+        assert!((r.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_window_packets_not_measured() {
+        let c = cfg();
+        let mut s = StatsCollector::new(&c);
+        s.on_offered(0, c.packet_flits); // warmup
+        s.on_delivered(5, 0, false, c.packet_flits);
+        let r = s.finish(&c, 8, 1);
+        assert_eq!(r.delivered_packets, 0);
+        assert_eq!(r.created_packets, 0);
+    }
+
+    #[test]
+    fn accepted_counts_window_deliveries() {
+        let c = cfg();
+        let mut s = StatsCollector::new(&c);
+        // delivered inside window though created during warmup
+        s.on_delivered(c.warmup_cycles + 1, 0, false, c.packet_flits);
+        let r = s.finish(&c, 1, 1);
+        assert!(r.accepted_flits_per_cycle_per_host > 0.0);
+    }
+
+    #[test]
+    fn saturation_flag() {
+        let c = cfg();
+        let mut s = StatsCollector::new(&c);
+        for i in 0..100 {
+            s.on_offered(c.warmup_cycles + i, c.packet_flits);
+        }
+        // only half delivered
+        for i in 0..50u64 {
+            s.on_delivered(c.warmup_cycles + i + 30, c.warmup_cycles + i, true, c.packet_flits);
+        }
+        let r = s.finish(&c, 8, 100);
+        assert!(r.saturated());
+        assert!((r.delivery_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_sane() {
+        let c = cfg();
+        let mut s = StatsCollector::new(&c);
+        for i in 0..100u64 {
+            let t0 = c.warmup_cycles + i;
+            s.on_offered(t0, c.packet_flits);
+            s.on_delivered(t0 + i, t0, true, c.packet_flits); // latencies 0..99
+        }
+        let r = s.finish(&c, 8, 100);
+        assert!(r.p99_latency_cycles >= 96, "p99 {}", r.p99_latency_cycles);
+        assert!((r.avg_latency_cycles - 49.5).abs() < 1e-9);
+    }
+}

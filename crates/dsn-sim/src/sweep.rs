@@ -1,0 +1,265 @@
+//! Load-sweep harness: run the simulator across a range of offered loads
+//! (in parallel with rayon) and produce the latency-vs-accepted-traffic
+//! curves of the paper's Figure 10.
+
+use crate::config::SimConfig;
+use crate::engine::Simulator;
+use crate::routing::SimRouting;
+use crate::stats::RunStats;
+use crate::traffic::TrafficPattern;
+use dsn_core::graph::Graph;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// One point of a load sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered load for this run, in Gbit/s/host.
+    pub offered_gbps: f64,
+    /// Full run statistics.
+    pub stats: RunStats,
+}
+
+/// Latency-vs-load curve for one topology + routing + pattern.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Display label (topology + routing).
+    pub label: String,
+    /// Traffic pattern name.
+    pub pattern: String,
+    /// Points in increasing offered load.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Accepted throughput at the last non-saturated point (the paper's
+    /// "largest amount of traffic accepted before the network saturates"),
+    /// in Gbit/s/host. Falls back to the highest accepted value measured.
+    pub fn saturation_throughput_gbps(&self) -> f64 {
+        let last_ok = self
+            .points
+            .iter()
+            .filter(|p| !p.stats.saturated())
+            .map(|p| p.stats.accepted_gbps_per_host)
+            .fold(0.0f64, f64::max);
+        if last_ok > 0.0 {
+            last_ok
+        } else {
+            self.points
+                .iter()
+                .map(|p| p.stats.accepted_gbps_per_host)
+                .fold(0.0f64, f64::max)
+        }
+    }
+
+    /// Mean latency (ns) at the lowest offered load — the paper's
+    /// "latency under low-traffic load".
+    pub fn low_load_latency_ns(&self) -> f64 {
+        self.points
+            .first()
+            .map(|p| p.stats.avg_latency_ns)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Run a load sweep: one simulation per offered load (Gbit/s/host), fanned
+/// out over the rayon pool. `make_routing` is called once per run so each
+/// simulation owns its routing tables.
+pub fn load_sweep(
+    label: impl Into<String>,
+    graph: Arc<Graph>,
+    cfg: &SimConfig,
+    make_routing: impl Fn() -> Arc<dyn SimRouting> + Sync,
+    pattern: &TrafficPattern,
+    offered_gbps: &[f64],
+    seed: u64,
+) -> SweepResult {
+    let label = label.into();
+    let points: Vec<SweepPoint> = offered_gbps
+        .par_iter()
+        .map(|&gbps| {
+            let rate = cfg.packets_per_cycle_for_gbps(gbps);
+            let sim = Simulator::new(
+                graph.clone(),
+                cfg.clone(),
+                make_routing(),
+                pattern.clone(),
+                rate,
+                seed ^ gbps.to_bits(),
+            );
+            SweepPoint {
+                offered_gbps: gbps,
+                stats: sim.run(),
+            }
+        })
+        .collect();
+    SweepResult {
+        label,
+        pattern: pattern.name().to_string(),
+        points,
+    }
+}
+
+/// Find the saturation throughput (Gbit/s/host) by bisection on offered
+/// load: the largest load in `[lo, hi]` the network accepts without
+/// saturating, to within `tol`. Returns `hi` when even the top of the
+/// range is absorbed (the true saturation point lies above the probe
+/// range). One simulation per probe.
+#[allow(clippy::too_many_arguments)]
+pub fn find_saturation(
+    graph: Arc<Graph>,
+    cfg: &SimConfig,
+    make_routing: impl Fn() -> Arc<dyn SimRouting>,
+    pattern: &TrafficPattern,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    seed: u64,
+) -> f64 {
+    assert!(lo > 0.0 && hi > lo && tol > 0.0, "invalid bisection range");
+    let probe = |gbps: f64| -> bool {
+        let rate = cfg.packets_per_cycle_for_gbps(gbps);
+        let sim = Simulator::new(
+            graph.clone(),
+            cfg.clone(),
+            make_routing(),
+            pattern.clone(),
+            rate,
+            seed ^ gbps.to_bits(),
+        );
+        sim.run().saturated()
+    };
+    if !probe(hi) {
+        return hi;
+    }
+    if probe(lo) {
+        return lo; // saturated everywhere in range; report the floor
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if probe(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+/// The offered-load grid of the paper's Figure 10 (0.5 – 12 Gbit/s/host).
+pub fn paper_load_grid() -> Vec<f64> {
+    vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0]
+}
+
+/// Render a sweep as aligned text rows (offered, accepted, latency-ns,
+/// delivery ratio) for the figure binaries.
+pub fn format_sweep(result: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {} / {} traffic\n# {:>8} {:>10} {:>12} {:>9} {:>6}\n",
+        result.label, result.pattern, "offered", "accepted", "latency[ns]", "delivered", "sat"
+    ));
+    for p in &result.points {
+        out.push_str(&format!(
+            "  {:>8.2} {:>10.3} {:>12.1} {:>9.3} {:>6}\n",
+            p.offered_gbps,
+            p.stats.accepted_gbps_per_host,
+            p.stats.avg_latency_ns,
+            p.stats.delivery_ratio(),
+            if p.stats.saturated() { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::AdaptiveEscape;
+    use dsn_core::ring::Ring;
+
+    #[test]
+    fn sweep_produces_monotone_accepted_until_saturation() {
+        let g = Arc::new(Ring::new(8).unwrap().into_graph());
+        let cfg = SimConfig::test_small();
+        let vcs = cfg.vcs;
+        let grid = [0.5, 2.0, 8.0];
+        // test_small has cycle_ns = 1 and 256-bit flits: x Gbps/host ->
+        // x/256 flits per cycle per host... keep loads tiny.
+        let res = load_sweep(
+            "ring-8",
+            g.clone(),
+            &cfg,
+            || Arc::new(AdaptiveEscape::new(g.clone(), vcs)),
+            &TrafficPattern::Uniform,
+            &grid,
+            1,
+        );
+        assert_eq!(res.points.len(), 3);
+        assert!(res.points[0].stats.delivered_packets > 0);
+        // offered recorded in order
+        assert!(res.points.windows(2).all(|w| w[0].offered_gbps < w[1].offered_gbps));
+        let text = format_sweep(&res);
+        assert!(text.contains("ring-8"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn find_saturation_brackets() {
+        // A ring of 8 with tiny packets saturates somewhere; bisection must
+        // return a value inside the probe range, and the point just below
+        // must actually be absorbable.
+        let g = Arc::new(Ring::new(8).unwrap().into_graph());
+        let cfg = SimConfig::test_small();
+        let vcs = cfg.vcs;
+        let sat = find_saturation(
+            g.clone(),
+            &cfg,
+            || Arc::new(AdaptiveEscape::new(g.clone(), vcs)),
+            &TrafficPattern::Uniform,
+            1.0,
+            200.0,
+            10.0,
+            3,
+        );
+        assert!((1.0..=200.0).contains(&sat), "saturation {sat}");
+    }
+
+    #[test]
+    fn channel_utilization_reported() {
+        let g = Arc::new(Ring::new(8).unwrap().into_graph());
+        let cfg = SimConfig::test_small();
+        let vcs = cfg.vcs;
+        let res = load_sweep(
+            "ring-8",
+            g.clone(),
+            &cfg,
+            || Arc::new(AdaptiveEscape::new(g.clone(), vcs)),
+            &TrafficPattern::Uniform,
+            &[4.0],
+            9,
+        );
+        let s = &res.points[0].stats;
+        assert!(s.mean_channel_utilization > 0.0);
+        assert!(s.max_channel_utilization >= s.mean_channel_utilization);
+        assert!(s.max_channel_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn saturation_throughput_positive() {
+        let g = Arc::new(Ring::new(8).unwrap().into_graph());
+        let cfg = SimConfig::test_small();
+        let vcs = cfg.vcs;
+        let res = load_sweep(
+            "ring-8",
+            g.clone(),
+            &cfg,
+            || Arc::new(AdaptiveEscape::new(g.clone(), vcs)),
+            &TrafficPattern::Uniform,
+            &[0.5, 1.0],
+            2,
+        );
+        assert!(res.saturation_throughput_gbps() > 0.0);
+        assert!(res.low_load_latency_ns() > 0.0);
+    }
+}

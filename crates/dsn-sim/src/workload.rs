@@ -1,0 +1,92 @@
+//! Workload descriptions: the paper's open-loop synthetic traffic, plus
+//! closed *batch* workloads (e.g. a full all-to-all exchange) whose
+//! completion time — not steady-state latency — is the figure of merit,
+//! matching the collective-communication patterns that make HPC
+//! applications latency-sensitive in the first place (paper Section I).
+
+use crate::traffic::TrafficPattern;
+
+/// What drives packet injection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Open loop: every host injects with the given probability per cycle,
+    /// destinations drawn from the pattern (the Figure 10 methodology).
+    Open {
+        /// Destination distribution.
+        pattern: TrafficPattern,
+        /// Injection probability per host per cycle.
+        packets_per_cycle_per_host: f64,
+    },
+    /// Closed batch: a fixed list of `(src_host, dest_host)` packets all
+    /// enqueued at cycle 0; the run ends when the last one is delivered.
+    Closed {
+        /// The packets to exchange.
+        packets: Vec<(usize, usize)>,
+    },
+}
+
+impl Workload {
+    /// A full all-to-all exchange: every ordered pair of distinct hosts,
+    /// in a src-major order (each host's send queue is its destination
+    /// sequence).
+    pub fn all_to_all(hosts: usize) -> Self {
+        let mut packets = Vec::with_capacity(hosts * (hosts - 1));
+        for s in 0..hosts {
+            for d in 0..hosts {
+                if s != d {
+                    packets.push((s, d));
+                }
+            }
+        }
+        Workload::Closed { packets }
+    }
+
+    /// A ring shift: host `i` sends `count` packets to host `(i + offset)
+    /// mod hosts` — the nearest-neighbor exchange of stencil codes.
+    pub fn ring_shift(hosts: usize, offset: usize, count: usize) -> Self {
+        let mut packets = Vec::with_capacity(hosts * count);
+        for _ in 0..count {
+            for s in 0..hosts {
+                let d = (s + offset) % hosts;
+                if d != s {
+                    packets.push((s, d));
+                }
+            }
+        }
+        Workload::Closed { packets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_counts() {
+        let w = Workload::all_to_all(8);
+        let Workload::Closed { packets } = w else {
+            panic!("expected closed")
+        };
+        assert_eq!(packets.len(), 8 * 7);
+        assert!(packets.iter().all(|&(s, d)| s != d && s < 8 && d < 8));
+    }
+
+    #[test]
+    fn ring_shift_counts() {
+        let w = Workload::ring_shift(8, 1, 3);
+        let Workload::Closed { packets } = w else {
+            panic!("expected closed")
+        };
+        assert_eq!(packets.len(), 24);
+        assert!(packets.iter().all(|&(s, d)| d == (s + 1) % 8));
+    }
+
+    #[test]
+    fn self_sends_skipped() {
+        let w = Workload::ring_shift(4, 4, 1); // offset = hosts -> self
+        let Workload::Closed { packets } = w else {
+            panic!("expected closed")
+        };
+        assert!(packets.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a DSN, inspect its structure, route a packet with the
+//! paper's custom algorithm, and analyze the graph.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use dsn::core::dsn::Dsn;
+use dsn::metrics::path_stats;
+use dsn::route::dsn_routing::{route, RoutePhase};
+
+fn main() {
+    // DSN-9-1020: 1020 switches (a multiple of p = 10, so every super node
+    // is complete), with the maximum shortcut set x = p - 1 = 9.
+    let dsn = Dsn::new_clean(1024).expect("valid parameters");
+    println!(
+        "built DSN-{}-{}: p = {}, r = {}, {} links",
+        dsn.x(),
+        dsn.n(),
+        dsn.p(),
+        dsn.r(),
+        dsn.graph().edge_count()
+    );
+
+    // Fact 1: almost constant degree.
+    let hist = dsn.graph().degree_histogram();
+    println!(
+        "degrees: min {}, avg {:.2}, max {} (histogram {:?})",
+        dsn.graph().min_degree(),
+        dsn.graph().avg_degree(),
+        dsn.graph().max_degree(),
+        hist
+    );
+
+    // Each node of level l <= x owns a shortcut to the clockwise-nearest
+    // node of level l+1 at distance >= n / 2^l.
+    for v in [0usize, 1, 2, 500] {
+        match dsn.shortcut(v) {
+            Some(t) => println!(
+                "node {v:>4} (level {}) -> shortcut to {t:>4} (level {}), span {}",
+                dsn.level(v),
+                dsn.level(t),
+                dsn.cw_dist(v, t)
+            ),
+            None => println!("node {v:>4} (level {}) has no shortcut", dsn.level(v)),
+        }
+    }
+
+    // Route with the paper's three-phase algorithm.
+    let (s, t) = (3usize, 777usize);
+    let trace = route(&dsn, s, t).expect("routing succeeds");
+    println!(
+        "\nroute {s} -> {t}: {} hops ({} pre-work, {} main, {} finish), overshoot = {}",
+        trace.hops(),
+        trace.hops_in(RoutePhase::PreWork),
+        trace.hops_in(RoutePhase::Main),
+        trace.hops_in(RoutePhase::Finish),
+        trace.overshoot
+    );
+    println!("path: {:?}", trace.path);
+    let bound = 3 * dsn.p() as usize + dsn.r();
+    assert!(trace.hops() <= bound, "Fact 2: route within 3p + r = {bound}");
+
+    // Graph analysis (the quantities of Figures 7 and 8).
+    let stats = path_stats(dsn.graph());
+    println!(
+        "\ndiameter = {} (bound 2.5p + r = {:.1}), aspl = {:.3} (bound 1.5p = {})",
+        stats.diameter,
+        2.5 * dsn.p() as f64 + dsn.r() as f64,
+        stats.aspl,
+        1.5 * dsn.p() as f64
+    );
+}

@@ -1,0 +1,31 @@
+//! # dsn — Distributed Shortcut Networks (umbrella crate)
+//!
+//! Re-exports the full public API of the DSN reproduction workspace:
+//!
+//! * [`core`] — graph substrate + every topology (DSN and baselines)
+//! * [`metrics`] — parallel graph analysis (diameter, ASPL, ...)
+//! * [`layout`] — machine-room floorplan and cable-length model
+//! * [`route`] — DSN custom routing, up*/down*, deadlock analysis
+//! * [`sim`] — cycle-driven flit-level network simulator
+//!
+//! ```
+//! use dsn::core::dsn::Dsn;
+//! use dsn::metrics::path_stats;
+//! use dsn::route::dsn_routing::route;
+//!
+//! // The paper's headline structure in three lines:
+//! let dsn = Dsn::new_clean(256).unwrap();
+//! assert!(dsn.graph().max_degree() <= 5);                      // Fact 1
+//! assert!(path_stats(dsn.graph()).diameter as f64
+//!         <= 2.5 * dsn.p() as f64 + dsn.r() as f64);           // Thm 1b
+//! assert!(route(&dsn, 0, 200).unwrap().hops()
+//!         <= 3 * dsn.p() as usize + dsn.r());                  // Fact 2
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dsn_core as core;
+pub use dsn_layout as layout;
+pub use dsn_metrics as metrics;
+pub use dsn_route as route;
+pub use dsn_sim as sim;

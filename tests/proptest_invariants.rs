@@ -1,0 +1,122 @@
+//! Property-based tests (proptest) over randomly drawn parameters: the
+//! paper's structural invariants must hold for *every* valid DSN, not just
+//! the sizes in the figures.
+#![allow(clippy::needless_range_loop)] // indices are node ids throughout
+
+use dsn::core::dsn::Dsn;
+use dsn::core::dsn_ext::{DsnD, DsnE, FlexibleDsn};
+use dsn::core::util::ceil_log2;
+use dsn::metrics::bfs_distances;
+use dsn::route::dsn_routing::route;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fact1_degrees_for_random_params(n in 8usize..1200, xsel in 0u32..8) {
+        let p = ceil_log2(n);
+        let x = 1 + xsel % (p - 1).max(1);
+        let dsn = Dsn::new(n, x).unwrap();
+        let g = dsn.graph();
+        let mut deg5 = 0usize;
+        for v in 0..n {
+            let d = g.degree(v);
+            prop_assert!((2..=5).contains(&d), "n={} x={} v={} deg={}", n, x, v, d);
+            if d == 5 { deg5 += 1; }
+        }
+        prop_assert!(deg5 <= p as usize);
+        prop_assert!(g.avg_degree() <= 4.0 + 1e-9);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn routing_always_reaches_and_respects_bound(n in 16usize..600, seed in 0u64..1000) {
+        let p = ceil_log2(n);
+        let dsn = Dsn::new(n, p - 1).unwrap();
+        // Derive a pseudo-random pair from the seed.
+        let s = (seed as usize * 7919) % n;
+        let t = (seed as usize * 104729 + 1) % n;
+        let tr = route(&dsn, s, t).unwrap();
+        prop_assert_eq!(tr.path[0], s);
+        prop_assert_eq!(*tr.path.last().unwrap(), t);
+        if s != t {
+            let bound = 3 * p as usize + dsn.r();
+            prop_assert!(tr.hops() <= bound, "{}->{} took {} > {}", s, t, tr.hops(), bound);
+        }
+        // Every hop is a physical link or the logical shortcut pointer.
+        for w in tr.path.windows(2) {
+            prop_assert!(
+                dsn.graph().has_edge(w[0], w[1]),
+                "hop {}->{} is not a link", w[0], w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn routed_path_at_least_shortest(n in 16usize..300, seed in 0u64..500) {
+        let p = ceil_log2(n);
+        let dsn = Dsn::new(n, p - 1).unwrap();
+        let s = (seed as usize * 31) % n;
+        let t = (seed as usize * 17 + 3) % n;
+        let tr = route(&dsn, s, t).unwrap();
+        let dist = bfs_distances(dsn.graph(), s)[t] as usize;
+        prop_assert!(tr.hops() >= dist);
+    }
+
+    #[test]
+    fn shortcut_invariants(n in 8usize..1200) {
+        let p = ceil_log2(n);
+        let dsn = Dsn::new(n, p - 1).unwrap();
+        for v in 0..n {
+            match dsn.shortcut(v) {
+                Some(t) => {
+                    let l = dsn.level(v);
+                    prop_assert!(l <= dsn.x());
+                    prop_assert_eq!(dsn.level(t), l + 1);
+                    let min_jump = n.div_ceil(1usize << l);
+                    prop_assert!(dsn.cw_dist(v, t) >= min_jump);
+                }
+                None => prop_assert!(dsn.level(v) > dsn.x()),
+            }
+        }
+    }
+
+    #[test]
+    fn dsn_e_connected_and_bounded_degree(n in 8usize..800) {
+        let e = DsnE::new(n).unwrap();
+        prop_assert!(e.graph().is_connected());
+        prop_assert!(e.graph().max_degree() <= 9);
+    }
+
+    #[test]
+    fn dsn_d_connected_and_no_worse_eccentricity_from_0(n in 16usize..800, x in 1u32..4) {
+        let d = DsnD::new(n, x).unwrap();
+        prop_assert!(d.graph().is_connected());
+        let ecc_d = bfs_distances(d.graph(), 0).iter().copied().max().unwrap();
+        let ecc_base = bfs_distances(d.base().graph(), 0).iter().copied().max().unwrap();
+        prop_assert!(ecc_d <= ecc_base);
+    }
+
+    #[test]
+    fn flexible_dsn_minor_invariants(base_k in 3usize..40, minors in 0usize..10) {
+        // base_n = a multiple of its own p; search downward from 32*base_k.
+        let target = 32 * base_k;
+        let p = ceil_log2(target) as usize;
+        let base_n = (target / p) * p;
+        prop_assume!(base_n >= 8);
+        let p2 = ceil_log2(base_n);
+        prop_assume!(base_n.is_multiple_of(p2 as usize));
+        let spread: Vec<usize> = (0..minors).map(|i| (i + 1) * base_n / (minors + 1) % base_n).collect();
+        let f = FlexibleDsn::new(base_n, p2 - 1, &spread).unwrap();
+        prop_assert_eq!(f.n(), base_n + minors);
+        prop_assert!(f.graph().is_connected());
+        for v in 0..f.n() {
+            if !f.is_major(v) {
+                prop_assert_eq!(f.graph().degree(v), 2);
+                let m = f.major_before(v);
+                prop_assert!(f.is_major(m));
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate tests of the custom routing algorithm's quality: the routed
+//! path versus the true shortest path (dsn-route vs dsn-metrics).
+#![allow(clippy::needless_range_loop)] // indices are node ids throughout
+
+use dsn::core::dsn::Dsn;
+use dsn::metrics::{bfs_distances, path_stats};
+use dsn::route::dsn_routing::{route, routing_stats};
+use dsn::route::updown::UpDown;
+
+#[test]
+fn custom_route_never_shorter_than_bfs_and_never_absurd() {
+    let dsn = Dsn::new(256, 7).unwrap();
+    let g = dsn.graph();
+    for s in (0..256).step_by(17) {
+        let dist = bfs_distances(g, s);
+        for t in 0..256 {
+            if s == t {
+                continue;
+            }
+            let tr = route(&dsn, s, t).unwrap();
+            let shortest = dist[t] as usize;
+            assert!(tr.hops() >= shortest, "{s}->{t}");
+            // Fact 2 bounds the absolute length; relative stretch is small
+            // in practice (custom routing is "almost optimum").
+            assert!(
+                tr.hops() <= shortest + 2 * dsn.p() as usize,
+                "{s}->{t}: routed {} vs shortest {shortest}",
+                tr.hops()
+            );
+        }
+    }
+}
+
+#[test]
+fn average_stretch_is_modest() {
+    // Theorem 2a: E[route] <= 2p while E[shortest] <= 1.5p; so the average
+    // stretch should be well under 2.
+    for n in [128usize, 512] {
+        let p = dsn::core::util::ceil_log2(n);
+        let dsn = Dsn::new(n, p - 1).unwrap();
+        let rstats = routing_stats(&dsn);
+        let pstats = path_stats(dsn.graph());
+        let stretch = rstats.avg_hops / pstats.aspl;
+        assert!(
+            (1.0..2.0).contains(&stretch),
+            "n={n}: stretch {stretch:.3}"
+        );
+    }
+}
+
+#[test]
+fn custom_vs_updown_tradeoff() {
+    // Section VII.B positions custom routing as *simpler and better
+    // balanced*, not shorter: up*/down* picks globally shortest legal
+    // paths from precomputed tables, while the custom algorithm routes
+    // with local information only. Pin the measured relationship: custom
+    // stays within 1.5x of up*/down* average length, and both respect the
+    // ASPL floor.
+    let dsn = Dsn::new(126, 6).unwrap(); // p = 7, complete super nodes
+    let rstats = routing_stats(&dsn);
+    let ud = UpDown::new(dsn.graph(), 0);
+    let ud_avg = ud.avg_path_length();
+    let aspl = path_stats(dsn.graph()).aspl;
+    assert!(ud_avg >= aspl);
+    assert!(rstats.avg_hops >= aspl);
+    assert!(
+        rstats.avg_hops <= ud_avg * 1.5,
+        "custom avg {} too far above up*/down* avg {ud_avg}",
+        rstats.avg_hops
+    );
+    // And the custom algorithm's bound from Theorem 2a still holds.
+    assert!(rstats.avg_hops <= 2.0 * dsn.p() as f64);
+}
+
+#[test]
+fn updown_vs_shortest_inflation_exists() {
+    // Sanity that the up*/down* inflation the paper worries about is real
+    // and measurable on DSN graphs.
+    let dsn = Dsn::new(128, 6).unwrap();
+    let ud = UpDown::new(dsn.graph(), 0);
+    let pstats = path_stats(dsn.graph());
+    assert!(ud.avg_path_length() >= pstats.aspl);
+}
+
+#[test]
+fn overshoot_is_bounded_by_p_plus_r() {
+    // Figure 5's overshoot analysis: the FINISH walk after an overshoot
+    // covers at most p + r hops.
+    for n in [100usize, 256, 500] {
+        let p = dsn::core::util::ceil_log2(n);
+        let dsn = Dsn::new(n, p - 1).unwrap();
+        for s in (0..n).step_by(7) {
+            for t in (0..n).step_by(11) {
+                if s == t {
+                    continue;
+                }
+                let tr = route(&dsn, s, t).unwrap();
+                if tr.overshoot {
+                    let finish = tr.hops_in(dsn::route::RoutePhase::Finish);
+                    assert!(
+                        finish <= p as usize + dsn.r() + 1,
+                        "n={n} {s}->{t}: overshoot finish {finish}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests over the simulator: for arbitrary small topologies,
+//! loads and seeds, the engine must uphold its accounting invariants —
+//! no panics, sane ratios, conservation between offered and delivered.
+
+use dsn::core::topology::TopologySpec;
+use dsn::sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern, Workload};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 1_500,
+        drain_cycles: 3_000,
+        ..SimConfig::test_small()
+    }
+}
+
+fn arb_topology() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (8usize..40).prop_map(|n| TopologySpec::Ring { n }),
+        (8usize..40).prop_map(|n| TopologySpec::Dsn {
+            n,
+            x: dsn::core::util::ceil_log2(n) - 1
+        }),
+        (3usize..7).prop_map(|k| TopologySpec::Torus2D { n: k * k }),
+        (8usize..33).prop_map(|n| TopologySpec::DlnRandom { n, x: 2, y: 2, seed: 7 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn open_loop_invariants(spec in arb_topology(), rate_millis in 1u32..30, seed in 0u64..100) {
+        let built = spec.build().unwrap();
+        let g = Arc::new(built.graph);
+        let cfg = cfg();
+        let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+        let rate = rate_millis as f64 / 1000.0;
+        let stats = Simulator::new(g, cfg, routing, TrafficPattern::Uniform, rate, seed).run();
+
+        prop_assert!(stats.delivery_ratio() >= 0.0 && stats.delivery_ratio() <= 1.0);
+        prop_assert!(stats.delivered_packets <= stats.created_packets);
+        prop_assert!(stats.accepted_flits_per_cycle_per_host >= 0.0);
+        prop_assert!(stats.max_channel_utilization <= 1.0 + 1e-9);
+        prop_assert!(stats.mean_channel_utilization <= stats.max_channel_utilization + 1e-9);
+        if stats.delivered_packets > 0 {
+            prop_assert!(stats.min_latency_cycles <= stats.max_latency_cycles);
+            prop_assert!(stats.avg_latency_cycles >= stats.min_latency_cycles as f64);
+            prop_assert!(stats.avg_latency_cycles <= stats.max_latency_cycles as f64);
+        }
+        // Adaptive + escape on 4 VCs is deadlock-free; the watchdog must
+        // never fire regardless of load.
+        prop_assert!(!stats.deadlock_suspected, "stall {}", stats.longest_stall_cycles);
+    }
+
+    #[test]
+    fn closed_batches_conserve_packets(spec in arb_topology(), shift in 1usize..5, seed in 0u64..50) {
+        let built = spec.build().unwrap();
+        let n = built.graph.node_count();
+        let g = Arc::new(built.graph);
+        let mut c = cfg();
+        c.drain_cycles = 200_000;
+        let hosts = n * c.hosts_per_switch;
+        let routing = Arc::new(AdaptiveEscape::new(g.clone(), c.vcs));
+        let w = Workload::ring_shift(hosts, shift % hosts.max(1), 2);
+        let expected = match &w {
+            Workload::Closed { packets } => packets.len() as u64,
+            _ => unreachable!(),
+        };
+        let stats = Simulator::with_workload(g, c, routing, w, seed).run();
+        prop_assert_eq!(stats.total_packets_all_time, expected);
+        prop_assert!(stats.completion_cycle.is_some(), "batch did not drain");
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end simulation tests: the Figure 10 *shape* claims on a reduced
+//! (but structurally identical) configuration so the suite stays fast.
+//!
+//! The paper's full-scale parameters are exercised by
+//! `cargo run -p dsn-bench --bin fig10_simulation`.
+
+use dsn::core::topology::TopologySpec;
+use dsn::sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
+use std::sync::Arc;
+
+const SEED: u64 = 0xD5B0_2013;
+
+/// Paper parameters with shortened windows.
+fn quick_cfg() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 3_000,
+        measure_cycles: 10_000,
+        drain_cycles: 10_000,
+        ..SimConfig::default()
+    }
+}
+
+fn run(graph: Arc<dsn::core::Graph>, pattern: TrafficPattern, gbps: f64) -> dsn::sim::RunStats {
+    let cfg = quick_cfg();
+    let rate = cfg.packets_per_cycle_for_gbps(gbps);
+    let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+    Simulator::new(graph, cfg, routing, pattern, rate, 99).run()
+}
+
+#[test]
+fn fig10_low_load_latency_ordering_uniform() {
+    // Figure 10(a): under low uniform load, DSN and RANDOM sit below torus.
+    let [dsn, torus, random] = TopologySpec::paper_trio(64, SEED);
+    let l_dsn = run(Arc::new(dsn.build().unwrap().graph), TrafficPattern::Uniform, 2.0);
+    let l_torus = run(Arc::new(torus.build().unwrap().graph), TrafficPattern::Uniform, 2.0);
+    let l_rand = run(Arc::new(random.build().unwrap().graph), TrafficPattern::Uniform, 2.0);
+    assert!(l_dsn.delivery_ratio() > 0.95);
+    assert!(l_torus.delivery_ratio() > 0.95);
+    assert!(
+        l_dsn.avg_latency_ns < l_torus.avg_latency_ns,
+        "DSN {:.0} ns !< torus {:.0} ns",
+        l_dsn.avg_latency_ns,
+        l_torus.avg_latency_ns
+    );
+    // DSN within ~15% of RANDOM ("almost the same curves").
+    let gap = (l_dsn.avg_latency_ns - l_rand.avg_latency_ns).abs() / l_rand.avg_latency_ns;
+    assert!(gap < 0.15, "DSN vs RANDOM latency gap {gap:.3}");
+}
+
+#[test]
+fn fig10_latency_grows_with_load() {
+    let [dsn, _, _] = TopologySpec::paper_trio(64, SEED);
+    let g = Arc::new(dsn.build().unwrap().graph);
+    let low = run(g.clone(), TrafficPattern::Uniform, 1.0);
+    let high = run(g, TrafficPattern::Uniform, 10.0);
+    assert!(high.avg_latency_ns > low.avg_latency_ns);
+    assert!(low.delivery_ratio() > 0.95);
+}
+
+#[test]
+fn fig10_all_patterns_deliver_at_low_load() {
+    let [dsn, _, _] = TopologySpec::paper_trio(64, SEED);
+    let g = Arc::new(dsn.build().unwrap().graph);
+    for pattern in [
+        TrafficPattern::Uniform,
+        TrafficPattern::BitReversal,
+        TrafficPattern::neighboring_paper(),
+    ] {
+        let stats = run(g.clone(), pattern.clone(), 2.0);
+        assert!(
+            stats.delivery_ratio() > 0.95,
+            "{}: delivery {:.3}",
+            pattern.name(),
+            stats.delivery_ratio()
+        );
+        assert!(stats.avg_latency_ns > 300.0, "{} latency implausibly low", pattern.name());
+        assert!(stats.avg_latency_ns < 3_000.0, "{} latency implausibly high", pattern.name());
+    }
+}
+
+#[test]
+fn accepted_tracks_offered_at_low_load() {
+    let [dsn, _, _] = TopologySpec::paper_trio(64, SEED);
+    let g = Arc::new(dsn.build().unwrap().graph);
+    for gbps in [1.0, 4.0] {
+        let stats = run(g.clone(), TrafficPattern::Uniform, gbps);
+        let err = (stats.accepted_gbps_per_host - gbps).abs() / gbps;
+        assert!(err < 0.1, "accepted {} vs offered {gbps}", stats.accepted_gbps_per_host);
+    }
+}
