@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsn_core::dsn::Dsn;
+use dsn_core::parallel::Parallelism;
 use dsn_route::deadlock::dsnv_cdg;
-use dsn_route::dsn_routing::route;
+use dsn_route::dsn_routing::{route, routing_stats_with};
 use dsn_route::updown::UpDown;
 use std::hint::black_box;
 
@@ -33,6 +34,21 @@ fn bench_routing(c: &mut Criterion) {
             b.iter(|| black_box(UpDown::new(g, 0)))
         });
     }
+    group.finish();
+
+    // All-pairs sweep, serial loop vs per-source rayon fan-out. On a
+    // multi-core host the parallel row should beat serial by roughly the
+    // core count; the results are bit-identical either way.
+    let mut group = c.benchmark_group("routing_stats_2048");
+    group.sample_size(10);
+    let p = dsn_core::util::ceil_log2(2048);
+    let dsn = Dsn::new(2048, p - 1).unwrap();
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(routing_stats_with(&dsn, &Parallelism::serial())))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(routing_stats_with(&dsn, &Parallelism::auto())))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("cdg_check");

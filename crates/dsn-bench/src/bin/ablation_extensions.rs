@@ -20,15 +20,24 @@ fn main() {
     println!("{}", TopologyReport::header());
     for x in 1..p {
         let dsn = Dsn::new(n, x).expect("dsn");
-        println!("{}", TopologyReport::new(format!("DSN-{x}-{n}"), dsn.graph()).row());
+        println!(
+            "{}",
+            TopologyReport::new(format!("DSN-{x}-{n}"), dsn.graph()).row()
+        );
     }
 
     println!();
-    println!("Ablation 2: DSN-D-x skip links (paper: DSN-D-2 diameter ~ 7/4 p = {:.1})", 1.75 * p as f64);
+    println!(
+        "Ablation 2: DSN-D-x skip links (paper: DSN-D-2 diameter ~ 7/4 p = {:.1})",
+        1.75 * p as f64
+    );
     println!("{}", TopologyReport::header());
     let base_x = (p - dsn_core::util::ceil_log2(p as usize)).max(1);
     let base = Dsn::new(n, base_x).expect("base");
-    println!("{}", TopologyReport::new(format!("base DSN-{base_x}-{n}"), base.graph()).row());
+    println!(
+        "{}",
+        TopologyReport::new(format!("base DSN-{base_x}-{n}"), base.graph()).row()
+    );
     for x in [1u32, 2, 3, 4] {
         let d = DsnD::new(n, x).expect("dsnd");
         println!(
@@ -44,7 +53,10 @@ fn main() {
     let basic = Dsn::new(n, p - 1).expect("dsn");
     let dsne = DsnE::new(n).expect("dsne");
     println!("{}", TopologyReport::header());
-    println!("{}", TopologyReport::new(format!("DSN-{}-{n}", p - 1), basic.graph()).row());
+    println!(
+        "{}",
+        TopologyReport::new(format!("DSN-{}-{n}", p - 1), basic.graph()).row()
+    );
     println!(
         "{}   (+{} up, +{} extra links)",
         TopologyReport::new(format!("DSN-E-{n}"), dsne.graph()).row(),
@@ -56,7 +68,12 @@ fn main() {
     println!("Ablation 4: flexible DSN — inserted minor nodes");
     let flex0 = FlexibleDsn::new(n, p - 1, &[]).expect("flex0");
     let s0 = path_stats(flex0.graph());
-    println!("  minors = 0: n = {:>5}, diameter = {}, aspl = {:.3}", flex0.n(), s0.diameter, s0.aspl);
+    println!(
+        "  minors = 0: n = {:>5}, diameter = {}, aspl = {:.3}",
+        flex0.n(),
+        s0.diameter,
+        s0.aspl
+    );
     for minors in [4usize, 16, 64] {
         let spread: Vec<usize> = (0..minors).map(|i| (i + 1) * n / (minors + 1)).collect();
         let flex = FlexibleDsn::new(n, p - 1, &spread).expect("flex");

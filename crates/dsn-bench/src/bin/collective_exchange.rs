@@ -39,14 +39,9 @@ fn main() {
         let mut row = format!("  {:<14}", built.name);
         for w in &workloads {
             let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
-            let stats = Simulator::with_workload(
-                graph.clone(),
-                cfg.clone(),
-                routing,
-                w.clone(),
-                0xC0_11,
-            )
-            .run();
+            let stats =
+                Simulator::with_workload(graph.clone(), cfg.clone(), routing, w.clone(), 0xC0_11)
+                    .run();
             match stats.completion_cycle {
                 Some(c) => row.push_str(&format!("{:>17.1}", c as f64 * cfg.cycle_ns / 1000.0)),
                 None => row.push_str(&format!("{:>17}", "DNF")),
@@ -54,5 +49,7 @@ fn main() {
         }
         println!("{row}");
     }
-    println!("\n(batch enqueued at cycle 0; makespan = last tail-flit delivery; DNF = horizon hit)");
+    println!(
+        "\n(batch enqueued at cycle 0; makespan = last tail-flit delivery; DNF = horizon hit)"
+    );
 }

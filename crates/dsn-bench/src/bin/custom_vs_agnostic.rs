@@ -10,7 +10,10 @@
 
 use dsn_core::dsn::Dsn;
 use dsn_sim::sweep::{find_saturation, load_sweep};
-use dsn_sim::{AdaptiveEscape, MinimalAdaptiveDsn, SimConfig, SimRouting, SourceRouted, TrafficPattern, UpDownRouting};
+use dsn_sim::{
+    AdaptiveEscape, MinimalAdaptiveDsn, SimConfig, SimRouting, SourceRouted, TrafficPattern,
+    UpDownRouting,
+};
 use std::sync::Arc;
 
 fn main() {
@@ -77,15 +80,27 @@ fn main() {
         let mut cfg8 = cfg.clone();
         cfg8.vcs = 8;
         let d = dsn.clone();
-        report("custom 8vc (2 lanes)", &pattern, &graph, &cfg8, tol, move || {
-            Arc::new(SourceRouted::dsn_custom(d.clone()).with_lanes(2)) as Arc<dyn SimRouting>
-        });
+        report(
+            "custom 8vc (2 lanes)",
+            &pattern,
+            &graph,
+            &cfg8,
+            tol,
+            move || {
+                Arc::new(SourceRouted::dsn_custom(d.clone()).with_lanes(2)) as Arc<dyn SimRouting>
+            },
+        );
         // The paper's stated future work: minimal-adaptive custom routing
         // with the DSN-V discipline as the (balanced) escape layer.
         let d = dsn.clone();
-        report("min-adaptive+dsnv 8vc", &pattern, &graph, &cfg8, tol, move || {
-            Arc::new(MinimalAdaptiveDsn::new(d.clone(), 8)) as Arc<dyn SimRouting>
-        });
+        report(
+            "min-adaptive+dsnv 8vc",
+            &pattern,
+            &graph,
+            &cfg8,
+            tol,
+            move || Arc::new(MinimalAdaptiveDsn::new(d.clone(), 8)) as Arc<dyn SimRouting>,
+        );
     }
     println!();
     println!(

@@ -55,7 +55,11 @@ fn main() {
                 name,
                 stats.delivery_ratio(),
                 stats.longest_stall_cycles,
-                if stats.deadlock_suspected { "YES" } else { "no" }
+                if stats.deadlock_suspected {
+                    "YES"
+                } else {
+                    "no"
+                }
             );
         }
     }

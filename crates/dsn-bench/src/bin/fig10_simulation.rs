@@ -38,8 +38,8 @@ fn run_pattern(pattern: &TrafficPattern, cfg: &SimConfig, loads: &[f64]) -> Vec<
 fn summarize(results: &[SweepResult]) {
     // results order matches trio(): [DSN, torus, RANDOM]
     let (dsn, torus, random) = (&results[0], &results[1], &results[2]);
-    let imp_torus =
-        100.0 * (torus.low_load_latency_ns() - dsn.low_load_latency_ns()) / torus.low_load_latency_ns();
+    let imp_torus = 100.0 * (torus.low_load_latency_ns() - dsn.low_load_latency_ns())
+        / torus.low_load_latency_ns();
     println!(
         "  low-load latency: DSN {:.0} ns, torus {:.0} ns, RANDOM {:.0} ns -> DSN vs torus: {imp_torus:+.1}%",
         dsn.low_load_latency_ns(),
@@ -83,9 +83,7 @@ fn main() {
             TrafficPattern::neighboring_paper(),
         ],
         other => {
-            eprintln!(
-                "unknown pattern `{other}` (expected uniform | bitrev | neighbor | all)"
-            );
+            eprintln!("unknown pattern `{other}` (expected uniform | bitrev | neighbor | all)");
             std::process::exit(2);
         }
     };
@@ -96,7 +94,10 @@ fn main() {
             TrafficPattern::BitReversal => "10(b)",
             _ => "10(c)",
         };
-        println!("=== Figure {fig}: latency vs accepted traffic, {} traffic ===", pattern.name());
+        println!(
+            "=== Figure {fig}: latency vs accepted traffic, {} traffic ===",
+            pattern.name()
+        );
         let results = run_pattern(pattern, &cfg, &loads);
         summarize(&results);
         println!();

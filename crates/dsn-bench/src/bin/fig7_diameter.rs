@@ -3,13 +3,17 @@
 //! in-text claim T1 ("DSN improves the diameter by up to 67% compared to
 //! torus").
 //!
-//! Run: `cargo run --release -p dsn-bench --bin fig7_diameter`
+//! Run: `cargo run --release -p dsn-bench --bin fig7_diameter [--threads N | --serial]`
 
 use dsn_bench::{block_header, paper_sizes, trio};
-use dsn_metrics::diameter;
+use dsn_core::parallel::Parallelism;
+use dsn_metrics::diameter_with;
 
 fn main() {
+    let (par, _rest) = Parallelism::from_args(std::env::args().skip(1));
+    par.install();
     println!("Figure 7: diameter vs network size (lower is better)");
+    println!("# parallelism: {par}");
     print!(
         "{}",
         block_header(
@@ -20,9 +24,9 @@ fn main() {
     let mut best_improvement = 0.0f64;
     for n in paper_sizes() {
         let [dsn, torus, random] = trio(n);
-        let d_dsn = diameter(&dsn.build().expect("dsn").graph);
-        let d_torus = diameter(&torus.build().expect("torus").graph);
-        let d_rand = diameter(&random.build().expect("random").graph);
+        let d_dsn = diameter_with(&dsn.build().expect("dsn").graph, &par);
+        let d_torus = diameter_with(&torus.build().expect("torus").graph, &par);
+        let d_rand = diameter_with(&random.build().expect("random").graph, &par);
         let improvement = 100.0 * (d_torus as f64 - d_dsn as f64) / d_torus as f64;
         best_improvement = best_improvement.max(improvement);
         println!(

@@ -3,13 +3,17 @@
 //! T1 ("ASPL improved by up to 55% vs torus") and T3 ("64-switch ASPL is
 //! 3.2 / 3.2 / 4.1 for DSN / RANDOM / torus").
 //!
-//! Run: `cargo run --release -p dsn-bench --bin fig8_aspl`
+//! Run: `cargo run --release -p dsn-bench --bin fig8_aspl [--threads N | --serial]`
 
 use dsn_bench::{block_header, paper_sizes, trio};
-use dsn_metrics::aspl;
+use dsn_core::parallel::Parallelism;
+use dsn_metrics::aspl_with;
 
 fn main() {
+    let (par, _rest) = Parallelism::from_args(std::env::args().skip(1));
+    par.install();
     println!("Figure 8: average shortest path length vs network size (lower is better)");
+    println!("# parallelism: {par}");
     print!(
         "{}",
         block_header(
@@ -21,9 +25,9 @@ fn main() {
     let mut at64 = (0.0, 0.0, 0.0);
     for n in paper_sizes() {
         let [dsn, torus, random] = trio(n);
-        let a_dsn = aspl(&dsn.build().expect("dsn").graph);
-        let a_torus = aspl(&torus.build().expect("torus").graph);
-        let a_rand = aspl(&random.build().expect("random").graph);
+        let a_dsn = aspl_with(&dsn.build().expect("dsn").graph, &par);
+        let a_torus = aspl_with(&torus.build().expect("torus").graph, &par);
+        let a_rand = aspl_with(&random.build().expect("random").graph, &par);
         let improvement = 100.0 * (a_torus - a_dsn) / a_torus;
         best_improvement = best_improvement.max(improvement);
         if n == 64 {

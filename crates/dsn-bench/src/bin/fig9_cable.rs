@@ -57,7 +57,11 @@ fn main() {
     for n in [512usize, 2048] {
         let dsn_e = avg_cable(&TopologySpec::DsnE { n });
         let t3 = avg_cable(&TopologySpec::Torus3D { n });
-        let rnd6 = avg_cable(&TopologySpec::RandomRegular { n, d: 6, seed: RANDOM_SEED });
+        let rnd6 = avg_cable(&TopologySpec::RandomRegular {
+            n,
+            d: 6,
+            seed: RANDOM_SEED,
+        });
         println!(
             "  N={n}: DSN-E {:.2} m vs 3-D torus {:.2} m vs 6-regular random {:.2} m",
             dsn_e, t3, rnd6

@@ -58,8 +58,7 @@ fn main() {
         };
         let report = TopologyReport::new(built.name.clone(), &built.graph);
         let model = CableModel::default();
-        let placement =
-            LinearPlacement::new(built.graph.node_count(), model.switches_per_cabinet);
+        let placement = LinearPlacement::new(built.graph.node_count(), model.switches_per_cabinet);
         let cable = cable_stats(&built.graph, &placement, &model);
         let conn = edge_connectivity(&built.graph);
         let bis = estimate_bisection(&built.graph, 2, 7).width;

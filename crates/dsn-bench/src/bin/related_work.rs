@@ -20,9 +20,22 @@ fn main() {
         TopologySpec::Torus2D { n: 2048 },
         TopologySpec::Torus3D { n: 2048 },
         TopologySpec::Dsn { n: 2048, x: 10 },
-        TopologySpec::DlnRandom { n: 2048, x: 2, y: 2, seed: RANDOM_SEED },
-        TopologySpec::Kleinberg { side: 45, q: 1, seed: RANDOM_SEED }, // 2025 nodes
-        TopologySpec::RandomRegular { n: 2048, d: 4, seed: RANDOM_SEED },
+        TopologySpec::DlnRandom {
+            n: 2048,
+            x: 2,
+            y: 2,
+            seed: RANDOM_SEED,
+        },
+        TopologySpec::Kleinberg {
+            side: 45,
+            q: 1,
+            seed: RANDOM_SEED,
+        }, // 2025 nodes
+        TopologySpec::RandomRegular {
+            n: 2048,
+            d: 4,
+            seed: RANDOM_SEED,
+        },
         TopologySpec::Ring { n: 2048 },
         TopologySpec::Dln { n: 2048, x: 11 }, // DLN-log n
     ];

@@ -6,15 +6,19 @@
 //! search and reports the actual saturation point plus hotspot-channel
 //! utilization per topology and traffic pattern.
 //!
-//! Run: `cargo run --release -p dsn-bench --bin saturation_search [--quick]`
+//! Run: `cargo run --release -p dsn-bench --bin saturation_search \
+//!       [--quick] [--threads N | --serial]`
 
 use dsn_bench::trio;
-use dsn_sim::sweep::find_saturation;
+use dsn_core::parallel::Parallelism;
+use dsn_sim::sweep::find_saturation_with;
 use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
 use std::sync::Arc;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let (par, rest) = Parallelism::from_args(std::env::args().skip(1));
+    par.install();
+    let quick = rest.iter().any(|a| a == "--quick");
     let mut cfg = SimConfig::default();
     if quick {
         cfg.warmup_cycles = 3_000;
@@ -28,6 +32,7 @@ fn main() {
     let tol = if quick { 2.0 } else { 1.0 };
 
     println!("Saturation search (beyond the paper's 12 Gbit/s/host axis)");
+    println!("# parallelism: {par}");
     println!(
         "  {:<14} {:<14} {:>12} {:>10} {:>10}",
         "topology", "pattern", "sat [Gbps]", "mean-util", "max-util"
@@ -45,7 +50,7 @@ fn main() {
             let make = move || -> Arc<dyn dsn_sim::SimRouting> {
                 Arc::new(AdaptiveEscape::new(g2.clone(), vcs))
             };
-            let sat = find_saturation(
+            let sat = find_saturation_with(
                 graph.clone(),
                 &cfg,
                 &make,
@@ -54,6 +59,7 @@ fn main() {
                 40.0,
                 tol,
                 0x5A7,
+                &par,
             );
             // Re-run near saturation to report channel utilization.
             let rate = cfg.packets_per_cycle_for_gbps(sat * 0.9);

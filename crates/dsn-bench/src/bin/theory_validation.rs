@@ -12,23 +12,38 @@
 //!   acyclic (and the fine-grained DSN-E counterexample, a reproduction
 //!   finding).
 //!
-//! Run: `cargo run --release -p dsn-bench --bin theory_validation`
+//! Run: `cargo run --release -p dsn-bench --bin theory_validation [--threads N | --serial]`
 
 use dsn_bench::RANDOM_SEED;
 use dsn_core::dln::DlnRandom;
 use dsn_core::dsn::Dsn;
 use dsn_core::dsn_ext::DsnE;
+use dsn_core::parallel::Parallelism;
 use dsn_layout::ring_layout_stats;
-use dsn_metrics::path_stats;
+use dsn_metrics::path_stats_with;
 use dsn_route::deadlock::{dsne_cdg, dsne_group_dependencies, dsnv_cdg};
-use dsn_route::routing_stats;
+use dsn_route::routing_stats_with;
 
 fn main() {
+    let (par, _rest) = Parallelism::from_args(std::env::args().skip(1));
+    par.install();
     println!("Theory validation: measured vs proven bounds");
+    println!("# parallelism: {par}");
     println!(
         "  {:>6} {:>3} {:>2} | {:>9} {:>6} | {:>6} {:>7} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
-        "n", "p", "r", "deg-hist", "deg5",
-        "diam", "<=2.5p+r", "routdiam", "<=3p+r", "E[route]", "<=2p", "E[spl]", "<=1.5p"
+        "n",
+        "p",
+        "r",
+        "deg-hist",
+        "deg5",
+        "diam",
+        "<=2.5p+r",
+        "routdiam",
+        "<=3p+r",
+        "E[route]",
+        "<=2p",
+        "E[spl]",
+        "<=1.5p"
     );
     for n in [64usize, 128, 256, 510, 1020] {
         let p = dsn_core::util::ceil_log2(n);
@@ -40,8 +55,8 @@ fn main() {
             .map(|d| hist.get(d).copied().unwrap_or(0).to_string())
             .collect::<Vec<_>>()
             .join("/");
-        let stats = path_stats(g);
-        let rstats = routing_stats(&dsn);
+        let stats = path_stats_with(g, &par);
+        let rstats = routing_stats_with(&dsn, &par);
         let diam_bound = 2.5 * p as f64 + dsn.r() as f64;
         let route_bound = (3 * p as usize + dsn.r()) as f64;
         println!(
@@ -63,9 +78,18 @@ fn main() {
         assert!(g.max_degree() <= 5, "Fact 1 violated at n={n}");
         assert!(g.avg_degree() <= 4.0 + 1e-9, "Fact 1 avg violated at n={n}");
         assert!(deg5 <= p as usize, "Fact 1 deg-5 count violated at n={n}");
-        assert!((stats.diameter as f64) <= diam_bound, "Thm 1b violated at n={n}");
-        assert!((rstats.max_hops as f64) <= route_bound, "Thm 1c violated at n={n}");
-        assert!(rstats.avg_hops <= 2.0 * p as f64, "Thm 2a route violated at n={n}");
+        assert!(
+            (stats.diameter as f64) <= diam_bound,
+            "Thm 1b violated at n={n}"
+        );
+        assert!(
+            (rstats.max_hops as f64) <= route_bound,
+            "Thm 1c violated at n={n}"
+        );
+        assert!(
+            rstats.avg_hops <= 2.0 * p as f64,
+            "Thm 2a route violated at n={n}"
+        );
         assert!(stats.aspl <= 1.5 * p as f64, "Thm 2a spl violated at n={n}");
     }
 

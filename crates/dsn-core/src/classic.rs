@@ -162,13 +162,12 @@ impl DeBruijn {
                 value: dim.to_string(),
             });
         }
-        let n = base
-            .checked_pow(dim)
-            .filter(|&n| n <= 1 << 26)
-            .ok_or(TopologyError::UnsupportedSize {
+        let n = base.checked_pow(dim).filter(|&n| n <= 1 << 26).ok_or(
+            TopologyError::UnsupportedSize {
                 n: 0,
                 requirement: "base^dim <= 2^26".into(),
-            })?;
+            },
+        )?;
         let mut graph = Graph::new(n);
         for v in 0..n {
             for a in 0..base {

@@ -406,7 +406,11 @@ mod tests {
         }
         assert!(d.graph().is_connected());
         // most nodes should still get their 2 random links
-        assert!(d.graph().avg_degree() > 3.5, "avg {}", d.graph().avg_degree());
+        assert!(
+            d.graph().avg_degree() > 3.5,
+            "avg {}",
+            d.graph().avg_degree()
+        );
     }
 
     #[test]

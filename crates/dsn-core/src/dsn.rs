@@ -92,9 +92,9 @@ impl Dsn {
     }
 
     /// Build the recommended "clean" instance for a target size: the largest
-    /// `n <= target` that is a multiple of `p = ceil(log2 target)`, with the
-    /// maximum shortcut set `x = p - 1`. Avoids the incomplete final super
-    /// node discussed at the end of Section IV.C.
+    /// `n <= target` that is a multiple of its own `p = ceil(log2 n)`, with
+    /// the maximum shortcut set `x = p - 1`, so `r = 0` always holds. Avoids
+    /// the incomplete final super node discussed at the end of Section IV.C.
     pub fn new_clean(target: usize) -> Result<Self> {
         if target < 8 {
             return Err(TopologyError::UnsupportedSize {
@@ -102,10 +102,25 @@ impl Dsn {
                 requirement: "target >= 8".into(),
             });
         }
-        let p = ceil_log2(target) as usize;
-        let n = (target / p) * p;
-        let p2 = ceil_log2(n);
-        Dsn::new(n, p2 - 1)
+        // Rounding target down to a multiple of p can cross a power-of-two
+        // boundary and change p itself (e.g. target 9: p = 4 rounds to
+        // n = 8, whose own p is 3 and 8 % 3 != 0), so "round once" does not
+        // give a clean instance — and one-shot re-rounding can even skip a
+        // valid size (target 17 rounds past the clean n = 16). Scan down to
+        // the largest n whose own p divides it; consecutive multiples of p
+        // are at most p apart, so this takes O(log n) steps.
+        let mut n = target;
+        while n >= 8 {
+            let p = ceil_log2(n);
+            if n.is_multiple_of(p as usize) {
+                return Dsn::new(n, p - 1);
+            }
+            n -= 1;
+        }
+        Err(TopologyError::UnsupportedSize {
+            n: target,
+            requirement: "no n >= 8 at or below target has n % ceil_log2(n) == 0".into(),
+        })
     }
 
     /// Number of switches.
@@ -394,6 +409,37 @@ mod tests {
         assert_eq!(d.x(), d.p() - 1);
         let d = Dsn::new_clean(1000).unwrap();
         assert_eq!(d.n() % d.p() as usize, 0);
+        // Every target must either yield a clean instance no larger than
+        // the target (r = 0, n a multiple of its own p, maximal such n)
+        // or be honestly rejected — including the boundary-crossing cases
+        // like 9 and 17 where the old "round once" logic broke.
+        for target in 8..=4096usize {
+            match Dsn::new_clean(target) {
+                Ok(d) => {
+                    assert!(d.n() <= target, "target {target}: n {} too big", d.n());
+                    assert_eq!(d.n() % d.p() as usize, 0, "target {target}");
+                    assert_eq!(d.r(), 0, "target {target}");
+                    assert_eq!(d.x(), d.p() - 1, "target {target}");
+                    // Maximality: nothing between n and target is clean.
+                    for m in (d.n() + 1)..=target {
+                        assert_ne!(
+                            m % ceil_log2(m) as usize,
+                            0,
+                            "target {target}: skipped clean n = {m}"
+                        );
+                    }
+                }
+                Err(_) => {
+                    for m in 8..=target {
+                        assert_ne!(
+                            m % ceil_log2(m) as usize,
+                            0,
+                            "target {target} rejected but {m} is clean"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

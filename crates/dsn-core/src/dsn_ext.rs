@@ -32,7 +32,18 @@ pub struct DsnE {
 impl DsnE {
     /// Build DSN-E on `n` nodes. The shortcut parameter is fixed to
     /// `x = p - 1` as required by the deadlock-freedom construction.
+    ///
+    /// Requires `n >= 10`: below that the 2p Extra links wrap most of the
+    /// ring and, stacked on the Up and Ring lanes, drive some node's
+    /// multigraph degree to `n` or beyond — the construction only makes
+    /// sense when the extra lanes near node 0 are a local feature.
     pub fn new(n: usize) -> Result<Self> {
+        if n < 10 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n >= 10 (Up/Extra lanes saturate smaller rings)".into(),
+            });
+        }
         let p = ceil_log2(n.max(2));
         let base = Dsn::new(n, p.saturating_sub(1).max(1))?;
         let p = base.p();
@@ -149,7 +160,11 @@ impl DsnD {
         for i in 1..=w {
             let a = (i * q) % n;
             let b = ((i + 1) * q) % n;
-            if a != b && graph.add_edge_dedup(a.min(b), a.max(b), LinkKind::Skip).is_some() {
+            if a != b
+                && graph
+                    .add_edge_dedup(a.min(b), a.max(b), LinkKind::Skip)
+                    .is_some()
+            {
                 skip_edges += 1;
             }
         }

@@ -34,7 +34,10 @@ impl fmt::Display for TopologyError {
                 name,
                 constraint,
                 value,
-            } => write!(f, "invalid parameter `{name}` = {value}: requires {constraint}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}: requires {constraint}"
+            ),
             TopologyError::UnsupportedSize { n, requirement } => {
                 write!(f, "unsupported size n = {n}: requires {requirement}")
             }

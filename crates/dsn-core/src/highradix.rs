@@ -39,13 +39,12 @@ impl FlattenedButterfly {
             });
         }
         let dims = (n - 1) as usize;
-        let routers = k
-            .checked_pow(dims as u32)
-            .filter(|&r| r <= 1 << 22)
-            .ok_or(TopologyError::UnsupportedSize {
+        let routers = k.checked_pow(dims as u32).filter(|&r| r <= 1 << 22).ok_or(
+            TopologyError::UnsupportedSize {
                 n: 0,
                 requirement: "k^(n-1) <= 2^22".into(),
-            })?;
+            },
+        )?;
 
         let mut graph = Graph::new(routers);
         // For each dimension, connect all pairs differing only there.
@@ -127,13 +126,12 @@ impl Dragonfly {
             });
         }
         let groups = a * h + 1;
-        let routers = groups
-            .checked_mul(a)
-            .filter(|&r| r <= 1 << 22)
-            .ok_or(TopologyError::UnsupportedSize {
+        let routers = groups.checked_mul(a).filter(|&r| r <= 1 << 22).ok_or(
+            TopologyError::UnsupportedSize {
                 n: 0,
                 requirement: "(a*h + 1) * a <= 2^22".into(),
-            })?;
+            },
+        )?;
 
         let mut graph = Graph::new(routers);
         // Intra-group cliques.

@@ -43,9 +43,10 @@ pub mod graph;
 pub mod highradix;
 pub mod kautz;
 pub mod kleinberg;
+pub mod parallel;
 pub mod random_regular;
-pub mod star;
 pub mod ring;
+pub mod star;
 pub mod topology;
 pub mod torus;
 pub mod util;
@@ -53,4 +54,5 @@ pub mod util;
 pub use dsn::Dsn;
 pub use error::{Result, TopologyError};
 pub use graph::{Edge, EdgeId, Graph, LinkKind, NodeId};
+pub use parallel::Parallelism;
 pub use topology::{BuiltTopology, TopologySpec};

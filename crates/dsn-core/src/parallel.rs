@@ -1,0 +1,184 @@
+//! Shared parallelism configuration for the analysis and simulation crates.
+//!
+//! Every parallel kernel in this workspace (`dsn_route::routing_stats`,
+//! `dsn_metrics::path_stats`, `dsn_sim::sweep`) accepts a [`Parallelism`]
+//! and produces **bit-identical results regardless of the worker count**,
+//! because each kernel reduces per-item integer partials in index order
+//! (see `vendor/rayon` for the determinism contract). The config therefore
+//! only chooses *how fast* an answer arrives, never *which* answer.
+//!
+//! The figure binaries in `dsn-bench` parse `--serial` / `--threads N`
+//! into a `Parallelism` via [`Parallelism::from_args`] and pass it down;
+//! the `DSN_THREADS` environment variable supplies a default.
+
+use std::fmt;
+
+/// Worker-count policy for the parallel analysis kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Parallelism {
+    /// Requested worker count; 0 = automatic (rayon's resolution order:
+    /// global pool override, then `RAYON_NUM_THREADS`, then the number of
+    /// available cores).
+    threads: usize,
+    /// Force the plain sequential code path (no worker threads at all).
+    serial: bool,
+}
+
+impl Parallelism {
+    /// Automatic: let the rayon pool decide the worker count.
+    pub fn auto() -> Self {
+        Parallelism {
+            threads: 0,
+            serial: false,
+        }
+    }
+
+    /// Plain sequential execution — no worker threads, the exact serial
+    /// loop the parallel kernels are tested against.
+    pub fn serial() -> Self {
+        Parallelism {
+            threads: 0,
+            serial: true,
+        }
+    }
+
+    /// Exactly `n` workers (`0` means automatic, `1` is equivalent to
+    /// [`Parallelism::serial`] in results and nearly so in mechanism).
+    pub fn threads(n: usize) -> Self {
+        Parallelism {
+            threads: n,
+            serial: false,
+        }
+    }
+
+    /// True when kernels should take their sequential code path.
+    pub fn is_serial(&self) -> bool {
+        self.serial
+    }
+
+    /// The worker count this config resolves to right now.
+    pub fn effective_threads(&self) -> usize {
+        if self.serial {
+            1
+        } else if self.threads > 0 {
+            self.threads
+        } else {
+            rayon::current_num_threads()
+        }
+    }
+
+    /// Default from the environment: `DSN_THREADS=N` requests `N` workers
+    /// (`0` or unset = automatic, `1` = serial).
+    pub fn from_env() -> Self {
+        match std::env::var("DSN_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) | Err(_) => Parallelism::auto(),
+                Ok(1) => Parallelism::serial(),
+                Ok(n) => Parallelism::threads(n),
+            },
+            Err(_) => Parallelism::auto(),
+        }
+    }
+
+    /// Parse `--serial` and `--threads N` / `--threads=N` out of a
+    /// command-line argument stream, starting from the [`from_env`]
+    /// default. Returns the config plus the arguments it did not consume,
+    /// so binaries keep their own flags.
+    ///
+    /// [`from_env`]: Parallelism::from_env
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> (Self, Vec<String>) {
+        let mut par = Parallelism::from_env();
+        let mut rest = Vec::new();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            if a == "--serial" {
+                par = Parallelism::serial();
+            } else if a == "--threads" {
+                match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(0) => par = Parallelism::auto(),
+                    Some(1) => par = Parallelism::serial(),
+                    Some(n) => par = Parallelism::threads(n),
+                    None => rest.push(a),
+                }
+            } else if let Some(v) = a.strip_prefix("--threads=") {
+                match v.parse::<usize>() {
+                    Ok(0) => par = Parallelism::auto(),
+                    Ok(1) => par = Parallelism::serial(),
+                    Ok(n) => par = Parallelism::threads(n),
+                    Err(_) => rest.push(a),
+                }
+            } else {
+                rest.push(a);
+            }
+        }
+        (par, rest)
+    }
+
+    /// Install this config as the global rayon worker count, so code that
+    /// calls the parameterless kernels (`routing_stats`, `path_stats`,
+    /// `load_sweep`, …) inherits it too.
+    pub fn install(&self) {
+        let n = if self.serial { 1 } else { self.threads };
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("installing the global worker count cannot fail");
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.serial {
+            write!(f, "serial")
+        } else if self.threads > 0 {
+            write!(f, "{} threads", self.threads)
+        } else {
+            write!(f, "auto ({} workers)", rayon::current_num_threads())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_accessors() {
+        assert!(!Parallelism::auto().is_serial());
+        assert!(Parallelism::serial().is_serial());
+        assert!(!Parallelism::threads(4).is_serial());
+        assert_eq!(Parallelism::serial().effective_threads(), 1);
+        assert_eq!(Parallelism::threads(4).effective_threads(), 4);
+        assert!(Parallelism::auto().effective_threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::auto());
+    }
+
+    #[test]
+    fn arg_parsing_consumes_only_its_flags() {
+        let (par, rest) =
+            Parallelism::from_args(["--quick", "--threads", "3", "--verbose"].map(String::from));
+        assert_eq!(par, Parallelism::threads(3));
+        assert_eq!(rest, vec!["--quick".to_string(), "--verbose".to_string()]);
+
+        let (par, rest) = Parallelism::from_args(["--serial"].map(String::from));
+        assert!(par.is_serial());
+        assert!(rest.is_empty());
+
+        let (par, _) = Parallelism::from_args(["--threads=2"].map(String::from));
+        assert_eq!(par, Parallelism::threads(2));
+
+        let (par, _) = Parallelism::from_args(["--threads=1"].map(String::from));
+        assert!(par.is_serial());
+
+        let (par, rest) = Parallelism::from_args(["--threads"].map(String::from));
+        assert_eq!(par, Parallelism::from_env());
+        assert_eq!(rest, vec!["--threads".to_string()]);
+    }
+
+    #[test]
+    fn display_names_the_mode() {
+        assert_eq!(Parallelism::serial().to_string(), "serial");
+        assert_eq!(Parallelism::threads(2).to_string(), "2 threads");
+        assert!(Parallelism::auto().to_string().starts_with("auto"));
+    }
+}

@@ -55,7 +55,9 @@ impl RandomRegular {
 
     fn try_build(n: usize, d: u32, rng: &mut SmallRng) -> Option<Graph> {
         // Stub matching.
-        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d as usize)).collect();
+        let mut stubs: Vec<NodeId> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v, d as usize))
+            .collect();
         stubs.shuffle(rng);
         let mut pairs: Vec<(NodeId, NodeId)> = stubs
             .chunks_exact(2)

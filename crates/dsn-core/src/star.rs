@@ -48,13 +48,7 @@ impl StarGraph {
         let mut arrangements = Vec::with_capacity(count);
         let mut cur: Vec<u8> = Vec::with_capacity(k);
         let mut used = vec![false; n + 1];
-        fn rec(
-            n: usize,
-            k: usize,
-            cur: &mut Vec<u8>,
-            used: &mut [bool],
-            out: &mut Vec<Vec<u8>>,
-        ) {
+        fn rec(n: usize, k: usize, cur: &mut Vec<u8>, used: &mut [bool], out: &mut Vec<Vec<u8>>) {
             if cur.len() == k {
                 out.push(cur.clone());
                 return;

@@ -143,9 +143,7 @@ impl TopologySpec {
     /// Build the topology this spec describes.
     pub fn build(&self) -> Result<BuiltTopology> {
         let (name, graph) = match *self {
-            TopologySpec::Dsn { n, x } => {
-                (format!("DSN-{x}-{n}"), Dsn::new(n, x)?.into_graph())
-            }
+            TopologySpec::Dsn { n, x } => (format!("DSN-{x}-{n}"), Dsn::new(n, x)?.into_graph()),
             TopologySpec::DsnE { n } => (format!("DSN-E-{n}"), DsnE::new(n)?.into_graph()),
             TopologySpec::DsnD { n, x } => {
                 (format!("DSN-D-{x}-{n}"), DsnD::new(n, x)?.into_graph())
@@ -228,21 +226,17 @@ impl TopologySpec {
     pub fn parse(spec: &str) -> Result<TopologySpec> {
         let parts: Vec<&str> = spec.split(':').collect();
         let usize_at = |i: usize| -> Result<usize> {
-            parts
-                .get(i)
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| TopologyError::InvalidParameter {
+            parts.get(i).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                TopologyError::InvalidParameter {
                     name: "spec",
                     constraint: "numeric field".into(),
                     value: spec.into(),
-                })
+                }
+            })
         };
         let u32_at = |i: usize| -> Result<u32> { usize_at(i).map(|v| v as u32) };
         let u64_or = |i: usize, default: u64| -> u64 {
-            parts
-                .get(i)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(default)
+            parts.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
         };
         let family = parts
             .first()
@@ -318,7 +312,12 @@ impl TopologySpec {
         [
             TopologySpec::Dsn { n, x: p - 1 },
             TopologySpec::Torus2D { n },
-            TopologySpec::DlnRandom { n, x: 2, y: 2, seed },
+            TopologySpec::DlnRandom {
+                n,
+                x: 2,
+                y: 2,
+                seed,
+            },
         ]
     }
 }
@@ -333,14 +332,31 @@ mod tests {
             TopologySpec::Dsn { n: 64, x: 5 },
             TopologySpec::DsnE { n: 64 },
             TopologySpec::DsnD { n: 64, x: 2 },
-            TopologySpec::FlexDsn { base_n: 60, x: 5, minors: 4 },
+            TopologySpec::FlexDsn {
+                base_n: 60,
+                x: 5,
+                minors: 4,
+            },
             TopologySpec::Ring { n: 64 },
             TopologySpec::Torus2D { n: 64 },
             TopologySpec::Torus3D { n: 64 },
             TopologySpec::Dln { n: 64, x: 4 },
-            TopologySpec::DlnRandom { n: 64, x: 2, y: 2, seed: 1 },
-            TopologySpec::RandomRegular { n: 64, d: 4, seed: 1 },
-            TopologySpec::Kleinberg { side: 8, q: 1, seed: 1 },
+            TopologySpec::DlnRandom {
+                n: 64,
+                x: 2,
+                y: 2,
+                seed: 1,
+            },
+            TopologySpec::RandomRegular {
+                n: 64,
+                d: 4,
+                seed: 1,
+            },
+            TopologySpec::Kleinberg {
+                side: 8,
+                q: 1,
+                seed: 1,
+            },
             TopologySpec::Hypercube { dim: 6 },
             TopologySpec::Ccc { dim: 4 },
             TopologySpec::DeBruijn { base: 2, dim: 6 },
@@ -410,7 +426,11 @@ mod tests {
 
     #[test]
     fn flex_spreads_minors() {
-        let spec = TopologySpec::FlexDsn { base_n: 1020, x: 9, minors: 4 };
+        let spec = TopologySpec::FlexDsn {
+            base_n: 1020,
+            x: 9,
+            minors: 4,
+        };
         let b = spec.build().unwrap();
         assert_eq!(b.graph.node_count(), 1024);
     }

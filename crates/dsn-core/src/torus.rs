@@ -135,14 +135,28 @@ impl Torus {
                     coord[d] = c + 1;
                     let u = Self::id_of(&coord, radices);
                     coord[d] = c;
-                    graph.add_edge(v, u, LinkKind::Torus { dim: d as u8, wrap: false });
+                    graph.add_edge(
+                        v,
+                        u,
+                        LinkKind::Torus {
+                            dim: d as u8,
+                            wrap: false,
+                        },
+                    );
                 } else if wrap && k > 2 {
                     // wrap link k-1 -> 0, owned by the highest coordinate;
                     // for k == 2 the wrap would duplicate the internal link.
                     coord[d] = 0;
                     let u = Self::id_of(&coord, radices);
                     coord[d] = c;
-                    graph.add_edge(u, v, LinkKind::Torus { dim: d as u8, wrap: true });
+                    graph.add_edge(
+                        u,
+                        v,
+                        LinkKind::Torus {
+                            dim: d as u8,
+                            wrap: true,
+                        },
+                    );
                 }
             }
         }

@@ -111,7 +111,11 @@ pub fn cable_stats(graph: &Graph, placement: &dyn Placement, model: &CableModel)
         intra_cabinet_links: intra,
         inter_cabinet_links: links - intra,
         total_m: total,
-        avg_m: if links == 0 { 0.0 } else { total / links as f64 },
+        avg_m: if links == 0 {
+            0.0
+        } else {
+            total / links as f64
+        },
         max_m: max,
         by_kind,
     }
@@ -146,7 +150,11 @@ pub fn line_layout_stats(graph: &Graph) -> LineStats {
     let links = graph.edge_count();
     LineStats {
         total: total as f64,
-        avg: if links == 0 { 0.0 } else { total as f64 / links as f64 },
+        avg: if links == 0 {
+            0.0
+        } else {
+            total as f64 / links as f64
+        },
         shortcut_avg: if shortcut_links == 0 {
             0.0
         } else {
@@ -193,7 +201,11 @@ pub fn ring_layout_stats(graph: &Graph) -> LineStats {
     let links = graph.edge_count();
     LineStats {
         total: total as f64,
-        avg: if links == 0 { 0.0 } else { total as f64 / links as f64 },
+        avg: if links == 0 {
+            0.0
+        } else {
+            total as f64 / links as f64
+        },
         shortcut_avg: if shortcut_links == 0 {
             0.0
         } else {

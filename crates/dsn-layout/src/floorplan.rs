@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn manhattan_distances() {
         let f = FloorPlan::new(16); // 4 x 4
-        // Cabinets 0 and 1: same row, adjacent columns -> 0.6 m.
+                                    // Cabinets 0 and 1: same row, adjacent columns -> 0.6 m.
         assert!((f.manhattan_m(0, 1) - 0.6).abs() < 1e-9);
         // Cabinets 0 and 4: adjacent rows, same column -> 2.1 m.
         assert!((f.manhattan_m(0, 4) - 2.1).abs() < 1e-9);

@@ -24,7 +24,9 @@ pub mod floorplan;
 pub mod optimize;
 pub mod placement;
 
-pub use cable::{cable_stats, line_layout_stats, ring_layout_stats, CableModel, CableStats, KindStats, LineStats};
+pub use cable::{
+    cable_stats, line_layout_stats, ring_layout_stats, CableModel, CableStats, KindStats, LineStats,
+};
 pub use floorplan::{FloorPlan, DEFAULT_CABINET_DEPTH_M, DEFAULT_CABINET_WIDTH_M};
 pub use optimize::{anneal_placement, AnnealConfig, OptimizedPlacement};
 pub use placement::{ExplicitPlacement, LinearPlacement, Placement};

@@ -95,8 +95,19 @@ pub fn anneal_placement(
         }
     };
 
-    let before = cable_stats(graph, &LinearLike { cab: cab.clone(), cabinets }, model);
-    let mut total: f64 = graph.edges().iter().map(|e| edge_cost(&cab, e.a, e.b)).sum();
+    let before = cable_stats(
+        graph,
+        &LinearLike {
+            cab: cab.clone(),
+            cabinets,
+        },
+        model,
+    );
+    let mut total: f64 = graph
+        .edges()
+        .iter()
+        .map(|e| edge_cost(&cab, e.a, e.b))
+        .sum();
 
     // Incidence lists for delta evaluation.
     let incident: Vec<Vec<usize>> = {

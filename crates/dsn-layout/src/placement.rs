@@ -68,7 +68,10 @@ impl ExplicitPlacement {
     /// # Panics
     /// Panics if `cabinet` is empty.
     pub fn new(cabinet: Vec<usize>) -> Self {
-        assert!(!cabinet.is_empty(), "placement must cover at least one switch");
+        assert!(
+            !cabinet.is_empty(),
+            "placement must cover at least one switch"
+        );
         let cabinets = cabinet.iter().max().copied().unwrap_or(0) + 1;
         ExplicitPlacement { cabinet, cabinets }
     }

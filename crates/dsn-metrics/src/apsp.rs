@@ -8,6 +8,7 @@
 
 use crate::bfs::{BfsWorkspace, UNREACHABLE};
 use dsn_core::graph::Graph;
+use dsn_core::parallel::Parallelism;
 use rayon::prelude::*;
 
 /// Hop-count statistics of a graph, from an exact APSP sweep.
@@ -46,12 +47,7 @@ impl PathStats {
         if total == 0 {
             return 1.0;
         }
-        let within: u64 = self
-            .histogram
-            .iter()
-            .skip(1)
-            .take(d as usize)
-            .sum();
+        let within: u64 = self.histogram.iter().skip(1).take(d as usize).sum();
         within as f64 / total as f64
     }
 }
@@ -92,50 +88,50 @@ impl Partial {
     }
 }
 
-/// Exact APSP statistics via a parallel BFS sweep (one BFS per source).
-pub fn path_stats(g: &Graph) -> PathStats {
-    let n = g.node_count();
-    if n == 0 {
-        return PathStats {
-            nodes: 0,
-            diameter: 0,
-            aspl: 0.0,
-            histogram: vec![0],
-            eccentricity: Vec::new(),
-            unreachable_pairs: 0,
-        };
+/// One BFS from `s` folded into a per-source partial — the unit of work
+/// the serial and parallel sweeps share.
+fn source_partial(g: &Graph, ws: &mut BfsWorkspace, s: usize) -> (u32, Partial) {
+    let dist = ws.run(g, s);
+    let mut part = Partial::empty();
+    let mut ecc = 0u32;
+    for (v, &d) in dist.iter().enumerate() {
+        if v == s {
+            continue;
+        }
+        if d == UNREACHABLE {
+            part.unreachable += 1;
+        } else {
+            ecc = ecc.max(d);
+            part.sum += d as u64;
+            part.count += 1;
+            let idx = d as usize;
+            if part.hist.len() <= idx {
+                part.hist.resize(idx + 1, 0);
+            }
+            part.hist[idx] += 1;
+        }
     }
+    part.max = ecc;
+    (ecc, part)
+}
 
-    let per_source: Vec<(u32, Partial)> = (0..n)
-        .into_par_iter()
-        .map_init(
-            || BfsWorkspace::new(n),
-            |ws, s| {
-                let dist = ws.run(g, s);
-                let mut part = Partial::empty();
-                let mut ecc = 0u32;
-                for (v, &d) in dist.iter().enumerate() {
-                    if v == s {
-                        continue;
-                    }
-                    if d == UNREACHABLE {
-                        part.unreachable += 1;
-                    } else {
-                        ecc = ecc.max(d);
-                        part.sum += d as u64;
-                        part.count += 1;
-                        let idx = d as usize;
-                        if part.hist.len() <= idx {
-                            part.hist.resize(idx + 1, 0);
-                        }
-                        part.hist[idx] += 1;
-                    }
-                }
-                part.max = ecc;
-                (ecc, part)
-            },
-        )
-        .collect();
+/// Sweep the given sources (serial or fanned out per the policy) and
+/// assemble the final stats. The per-source partials are integers merged
+/// in source order, so the result is bit-identical across policies.
+fn sweep_sources(g: &Graph, sources: &[usize], par: &Parallelism) -> PathStats {
+    let n = g.node_count();
+    let per_source: Vec<(u32, Partial)> = if par.is_serial() {
+        let mut ws = BfsWorkspace::new(n);
+        sources
+            .iter()
+            .map(|&s| source_partial(g, &mut ws, s))
+            .collect()
+    } else {
+        sources
+            .par_iter()
+            .map_init(|| BfsWorkspace::new(n), |ws, &s| source_partial(g, ws, s))
+            .collect()
+    };
 
     let eccentricity: Vec<u32> = per_source.iter().map(|(e, _)| *e).collect();
     let total = per_source
@@ -149,87 +145,6 @@ pub fn path_stats(g: &Graph) -> PathStats {
         histogram.push(0);
     }
     // Slot 0 counts self pairs for a complete ordered-pair accounting.
-    histogram[0] = n as u64;
-
-    PathStats {
-        nodes: n,
-        diameter: total.max,
-        aspl: if total.count == 0 {
-            0.0
-        } else {
-            total.sum as f64 / total.count as f64
-        },
-        histogram,
-        eccentricity,
-        unreachable_pairs: total.unreachable,
-    }
-}
-
-/// Diameter only (still a full sweep; kept for call-site clarity).
-pub fn diameter(g: &Graph) -> u32 {
-    path_stats(g).diameter
-}
-
-/// Average shortest path length only.
-pub fn aspl(g: &Graph) -> f64 {
-    path_stats(g).aspl
-}
-
-/// Approximate ASPL/diameter from `samples` BFS sources chosen
-/// deterministically (evenly spaced). Exact when `samples >= n`. Useful for
-/// quick sweeps over very large graphs; the figure harnesses use the exact
-/// sweep since the paper tops out at 2048 switches.
-pub fn sampled_path_stats(g: &Graph, samples: usize) -> PathStats {
-    let n = g.node_count();
-    if samples >= n {
-        return path_stats(g);
-    }
-    let stride = (n as f64 / samples as f64).max(1.0);
-    let sources: Vec<usize> = (0..samples)
-        .map(|i| ((i as f64 * stride) as usize).min(n - 1))
-        .collect();
-
-    let parts: Vec<(u32, Partial)> = sources
-        .par_iter()
-        .map_init(
-            || BfsWorkspace::new(n),
-            |ws, &s| {
-                let dist = ws.run(g, s);
-                let mut part = Partial::empty();
-                let mut ecc = 0u32;
-                for (v, &d) in dist.iter().enumerate() {
-                    if v == s {
-                        continue;
-                    }
-                    if d == UNREACHABLE {
-                        part.unreachable += 1;
-                    } else {
-                        ecc = ecc.max(d);
-                        part.sum += d as u64;
-                        part.count += 1;
-                        let idx = d as usize;
-                        if part.hist.len() <= idx {
-                            part.hist.resize(idx + 1, 0);
-                        }
-                        part.hist[idx] += 1;
-                    }
-                }
-                part.max = ecc;
-                (ecc, part)
-            },
-        )
-        .collect();
-
-    let eccentricity: Vec<u32> = parts.iter().map(|(e, _)| *e).collect();
-    let total = parts
-        .into_iter()
-        .map(|(_, p)| p)
-        .reduce(Partial::merge)
-        .unwrap_or_else(Partial::empty);
-    let mut histogram = total.hist;
-    if histogram.is_empty() {
-        histogram.push(0);
-    }
     histogram[0] = sources.len() as u64;
 
     PathStats {
@@ -244,6 +159,70 @@ pub fn sampled_path_stats(g: &Graph, samples: usize) -> PathStats {
         eccentricity,
         unreachable_pairs: total.unreachable,
     }
+}
+
+/// Exact APSP statistics via a parallel BFS sweep (one BFS per source).
+pub fn path_stats(g: &Graph) -> PathStats {
+    path_stats_with(g, &Parallelism::auto())
+}
+
+/// [`path_stats`] under an explicit [`Parallelism`] policy. Serial and
+/// parallel sweeps produce bit-identical results.
+pub fn path_stats_with(g: &Graph, par: &Parallelism) -> PathStats {
+    let n = g.node_count();
+    if n == 0 {
+        return PathStats {
+            nodes: 0,
+            diameter: 0,
+            aspl: 0.0,
+            histogram: vec![0],
+            eccentricity: Vec::new(),
+            unreachable_pairs: 0,
+        };
+    }
+    let sources: Vec<usize> = (0..n).collect();
+    sweep_sources(g, &sources, par)
+}
+
+/// Diameter only (still a full sweep; kept for call-site clarity).
+pub fn diameter(g: &Graph) -> u32 {
+    path_stats(g).diameter
+}
+
+/// [`diameter`] under an explicit [`Parallelism`] policy.
+pub fn diameter_with(g: &Graph, par: &Parallelism) -> u32 {
+    path_stats_with(g, par).diameter
+}
+
+/// Average shortest path length only.
+pub fn aspl(g: &Graph) -> f64 {
+    path_stats(g).aspl
+}
+
+/// [`aspl`] under an explicit [`Parallelism`] policy.
+pub fn aspl_with(g: &Graph, par: &Parallelism) -> f64 {
+    path_stats_with(g, par).aspl
+}
+
+/// Approximate ASPL/diameter from `samples` BFS sources chosen
+/// deterministically (evenly spaced). Exact when `samples >= n`. Useful for
+/// quick sweeps over very large graphs; the figure harnesses use the exact
+/// sweep since the paper tops out at 2048 switches.
+pub fn sampled_path_stats(g: &Graph, samples: usize) -> PathStats {
+    sampled_path_stats_with(g, samples, &Parallelism::auto())
+}
+
+/// [`sampled_path_stats`] under an explicit [`Parallelism`] policy.
+pub fn sampled_path_stats_with(g: &Graph, samples: usize, par: &Parallelism) -> PathStats {
+    let n = g.node_count();
+    if samples >= n {
+        return path_stats_with(g, par);
+    }
+    let stride = (n as f64 / samples as f64).max(1.0);
+    let sources: Vec<usize> = (0..samples)
+        .map(|i| ((i as f64 * stride) as usize).min(n - 1))
+        .collect();
+    sweep_sources(g, &sources, par)
 }
 
 #[cfg(test)]

@@ -36,10 +36,7 @@ pub fn avg_clustering(g: &Graph) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let sum: f64 = (0..n)
-        .into_par_iter()
-        .map(|v| local_clustering(g, v))
-        .sum();
+    let sum: f64 = (0..n).into_par_iter().map(|v| local_clustering(g, v)).sum();
     sum / n as f64
 }
 

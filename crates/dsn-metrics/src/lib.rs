@@ -22,11 +22,14 @@
 pub mod apsp;
 pub mod bfs;
 pub mod bisection;
-pub mod connectivity;
 pub mod clustering;
+pub mod connectivity;
 pub mod report;
 
-pub use apsp::{aspl, diameter, path_stats, sampled_path_stats, PathStats};
+pub use apsp::{
+    aspl, aspl_with, diameter, diameter_with, path_stats, path_stats_with, sampled_path_stats,
+    sampled_path_stats_with, PathStats,
+};
 pub use bfs::{bfs_distances, bfs_path, distance, BfsWorkspace, UNREACHABLE};
 pub use bisection::{cut_size, estimate_bisection, Bisection};
 pub use connectivity::{edge_connectivity, edge_disjoint_paths, path_diversity_histogram};

@@ -101,8 +101,7 @@ impl Cdg {
                         parent.insert(u, *v);
                         color.insert(u, Color::Gray);
                         order.push(u);
-                        let mut un: Vec<VirtualChannel> =
-                            self.deps[&u].iter().copied().collect();
+                        let mut un: Vec<VirtualChannel> = self.deps[&u].iter().copied().collect();
                         un.sort_unstable();
                         stack.push((u, un, 0));
                     }

@@ -261,7 +261,10 @@ fn trace_channels(
 
 /// Build the CDG of the given per-pair channel function over every ordered
 /// pair of distinct nodes.
-pub fn build_cdg(n: usize, mut channels_of: impl FnMut(NodeId, NodeId) -> Vec<VirtualChannel>) -> Cdg {
+pub fn build_cdg(
+    n: usize,
+    mut channels_of: impl FnMut(NodeId, NodeId) -> Vec<VirtualChannel>,
+) -> Cdg {
     let mut cdg = Cdg::new();
     for s in 0..n {
         for t in 0..n {
@@ -371,7 +374,11 @@ mod tests {
         // decrease and reintroduces cycles.
         for &n in &[30usize, 60, 126, 248] {
             let p = dsn_core::util::ceil_log2(n);
-            assert_eq!(n % p as usize, 0, "test sizes must have complete super nodes");
+            assert_eq!(
+                n % p as usize,
+                0,
+                "test sizes must have complete super nodes"
+            );
             let dsn = Dsn::new(n, p - 1).unwrap();
             let cdg = dsnv_cdg(&dsn);
             assert!(

@@ -17,7 +17,9 @@
 //! `x > p - log2 p`; Theorem 2a bounds the expected length by `2p`.
 
 use dsn_core::dsn::Dsn;
+use dsn_core::parallel::Parallelism;
 use dsn_core::NodeId;
+use rayon::prelude::*;
 
 /// Kind of move the router took on one hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -281,10 +283,7 @@ pub fn route_avoid_overshoot(dsn: &Dsn, s: NodeId, t: NodeId) -> Result<RouteTra
             break;
         }
         let l = dsn.required_level(d);
-        let jump_ok = lu >= l
-            && dsn
-                .shortcut(u)
-                .is_some_and(|sc| dsn.cw_dist(u, sc) <= d);
+        let jump_ok = lu >= l && dsn.shortcut(u).is_some_and(|sc| dsn.cw_dist(u, sc) <= d);
         if jump_ok {
             let target = dsn.shortcut(u).expect("checked above");
             u = target;
@@ -325,37 +324,96 @@ pub struct RoutingStats {
     pub overshoot_rate: f64,
 }
 
-/// Route every ordered pair `(s, t)` with `s != t` and aggregate.
-pub fn routing_stats(dsn: &Dsn) -> RoutingStats {
-    let n = dsn.n();
-    let mut max_hops = 0usize;
-    let mut sum = 0u64;
-    let mut sums = (0u64, 0u64, 0u64);
-    let mut overshoots = 0usize;
-    let mut pairs = 0usize;
-    for s in 0..n {
-        for t in 0..n {
-            if s == t {
-                continue;
-            }
-            let tr = route(dsn, s, t).expect("routing must not fail on a valid DSN");
-            max_hops = max_hops.max(tr.hops());
-            sum += tr.hops() as u64;
-            sums.0 += tr.hops_in(RoutePhase::PreWork) as u64;
-            sums.1 += tr.hops_in(RoutePhase::Main) as u64;
-            sums.2 += tr.hops_in(RoutePhase::Finish) as u64;
-            overshoots += tr.overshoot as usize;
-            pairs += 1;
+/// Per-source accumulation of the all-pairs sweep. Integer-only, so the
+/// parallel per-source merge is exact (no float-order effects): the final
+/// averages are computed once from the merged integer sums, which makes
+/// the parallel result bit-identical to the serial loop by construction.
+#[derive(Debug, Clone, Copy, Default)]
+struct StatsPartial {
+    max_hops: usize,
+    sum: u64,
+    phase_sums: (u64, u64, u64),
+    overshoots: usize,
+    pairs: usize,
+}
+
+impl StatsPartial {
+    fn merge(mut self, other: StatsPartial) -> StatsPartial {
+        self.max_hops = self.max_hops.max(other.max_hops);
+        self.sum += other.sum;
+        self.phase_sums.0 += other.phase_sums.0;
+        self.phase_sums.1 += other.phase_sums.1;
+        self.phase_sums.2 += other.phase_sums.2;
+        self.overshoots += other.overshoots;
+        self.pairs += other.pairs;
+        self
+    }
+}
+
+/// Routes from one source to every other node — the unit of work both the
+/// serial and the parallel sweep share.
+fn source_partial(dsn: &Dsn, s: NodeId) -> StatsPartial {
+    let mut part = StatsPartial::default();
+    for t in 0..dsn.n() {
+        if s == t {
+            continue;
         }
+        let tr = route(dsn, s, t).expect("routing must not fail on a valid DSN");
+        part.max_hops = part.max_hops.max(tr.hops());
+        part.sum += tr.hops() as u64;
+        part.phase_sums.0 += tr.hops_in(RoutePhase::PreWork) as u64;
+        part.phase_sums.1 += tr.hops_in(RoutePhase::Main) as u64;
+        part.phase_sums.2 += tr.hops_in(RoutePhase::Finish) as u64;
+        part.overshoots += tr.overshoot as usize;
+        part.pairs += 1;
     }
-    let pf = pairs.max(1) as f64;
+    part
+}
+
+fn finish_stats(total: StatsPartial) -> RoutingStats {
+    let pf = total.pairs.max(1) as f64;
     RoutingStats {
-        pairs,
-        max_hops,
-        avg_hops: sum as f64 / pf,
-        avg_phase_hops: (sums.0 as f64 / pf, sums.1 as f64 / pf, sums.2 as f64 / pf),
-        overshoot_rate: overshoots as f64 / pf,
+        pairs: total.pairs,
+        max_hops: total.max_hops,
+        avg_hops: total.sum as f64 / pf,
+        avg_phase_hops: (
+            total.phase_sums.0 as f64 / pf,
+            total.phase_sums.1 as f64 / pf,
+            total.phase_sums.2 as f64 / pf,
+        ),
+        overshoot_rate: total.overshoots as f64 / pf,
     }
+}
+
+/// Route every ordered pair `(s, t)` with `s != t` and aggregate, fanned
+/// out per source over the rayon pool.
+pub fn routing_stats(dsn: &Dsn) -> RoutingStats {
+    routing_stats_with(dsn, &Parallelism::auto())
+}
+
+/// [`routing_stats`] under an explicit [`Parallelism`] policy. The serial
+/// and parallel paths run the same per-source unit and merge integer
+/// partials in source order, so their results are bit-identical.
+pub fn routing_stats_with(dsn: &Dsn, par: &Parallelism) -> RoutingStats {
+    let n = dsn.n();
+    let total = if par.is_serial() {
+        (0..n)
+            .map(|s| source_partial(dsn, s))
+            .fold(StatsPartial::default(), StatsPartial::merge)
+    } else {
+        (0..n)
+            .into_par_iter()
+            .map(|s| source_partial(dsn, s))
+            .reduce(StatsPartial::default, StatsPartial::merge)
+    };
+    finish_stats(total)
+}
+
+/// The reference sequential sweep (`routing_stats_with` with
+/// [`Parallelism::serial`]); kept as a named entry point for equivalence
+/// tests and benchmarks.
+pub fn routing_stats_serial(dsn: &Dsn) -> RoutingStats {
+    routing_stats_with(dsn, &Parallelism::serial())
 }
 
 #[cfg(test)]

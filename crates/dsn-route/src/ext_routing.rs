@@ -91,11 +91,7 @@ pub fn route_dsnd(dsnd: &DsnD, s: NodeId, t: NodeId) -> Result<RouteTrace, Route
 /// between adjacent majors expand over any minors in between), with a
 /// final Succ walk for a minor destination and an initial walk from a
 /// minor source to its preceding major.
-pub fn route_flexible(
-    flex: &FlexibleDsn,
-    s: NodeId,
-    t: NodeId,
-) -> Result<RouteTrace, RouteError> {
+pub fn route_flexible(flex: &FlexibleDsn, s: NodeId, t: NodeId) -> Result<RouteTrace, RouteError> {
     let n = flex.n();
     if s >= n {
         return Err(RouteError::NodeOutOfRange(s));

@@ -30,5 +30,8 @@ pub mod load;
 pub mod updown;
 
 pub use cdg::{Cdg, VirtualChannel};
-pub use dsn_routing::{route, route_avoid_overshoot, routing_stats, RouteError, RoutePhase, RouteStep, RouteTrace, RoutingStats};
+pub use dsn_routing::{
+    route, route_avoid_overshoot, routing_stats, routing_stats_serial, routing_stats_with,
+    RouteError, RoutePhase, RouteStep, RouteTrace, RoutingStats,
+};
 pub use updown::{UdPhase, UpDown};

@@ -131,7 +131,10 @@ impl SimConfig {
                 "virtual cut-through needs one full packet of buffering per VC"
             );
         } else {
-            assert!(self.buffer_flits >= 2, "wormhole needs at least 2 flits of buffering");
+            assert!(
+                self.buffer_flits >= 2,
+                "wormhole needs at least 2 flits of buffering"
+            );
         }
         assert!(self.hosts_per_switch >= 1, "need at least one host");
         assert!(self.cycle_ns > 0.0, "cycle time must be positive");

@@ -18,10 +18,10 @@
 
 use crate::config::SimConfig;
 use crate::routing::{RouteState, SimRouting};
-use crate::trace::{PacketTracer, TraceEvent};
-use crate::workload::Workload;
 use crate::stats::{RunStats, StatsCollector};
+use crate::trace::{PacketTracer, TraceEvent};
 use crate::traffic::TrafficPattern;
+use crate::workload::Workload;
 use dsn_core::graph::Graph;
 use dsn_core::NodeId;
 use rand::rngs::SmallRng;
@@ -242,7 +242,10 @@ impl Simulator {
                 }
             }
         }
-        let tracer_out = self.tracer.take().unwrap_or_else(|| PacketTracer::new(u32::MAX));
+        let tracer_out = self
+            .tracer
+            .take()
+            .unwrap_or_else(|| PacketTracer::new(u32::MAX));
         let stats = self.finish_stats();
         (stats, tracer_out)
     }
@@ -279,9 +282,7 @@ impl Simulator {
         let mean_util = if self.channel_flits.is_empty() {
             0.0
         } else {
-            self.channel_flits.iter().sum::<u64>() as f64
-                / window
-                / self.channel_flits.len() as f64
+            self.channel_flits.iter().sum::<u64>() as f64 / window / self.channel_flits.len() as f64
         };
         let max_util = self
             .channel_flits
@@ -301,8 +302,8 @@ impl Simulator {
         // pipeline plus one packet serialization, with a wide margin).
         let threshold =
             16 * (self.cfg.header_delay + self.cfg.link_delay + self.cfg.packet_flits as u64);
-        stats.deadlock_suspected = self.longest_stall > threshold
-            && self.packets.len() as u64 > self.delivered_all_time;
+        stats.deadlock_suspected =
+            self.longest_stall > threshold && self.packets.len() as u64 > self.delivered_all_time;
         stats
     }
 
@@ -391,8 +392,8 @@ impl Simulator {
         let src_sw = src_host / self.cfg.hosts_per_switch;
         let route = self.routing.init(src_sw, dest_sw as usize);
         let id = self.packets.len() as u32;
-        let measured = now >= self.cfg.warmup_cycles
-            && now < self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        let measured =
+            now >= self.cfg.warmup_cycles && now < self.cfg.warmup_cycles + self.cfg.measure_cycles;
         self.packets.push(Packet {
             dest_host: dest_host as u32,
             dest_sw,
@@ -413,7 +414,9 @@ impl Simulator {
         }
         let input = self.injection_input(src_host);
         for seq in 0..self.cfg.packet_flits as u16 {
-            self.inputs[input].vcs[0].buf.push_back(Flit { packet: id, seq });
+            self.inputs[input].vcs[0]
+                .buf
+                .push_back(Flit { packet: id, seq });
         }
     }
 
@@ -423,7 +426,9 @@ impl Simulator {
             let node = self.inputs[i].node;
             for v in 0..self.inputs[i].vcs.len() {
                 let ivc = &self.inputs[i].vcs[v];
-                let Some(&head) = ivc.buf.front() else { continue };
+                let Some(&head) = ivc.buf.front() else {
+                    continue;
+                };
                 if head.seq != 0 || ivc.alloc.is_some() {
                     continue;
                 }
@@ -438,14 +443,17 @@ impl Simulator {
                 let dest_sw = self.packets[pkt_idx].dest_sw as usize;
                 if dest_sw == node {
                     // Eject: always grantable (sink arbitrated per cycle).
-                    let port = self.packets[pkt_idx].dest_host as usize
-                        % self.cfg.hosts_per_switch;
+                    let port = self.packets[pkt_idx].dest_host as usize % self.cfg.hosts_per_switch;
                     self.inputs[i].vcs[v].alloc = Some(OutRef::Eject { port });
                     continue;
                 }
                 candidates.clear();
-                self.routing
-                    .candidates(node, dest_sw, &self.packets[pkt_idx].route, &mut candidates);
+                self.routing.candidates(
+                    node,
+                    dest_sw,
+                    &self.packets[pkt_idx].route,
+                    &mut candidates,
+                );
                 debug_assert!(!candidates.is_empty(), "no route from {node} to {dest_sw}");
                 let need = match self.cfg.switching {
                     crate::config::Switching::VirtualCutThrough => self.cfg.packet_flits,
@@ -461,7 +469,11 @@ impl Simulator {
                             tr.record(
                                 now,
                                 head.packet,
-                                TraceEvent::VcAllocated { at: node, channel: ch, vc },
+                                TraceEvent::VcAllocated {
+                                    at: node,
+                                    channel: ch,
+                                    vc,
+                                },
                             );
                         }
                         let pkt = &mut self.packets[pkt_idx];
@@ -570,12 +582,8 @@ impl Simulator {
                         tr.record(now, flit.packet, TraceEvent::Delivered { at: node });
                     }
                     let pkt = &self.packets[flit.packet as usize];
-                    self.stats.on_delivered(
-                        now,
-                        pkt.created,
-                        pkt.measured,
-                        self.cfg.packet_flits,
-                    );
+                    self.stats
+                        .on_delivered(now, pkt.created, pkt.measured, self.cfg.packet_flits);
                 }
             }
         }
@@ -614,8 +622,7 @@ mod tests {
         // serialization (packet_flits) and final header + ejection.
         let stats = tiny_sim(0.0005).run();
         let cfg = SimConfig::test_small();
-        let floor =
-            (cfg.header_delay + cfg.link_delay + cfg.packet_flits as u64) as f64;
+        let floor = (cfg.header_delay + cfg.link_delay + cfg.packet_flits as u64) as f64;
         assert!(
             stats.avg_latency_cycles >= floor,
             "latency {} below physical floor {floor}",
@@ -667,8 +674,7 @@ mod tests {
             ..SimConfig::test_small()
         };
         let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-        let stats =
-            Simulator::new(g, cfg, routing, TrafficPattern::Uniform, 0.002, 5).run();
+        let stats = Simulator::new(g, cfg, routing, TrafficPattern::Uniform, 0.002, 5).run();
         assert!(stats.delivery_ratio() > 0.95, "{}", stats.delivery_ratio());
         assert!(!stats.deadlock_suspected);
     }
@@ -683,14 +689,12 @@ mod tests {
                 ..SimConfig::test_small()
             };
             let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-            Simulator::new(g.clone(), cfg, routing, TrafficPattern::Uniform, 0.05, 5)
-                .run()
+            Simulator::new(g.clone(), cfg, routing, TrafficPattern::Uniform, 0.05, 5).run()
         };
         let vct = mk(crate::config::Switching::VirtualCutThrough, 8);
         let worm = mk(crate::config::Switching::Wormhole, 2);
         assert!(
-            worm.accepted_flits_per_cycle_per_host
-                <= vct.accepted_flits_per_cycle_per_host * 1.05
+            worm.accepted_flits_per_cycle_per_host <= vct.accepted_flits_per_cycle_per_host * 1.05
         );
     }
 
@@ -700,14 +704,9 @@ mod tests {
         let mut cfg = SimConfig::test_small();
         cfg.drain_cycles = 50_000; // plenty of horizon for the batch
         let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-        let stats = Simulator::with_workload(
-            g,
-            cfg,
-            routing,
-            crate::workload::Workload::all_to_all(8),
-            3,
-        )
-        .run();
+        let stats =
+            Simulator::with_workload(g, cfg, routing, crate::workload::Workload::all_to_all(8), 3)
+                .run();
         let makespan = stats.completion_cycle.expect("batch must finish");
         assert!(makespan > 0);
         assert_eq!(stats.total_packets_all_time, 8 * 7);
@@ -740,8 +739,8 @@ mod tests {
         let g = Arc::new(Ring::new(8).unwrap().into_graph());
         let cfg = SimConfig::test_small();
         let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-        let sim = Simulator::new(g, cfg, routing, TrafficPattern::Uniform, 0.005, 11)
-            .with_tracer(1);
+        let sim =
+            Simulator::new(g, cfg, routing, TrafficPattern::Uniform, 0.005, 11).with_tracer(1);
         let (stats, trace) = sim.run_traced();
         assert!(stats.delivered_packets > 0);
         assert!(!trace.records().is_empty());
@@ -750,13 +749,18 @@ mod tests {
         let delivered: Vec<u32> = trace
             .records()
             .iter()
-            .filter_map(|&(_, p, e)| matches!(e, crate::trace::TraceEvent::Delivered { .. }).then_some(p))
+            .filter_map(|&(_, p, e)| {
+                matches!(e, crate::trace::TraceEvent::Delivered { .. }).then_some(p)
+            })
             .collect();
         assert!(!delivered.is_empty());
         for &p in delivered.iter().take(5) {
             let timeline = trace.packet_timeline(p);
             assert!(timeline.windows(2).all(|w| w[0].0 <= w[1].0), "time order");
-            assert!(matches!(timeline[0].2, crate::trace::TraceEvent::Injected { .. }));
+            assert!(matches!(
+                timeline[0].2,
+                crate::trace::TraceEvent::Injected { .. }
+            ));
             let (queue, transit, total) = trace.latency_breakdown(p).expect("delivered");
             assert_eq!(queue + transit, total);
         }

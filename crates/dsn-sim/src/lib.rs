@@ -46,7 +46,10 @@ pub use config::{SimConfig, Switching};
 pub use engine::Simulator;
 pub use routing::{AdaptiveEscape, MinimalAdaptiveDsn, SimRouting, SourceRouted, UpDownRouting};
 pub use stats::RunStats;
-pub use sweep::{find_saturation, load_sweep, paper_load_grid, SweepResult};
+pub use sweep::{
+    find_saturation, find_saturation_with, load_sweep, load_sweep_with, paper_load_grid,
+    SweepResult,
+};
 pub use trace::{PacketTracer, TraceEvent, TraceRecord};
 pub use traffic::TrafficPattern;
 pub use workload::Workload;

@@ -146,7 +146,10 @@ impl SimRouting for AdaptiveEscape {
             }
         }
         // Escape on VC 0, honoring the packet's current up*/down* phase.
-        for (e, _next_phase) in self.updown.next_hops(&self.graph, cur, state.ud_phase, dest) {
+        for (e, _next_phase) in self
+            .updown
+            .next_hops(&self.graph, cur, state.ud_phase, dest)
+        {
             out.push((self.graph.channel_id(e, cur), 0));
         }
     }
@@ -191,7 +194,10 @@ impl SimRouting for UpDownRouting {
     }
 
     fn candidates(&self, cur: NodeId, dest: NodeId, state: &RouteState, out: &mut Vec<Candidate>) {
-        for (e, _next) in self.updown.next_hops(&self.graph, cur, state.ud_phase, dest) {
+        for (e, _next) in self
+            .updown
+            .next_hops(&self.graph, cur, state.ud_phase, dest)
+        {
             let ch = self.graph.channel_id(e, cur);
             for vc in 0..self.vcs {
                 out.push((ch, vc));
@@ -406,15 +412,31 @@ impl SimRouting for SourceRouted {
         }
     }
 
-    fn candidates(&self, _cur: NodeId, _dest: NodeId, state: &RouteState, out: &mut Vec<Candidate>) {
-        let path = state.path.as_ref().expect("source-routed packet has a path");
+    fn candidates(
+        &self,
+        _cur: NodeId,
+        _dest: NodeId,
+        state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
+        let path = state
+            .path
+            .as_ref()
+            .expect("source-routed packet has a path");
         let (ch, class) = path[state.idx];
         for lane in 0..self.lanes {
             out.push((ch, class * self.lanes + lane));
         }
     }
 
-    fn on_hop(&self, _cur: NodeId, _dest: NodeId, state: &mut RouteState, _channel: usize, _vc: u8) {
+    fn on_hop(
+        &self,
+        _cur: NodeId,
+        _dest: NodeId,
+        state: &mut RouteState,
+        _channel: usize,
+        _vc: u8,
+    ) {
         state.idx += 1;
     }
 }

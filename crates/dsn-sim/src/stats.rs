@@ -246,7 +246,12 @@ mod tests {
         }
         // only half delivered
         for i in 0..50u64 {
-            s.on_delivered(c.warmup_cycles + i + 30, c.warmup_cycles + i, true, c.packet_flits);
+            s.on_delivered(
+                c.warmup_cycles + i + 30,
+                c.warmup_cycles + i,
+                true,
+                c.packet_flits,
+            );
         }
         let r = s.finish(&c, 8, 100);
         assert!(r.saturated());

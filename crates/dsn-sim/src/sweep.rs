@@ -8,6 +8,7 @@ use crate::routing::SimRouting;
 use crate::stats::RunStats;
 use crate::traffic::TrafficPattern;
 use dsn_core::graph::Graph;
+use dsn_core::parallel::Parallelism;
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -74,25 +75,56 @@ pub fn load_sweep(
     offered_gbps: &[f64],
     seed: u64,
 ) -> SweepResult {
+    load_sweep_with(
+        label,
+        graph,
+        cfg,
+        make_routing,
+        pattern,
+        offered_gbps,
+        seed,
+        &Parallelism::auto(),
+    )
+}
+
+/// [`load_sweep`] under an explicit [`Parallelism`] policy. Each point is
+/// seeded as `seed ^ offered.to_bits()`, so the curve is identical no
+/// matter how many points run concurrently.
+#[allow(clippy::too_many_arguments)]
+pub fn load_sweep_with(
+    label: impl Into<String>,
+    graph: Arc<Graph>,
+    cfg: &SimConfig,
+    make_routing: impl Fn() -> Arc<dyn SimRouting> + Sync,
+    pattern: &TrafficPattern,
+    offered_gbps: &[f64],
+    seed: u64,
+    par: &Parallelism,
+) -> SweepResult {
     let label = label.into();
-    let points: Vec<SweepPoint> = offered_gbps
-        .par_iter()
-        .map(|&gbps| {
-            let rate = cfg.packets_per_cycle_for_gbps(gbps);
-            let sim = Simulator::new(
-                graph.clone(),
-                cfg.clone(),
-                make_routing(),
-                pattern.clone(),
-                rate,
-                seed ^ gbps.to_bits(),
-            );
-            SweepPoint {
-                offered_gbps: gbps,
-                stats: sim.run(),
-            }
-        })
-        .collect();
+    let run_point = |gbps: f64| -> SweepPoint {
+        let rate = cfg.packets_per_cycle_for_gbps(gbps);
+        let sim = Simulator::new(
+            graph.clone(),
+            cfg.clone(),
+            make_routing(),
+            pattern.clone(),
+            rate,
+            seed ^ gbps.to_bits(),
+        );
+        SweepPoint {
+            offered_gbps: gbps,
+            stats: sim.run(),
+        }
+    };
+    let points: Vec<SweepPoint> = if par.is_serial() {
+        offered_gbps.iter().map(|&gbps| run_point(gbps)).collect()
+    } else {
+        offered_gbps
+            .par_iter()
+            .map(|&gbps| run_point(gbps))
+            .collect()
+    };
     SweepResult {
         label,
         pattern: pattern.name().to_string(),
@@ -100,23 +132,61 @@ pub fn load_sweep(
     }
 }
 
-/// Find the saturation throughput (Gbit/s/host) by bisection on offered
-/// load: the largest load in `[lo, hi]` the network accepts without
-/// saturating, to within `tol`. Returns `hi` when even the top of the
-/// range is absorbed (the true saturation point lies above the probe
+/// Interior probe loads per refinement round of [`find_saturation_with`]:
+/// the bracket shrinks by `SECTION_PROBES + 1` per round, and all probes
+/// of a round are independent simulations that can run concurrently.
+const SECTION_PROBES: usize = 4;
+
+/// Find the saturation throughput (Gbit/s/host) by a sectioned search on
+/// offered load: the largest load in `[lo, hi]` the network accepts
+/// without saturating, to within `tol`. Returns `hi` when even the top of
+/// the range is absorbed (the true saturation point lies above the probe
 /// range). One simulation per probe.
 #[allow(clippy::too_many_arguments)]
 pub fn find_saturation(
     graph: Arc<Graph>,
     cfg: &SimConfig,
-    make_routing: impl Fn() -> Arc<dyn SimRouting>,
+    make_routing: impl Fn() -> Arc<dyn SimRouting> + Sync,
+    pattern: &TrafficPattern,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    seed: u64,
+) -> f64 {
+    find_saturation_with(
+        graph,
+        cfg,
+        make_routing,
+        pattern,
+        lo,
+        hi,
+        tol,
+        seed,
+        &Parallelism::auto(),
+    )
+}
+
+/// [`find_saturation`] under an explicit [`Parallelism`] policy.
+///
+/// Each refinement round places [`SECTION_PROBES`] evenly spaced loads
+/// inside the bracket and simulates them (concurrently unless the policy
+/// is serial), then narrows to the gap around the lowest saturated probe.
+/// Every probe is seeded as `seed ^ load.to_bits()`, and the bracketing
+/// decision depends only on the probe verdicts, so the result is
+/// identical for every worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn find_saturation_with(
+    graph: Arc<Graph>,
+    cfg: &SimConfig,
+    make_routing: impl Fn() -> Arc<dyn SimRouting> + Sync,
     pattern: &TrafficPattern,
     mut lo: f64,
     mut hi: f64,
     tol: f64,
     seed: u64,
+    par: &Parallelism,
 ) -> f64 {
-    assert!(lo > 0.0 && hi > lo && tol > 0.0, "invalid bisection range");
+    assert!(lo > 0.0 && hi > lo && tol > 0.0, "invalid search range");
     let probe = |gbps: f64| -> bool {
         let rate = cfg.packets_per_cycle_for_gbps(gbps);
         let sim = Simulator::new(
@@ -135,12 +205,22 @@ pub fn find_saturation(
     if probe(lo) {
         return lo; // saturated everywhere in range; report the floor
     }
+    // Invariant: probe(lo) is absorbed, probe(hi) saturated.
     while hi - lo > tol {
-        let mid = 0.5 * (lo + hi);
-        if probe(mid) {
-            hi = mid;
+        let step = (hi - lo) / (SECTION_PROBES + 1) as f64;
+        let mids: Vec<f64> = (1..=SECTION_PROBES).map(|i| lo + step * i as f64).collect();
+        let verdicts: Vec<bool> = if par.is_serial() {
+            mids.iter().map(|&m| probe(m)).collect()
         } else {
-            lo = mid;
+            mids.par_iter().map(|&m| probe(m)).collect()
+        };
+        match verdicts.iter().position(|&saturated| saturated) {
+            Some(0) => hi = mids[0],
+            Some(i) => {
+                lo = mids[i - 1];
+                hi = mids[i];
+            }
+            None => lo = mids[SECTION_PROBES - 1],
         }
     }
     lo
@@ -148,7 +228,9 @@ pub fn find_saturation(
 
 /// The offered-load grid of the paper's Figure 10 (0.5 – 12 Gbit/s/host).
 pub fn paper_load_grid() -> Vec<f64> {
-    vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0]
+    vec![
+        0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0,
+    ]
 }
 
 /// Render a sweep as aligned text rows (offered, accepted, latency-ns,
@@ -198,7 +280,10 @@ mod tests {
         assert_eq!(res.points.len(), 3);
         assert!(res.points[0].stats.delivered_packets > 0);
         // offered recorded in order
-        assert!(res.points.windows(2).all(|w| w[0].offered_gbps < w[1].offered_gbps));
+        assert!(res
+            .points
+            .windows(2)
+            .all(|w| w[0].offered_gbps < w[1].offered_gbps));
         let text = format_sweep(&res);
         assert!(text.contains("ring-8"));
         assert!(text.lines().count() >= 5);

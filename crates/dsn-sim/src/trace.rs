@@ -123,9 +123,30 @@ mod tests {
     #[test]
     fn sampling_filters() {
         let mut t = PacketTracer::new(2);
-        t.record(0, 0, TraceEvent::Injected { src_sw: 0, dest_sw: 1 });
-        t.record(1, 1, TraceEvent::Injected { src_sw: 0, dest_sw: 1 });
-        t.record(2, 2, TraceEvent::Injected { src_sw: 0, dest_sw: 1 });
+        t.record(
+            0,
+            0,
+            TraceEvent::Injected {
+                src_sw: 0,
+                dest_sw: 1,
+            },
+        );
+        t.record(
+            1,
+            1,
+            TraceEvent::Injected {
+                src_sw: 0,
+                dest_sw: 1,
+            },
+        );
+        t.record(
+            2,
+            2,
+            TraceEvent::Injected {
+                src_sw: 0,
+                dest_sw: 1,
+            },
+        );
         assert_eq!(t.records().len(), 2);
         assert!(t.traces(0) && !t.traces(1) && t.traces(2));
     }
@@ -133,8 +154,23 @@ mod tests {
     #[test]
     fn breakdown_arithmetic() {
         let mut t = PacketTracer::new(1);
-        t.record(10, 7, TraceEvent::Injected { src_sw: 0, dest_sw: 3 });
-        t.record(14, 7, TraceEvent::VcAllocated { at: 0, channel: 2, vc: 1 });
+        t.record(
+            10,
+            7,
+            TraceEvent::Injected {
+                src_sw: 0,
+                dest_sw: 3,
+            },
+        );
+        t.record(
+            14,
+            7,
+            TraceEvent::VcAllocated {
+                at: 0,
+                channel: 2,
+                vc: 1,
+            },
+        );
         t.record(20, 7, TraceEvent::TailSent { at: 0, channel: 2 });
         t.record(55, 7, TraceEvent::Delivered { at: 3 });
         assert_eq!(t.latency_breakdown(7), Some((4, 41, 45)));

@@ -256,7 +256,10 @@ mod tests {
     #[test]
     fn hotspot_concentrates() {
         let mut r = rng();
-        let pat = TrafficPattern::Hotspot { hot: 7, fraction: 0.5 };
+        let pat = TrafficPattern::Hotspot {
+            hot: 7,
+            fraction: 0.5,
+        };
         let mut hits = 0;
         for _ in 0..2000 {
             if pat.pick(0, 64, &mut r) == 7 {

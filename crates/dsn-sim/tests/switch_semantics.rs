@@ -4,9 +4,7 @@
 
 use dsn_core::ring::Ring;
 use dsn_core::torus::Torus;
-use dsn_sim::{
-    AdaptiveEscape, SimConfig, Simulator, SourceRouted, TraceEvent, TrafficPattern,
-};
+use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, SourceRouted, TraceEvent, TrafficPattern};
 use std::sync::Arc;
 
 fn small_cfg() -> SimConfig {
@@ -26,15 +24,8 @@ fn hop_count_matches_route_length_on_deterministic_routing() {
     let g = Arc::new(torus.graph().clone());
     let cfg = small_cfg();
     let routing = Arc::new(SourceRouted::torus_dor(torus.clone()));
-    let sim = Simulator::new(
-        g,
-        cfg.clone(),
-        routing,
-        TrafficPattern::Uniform,
-        0.004,
-        13,
-    )
-    .with_tracer(1);
+    let sim =
+        Simulator::new(g, cfg.clone(), routing, TrafficPattern::Uniform, 0.004, 13).with_tracer(1);
     let (stats, trace) = sim.run_traced();
     assert!(stats.delivered_packets > 5);
 
@@ -66,8 +57,8 @@ fn per_hop_latency_floor_respected() {
     let g = Arc::new(Ring::new(8).unwrap().into_graph());
     let cfg = small_cfg();
     let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-    let sim = Simulator::new(g, cfg.clone(), routing, TrafficPattern::Uniform, 0.003, 5)
-        .with_tracer(1);
+    let sim =
+        Simulator::new(g, cfg.clone(), routing, TrafficPattern::Uniform, 0.003, 5).with_tracer(1);
     let (_, trace) = sim.run_traced();
 
     let floor = cfg.header_delay + cfg.link_delay;
@@ -105,8 +96,7 @@ fn vct_grants_only_with_full_packet_space() {
     };
     assert_eq!(cfg.buffer_flits, cfg.packet_flits);
     let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-    let stats =
-        Simulator::new(g, cfg, routing, TrafficPattern::Uniform, 0.004, 3).run();
+    let stats = Simulator::new(g, cfg, routing, TrafficPattern::Uniform, 0.004, 3).run();
     assert!(stats.delivery_ratio() > 0.95, "{}", stats.delivery_ratio());
     assert!(!stats.deadlock_suspected);
 }
@@ -118,8 +108,8 @@ fn tail_follows_head_within_packet_span() {
     let g = Arc::new(Ring::new(8).unwrap().into_graph());
     let cfg = small_cfg();
     let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-    let sim = Simulator::new(g, cfg.clone(), routing, TrafficPattern::Uniform, 0.002, 9)
-        .with_tracer(1);
+    let sim =
+        Simulator::new(g, cfg.clone(), routing, TrafficPattern::Uniform, 0.002, 9).with_tracer(1);
     let (_, trace) = sim.run_traced();
     let mut checked = 0;
     for &(when, p, e) in trace.records() {
@@ -132,8 +122,7 @@ fn tail_follows_head_within_packet_span() {
             .iter()
             .filter(|(_, _, e)| matches!(e, TraceEvent::VcAllocated { .. }))
             .count() as u64;
-        let min_total =
-            hops * (cfg.header_delay + cfg.link_delay) + cfg.packet_flits as u64 - 1;
+        let min_total = hops * (cfg.header_delay + cfg.link_delay) + cfg.packet_flits as u64 - 1;
         assert!(
             when - injected >= min_total,
             "packet {p} delivered impossibly fast: {} < {min_total}",

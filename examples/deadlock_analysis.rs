@@ -6,9 +6,7 @@
 
 use dsn::core::dsn::Dsn;
 use dsn::core::dsn_ext::DsnE;
-use dsn::route::deadlock::{
-    basic_cdg, dsne_cdg, dsne_group_dependencies, dsnv_cdg,
-};
+use dsn::route::deadlock::{basic_cdg, dsne_cdg, dsne_group_dependencies, dsnv_cdg};
 
 fn main() {
     let n: usize = std::env::args()
@@ -49,9 +47,7 @@ fn main() {
     println!("\n3. DSN-E: physical Up/Extra links, single VC:");
     let dsne = DsnE::new(n).expect("dsne");
     let deps = dsne_group_dependencies(&dsne);
-    println!(
-        "   group-level dependencies (0=Up, 1=Succ+Shortcut, 2=Pred+Extra): {deps:?}"
-    );
+    println!("   group-level dependencies (0=Up, 1=Succ+Shortcut, 2=Pred+Extra): {deps:?}");
     println!(
         "   all inter-group dependencies point forward: {} (the paper's Figure 6 argument)",
         deps.iter().all(|&(a, b)| a < b)

@@ -6,9 +6,7 @@
 //! Run: `cargo run --release --example fault_tolerance [n]`
 
 use dsn::core::topology::TopologySpec;
-use dsn::metrics::{
-    edge_connectivity, estimate_bisection, path_diversity_histogram, path_stats,
-};
+use dsn::metrics::{edge_connectivity, estimate_bisection, path_diversity_histogram, path_stats};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;

@@ -28,7 +28,12 @@ fn main() {
     for spec in [
         TopologySpec::Dsn { n, x: p - 1 },
         TopologySpec::Torus2D { n },
-        TopologySpec::DlnRandom { n, x: 2, y: 2, seed: 0xD5B0_2013 },
+        TopologySpec::DlnRandom {
+            n,
+            x: 2,
+            y: 2,
+            seed: 0xD5B0_2013,
+        },
     ] {
         let built = spec.build().expect("topology");
         let stats = cable_stats(&built.graph, &placement, &model);

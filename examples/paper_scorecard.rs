@@ -32,7 +32,10 @@ impl Scorecard {
 }
 
 fn main() {
-    let mut card = Scorecard { passed: 0, failed: 0 };
+    let mut card = Scorecard {
+        passed: 0,
+        failed: 0,
+    };
     let seed = 0xD5B0_2013;
     println!("DSN (ICPP 2013) reproduction scorecard\n");
 
@@ -49,12 +52,20 @@ fn main() {
     card.check(
         "Fact 1: DSN degrees in {2..5}, avg <= 4",
         g_dsn.min_degree() >= 2 && g_dsn.max_degree() <= 5 && g_dsn.avg_degree() <= 4.0,
-        format!("degrees {}..{}, avg {:.2}", g_dsn.min_degree(), g_dsn.max_degree(), g_dsn.avg_degree()),
+        format!(
+            "degrees {}..{}, avg {:.2}",
+            g_dsn.min_degree(),
+            g_dsn.max_degree(),
+            g_dsn.avg_degree()
+        ),
     );
     card.check(
         "Fig 7: diameter DSN < torus, near RANDOM",
         s_dsn.diameter < s_torus.diameter && s_dsn.diameter <= 2 * s_random.diameter,
-        format!("{} vs torus {} vs random {}", s_dsn.diameter, s_torus.diameter, s_random.diameter),
+        format!(
+            "{} vs torus {} vs random {}",
+            s_dsn.diameter, s_torus.diameter, s_random.diameter
+        ),
     );
     card.check(
         "Fig 8: ASPL DSN < torus",
@@ -82,7 +93,11 @@ fn main() {
     card.check(
         "Thm 1b: diameter <= 2.5p + r",
         (cs.diameter as f64) <= 2.5 * p as f64 + clean.r() as f64,
-        format!("{} <= {:.1}", cs.diameter, 2.5 * p as f64 + clean.r() as f64),
+        format!(
+            "{} <= {:.1}",
+            cs.diameter,
+            2.5 * p as f64 + clean.r() as f64
+        ),
     );
     card.check(
         "Thm 1c: routing diameter <= 3p + r",

@@ -57,7 +57,10 @@ fn main() {
     );
     println!("path: {:?}", trace.path);
     let bound = 3 * dsn.p() as usize + dsn.r();
-    assert!(trace.hops() <= bound, "Fact 2: route within 3p + r = {bound}");
+    assert!(
+        trace.hops() <= bound,
+        "Fact 2: route within 3p + r = {bound}"
+    );
 
     // Graph analysis (the quantities of Figures 7 and 8).
     let stats = path_stats(dsn.graph());

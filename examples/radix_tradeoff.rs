@@ -24,7 +24,12 @@ fn main() {
         TopologySpec::Dsn { n: 512, x: 8 },
         TopologySpec::Torus2D { n: 512 },
         TopologySpec::Torus3D { n: 512 },
-        TopologySpec::DlnRandom { n: 512, x: 2, y: 2, seed: 0xD5B0_2013 },
+        TopologySpec::DlnRandom {
+            n: 512,
+            x: 2,
+            y: 2,
+            seed: 0xD5B0_2013,
+        },
     ] {
         let b = spec.build().expect("topology");
         rows.push((b.name, b.graph));

@@ -27,7 +27,10 @@ fn main() {
     };
     let loads = [1.0, 4.0, 8.0, 11.0];
 
-    println!("=== topology comparison, {} traffic, adaptive + up*/down* escape ===\n", pattern.name());
+    println!(
+        "=== topology comparison, {} traffic, adaptive + up*/down* escape ===\n",
+        pattern.name()
+    );
     for spec in TopologySpec::paper_trio(64, 0xD5B0_2013) {
         let built = spec.build().expect("topology");
         let graph = Arc::new(built.graph);

@@ -21,8 +21,17 @@ fn main() {
         TopologySpec::DsnE { n },
         TopologySpec::DsnD { n, x: 2 },
         TopologySpec::Torus2D { n },
-        TopologySpec::DlnRandom { n, x: 2, y: 2, seed: 0xD5B0_2013 },
-        TopologySpec::RandomRegular { n, d: 4, seed: 0xD5B0_2013 },
+        TopologySpec::DlnRandom {
+            n,
+            x: 2,
+            y: 2,
+            seed: 0xD5B0_2013,
+        },
+        TopologySpec::RandomRegular {
+            n,
+            d: 4,
+            seed: 0xD5B0_2013,
+        },
         TopologySpec::Dln { n, x: p + 1 },
         TopologySpec::Ring { n },
     ];
@@ -39,10 +48,7 @@ fn main() {
     }
 
     println!("\nSmall-world structure (Watts–Strogatz):");
-    println!(
-        "  {:<24} {:>10} {:>10}",
-        "topology", "clustering", "sigma"
-    );
+    println!("  {:<24} {:>10} {:>10}", "topology", "clustering", "sigma");
     for (r, g) in &reports {
         let c = avg_clustering(g);
         let sigma = small_world_sigma(g, r.paths.aspl);

@@ -25,7 +25,11 @@ fn main() {
         }
     };
 
-    println!("DSN-{x}-{n}: p = {}, r = {} (Figure 1 structure)\n", dsn.p(), dsn.r());
+    println!(
+        "DSN-{x}-{n}: p = {}, r = {} (Figure 1 structure)\n",
+        dsn.p(),
+        dsn.r()
+    );
 
     // Level strip: one row per level, '#' marks nodes of that level,
     // annotated with the shortcut span from the first such node.
@@ -53,14 +57,20 @@ fn main() {
         if let Some(t) = dsn.shortcut(v) {
             let span = dsn.cw_dist(v, t);
             let bar = "-".repeat((span * 40 / n).max(1));
-            println!("  {v:>3} ({:>2}) {bar}> {t:<3} span {span}", format!("l{}", dsn.level(v)));
+            println!(
+                "  {v:>3} ({:>2}) {bar}> {t:<3} span {span}",
+                format!("l{}", dsn.level(v))
+            );
         }
     }
 
     // Trace one route end to end.
     let (s, t) = (1usize, n * 5 / 8);
     let tr = route(&dsn, s, t).expect("route");
-    println!("\nroute {s} -> {t} ({} hops, Figure 2 algorithm):", tr.hops());
+    println!(
+        "\nroute {s} -> {t} ({} hops, Figure 2 algorithm):",
+        tr.hops()
+    );
     for (i, &step) in tr.steps.iter().enumerate() {
         let phase = match tr.phases[i] {
             RoutePhase::PreWork => "PRE-WORK",

@@ -63,5 +63,9 @@ fn both_schemes_fine_at_trickle_load() {
     // short run — deadlock is a congestion phenomenon.
     let dsn = Arc::new(Dsn::new(60, 5).unwrap());
     let bad = run(&dsn, true, 0.5);
-    assert!(bad.delivery_ratio() > 0.9, "delivery {}", bad.delivery_ratio());
+    assert!(
+        bad.delivery_ratio() > 0.9,
+        "delivery {}",
+        bad.delivery_ratio()
+    );
 }

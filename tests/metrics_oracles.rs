@@ -11,8 +11,11 @@ use proptest::prelude::*;
 /// Build a random connected-ish graph from a proptest-chosen edge set over
 /// `n` nodes (a ring backbone guarantees connectivity).
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (4usize..24, proptest::collection::vec((0usize..24, 0usize..24), 0..40)).prop_map(
-        |(n, extra)| {
+    (
+        4usize..24,
+        proptest::collection::vec((0usize..24, 0usize..24), 0..40),
+    )
+        .prop_map(|(n, extra)| {
             let mut g = Graph::new(n);
             for i in 0..n {
                 let j = (i + 1) % n;
@@ -25,8 +28,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             g
-        },
-    )
+        })
 }
 
 /// O(n^3) Floyd–Warshall oracle.

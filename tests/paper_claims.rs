@@ -60,8 +60,14 @@ fn t3_aspl_trio_at_64_matches_paper() {
     let a_rand = path_stats(&build(random).graph).aspl;
     let a_torus = path_stats(&build(torus).graph).aspl;
     assert!((a_dsn - 3.2).abs() < 0.4, "DSN aspl {a_dsn} vs paper 3.2");
-    assert!((a_rand - 3.2).abs() < 0.4, "RANDOM aspl {a_rand} vs paper 3.2");
-    assert!((a_torus - 4.1).abs() < 0.1, "torus aspl {a_torus} vs paper 4.1");
+    assert!(
+        (a_rand - 3.2).abs() < 0.4,
+        "RANDOM aspl {a_rand} vs paper 3.2"
+    );
+    assert!(
+        (a_torus - 4.1).abs() < 0.1,
+        "torus aspl {a_torus} vs paper 4.1"
+    );
 }
 
 #[test]

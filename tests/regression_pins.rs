@@ -1,0 +1,113 @@
+//! Deterministic pins of the counterexamples recorded in the checked-in
+//! `.proptest-regressions` files, plus inputs the offline proptest harness
+//! found. The vendored proptest (see `vendor/proptest`) does not replay
+//! regression files, so each recorded failure is frozen here as a plain
+//! `#[test]` that exercises the exact same assertions as the property it
+//! came from.
+
+use dsn::core::topology::TopologySpec;
+use dsn::sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
+use std::sync::Arc;
+
+/// The `built_topologies_are_sane` body from `tests/topology_invariants.rs`
+/// as a plain assertion function.
+fn assert_topology_sane(spec: TopologySpec) {
+    let built = spec.build().expect("spec must build");
+    let g = &built.graph;
+    assert!(g.node_count() >= 2, "{}", built.name);
+    assert!(g.is_connected(), "{} disconnected", built.name);
+    for e in g.edges() {
+        assert_ne!(e.a, e.b, "self-loop in {}", built.name);
+        assert!(e.a < g.node_count() && e.b < g.node_count());
+    }
+    assert!(g.min_degree() >= 1, "{}", built.name);
+    assert!(
+        g.max_degree() < g.node_count(),
+        "{}: max degree {} vs {} nodes",
+        built.name,
+        g.max_degree(),
+        g.node_count()
+    );
+    let degree_sum: usize = (0..g.node_count()).map(|v| g.degree(v)).sum();
+    assert_eq!(degree_sum, 2 * g.edge_count());
+}
+
+/// The `builds_are_deterministic` body.
+fn assert_build_deterministic(spec: TopologySpec) {
+    let a = spec.build().expect("spec must build");
+    let b = spec.build().expect("spec must build");
+    assert_eq!(a.name, b.name);
+    assert_eq!(
+        dsn::core::export::fingerprint(&a.graph),
+        dsn::core::export::fingerprint(&b.graph)
+    );
+}
+
+/// The `edge_list_roundtrip_for_any_family` body.
+fn assert_edge_list_roundtrip(spec: TopologySpec) {
+    let built = spec.build().expect("spec must build");
+    let text = dsn::core::export::to_edge_list(&built.graph);
+    let back = dsn::core::export::from_edge_list(&text).expect("parse back");
+    assert_eq!(built.graph.edges(), back.edges());
+}
+
+/// Pinned from `tests/topology_invariants.proptest-regressions`:
+/// `Hypercube { dim: 3 }` was recorded as a failing shrink of the
+/// topology invariants.
+#[test]
+fn pinned_hypercube_dim3_topology_invariants() {
+    let spec = TopologySpec::Hypercube { dim: 3 };
+    assert_topology_sane(spec.clone());
+    assert_build_deterministic(spec.clone());
+    assert_edge_list_roundtrip(spec);
+}
+
+/// Found by the offline property harness: DSN-E at n <= 9 stacks Up and
+/// Extra lanes on the short ring until some node's multigraph degree
+/// reaches the node count. The builder now rejects those sizes; the first
+/// accepted size must satisfy every invariant.
+#[test]
+fn pinned_dsn_e_small_n() {
+    assert!(TopologySpec::DsnE { n: 8 }.build().is_err());
+    assert!(TopologySpec::DsnE { n: 9 }.build().is_err());
+    let spec = TopologySpec::DsnE { n: 10 };
+    assert_topology_sane(spec.clone());
+    assert_build_deterministic(spec.clone());
+    assert_edge_list_roundtrip(spec);
+}
+
+/// Pinned from `tests/sim_properties.proptest-regressions`:
+/// `Torus2D { n: 36 }, rate_millis = 1, seed = 34` was recorded as
+/// violating `open_loop_invariants`. Exact same config and assertions as
+/// the property in `tests/sim_properties.rs`.
+#[test]
+fn pinned_torus36_rate1_seed34_open_loop_invariants() {
+    let spec = TopologySpec::Torus2D { n: 36 };
+    let built = spec.build().unwrap();
+    let g = Arc::new(built.graph);
+    let cfg = SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 1_500,
+        drain_cycles: 3_000,
+        ..SimConfig::test_small()
+    };
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    let rate = 1.0 / 1000.0;
+    let stats = Simulator::new(g, cfg, routing, TrafficPattern::Uniform, rate, 34).run();
+
+    assert!(stats.delivery_ratio() >= 0.0 && stats.delivery_ratio() <= 1.0);
+    assert!(stats.delivered_packets <= stats.created_packets);
+    assert!(stats.accepted_flits_per_cycle_per_host >= 0.0);
+    assert!(stats.max_channel_utilization <= 1.0 + 1e-9);
+    assert!(stats.mean_channel_utilization <= stats.max_channel_utilization + 1e-9);
+    if stats.delivered_packets > 0 {
+        assert!(stats.min_latency_cycles <= stats.max_latency_cycles);
+        assert!(stats.avg_latency_cycles >= stats.min_latency_cycles as f64);
+        assert!(stats.avg_latency_cycles <= stats.max_latency_cycles as f64);
+    }
+    assert!(
+        !stats.deadlock_suspected,
+        "stall {}",
+        stats.longest_stall_cycles
+    );
+}

@@ -41,10 +41,7 @@ fn average_stretch_is_modest() {
         let rstats = routing_stats(&dsn);
         let pstats = path_stats(dsn.graph());
         let stretch = rstats.avg_hops / pstats.aspl;
-        assert!(
-            (1.0..2.0).contains(&stretch),
-            "n={n}: stretch {stretch:.3}"
-        );
+        assert!((1.0..2.0).contains(&stretch), "n={n}: stretch {stretch:.3}");
     }
 }
 

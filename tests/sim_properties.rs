@@ -24,7 +24,12 @@ fn arb_topology() -> impl Strategy<Value = TopologySpec> {
             x: dsn::core::util::ceil_log2(n) - 1
         }),
         (3usize..7).prop_map(|k| TopologySpec::Torus2D { n: k * k }),
-        (8usize..33).prop_map(|n| TopologySpec::DlnRandom { n, x: 2, y: 2, seed: 7 }),
+        (8usize..33).prop_map(|n| TopologySpec::DlnRandom {
+            n,
+            x: 2,
+            y: 2,
+            seed: 7
+        }),
     ]
 }
 

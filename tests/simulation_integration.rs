@@ -31,9 +31,21 @@ fn run(graph: Arc<dsn::core::Graph>, pattern: TrafficPattern, gbps: f64) -> dsn:
 fn fig10_low_load_latency_ordering_uniform() {
     // Figure 10(a): under low uniform load, DSN and RANDOM sit below torus.
     let [dsn, torus, random] = TopologySpec::paper_trio(64, SEED);
-    let l_dsn = run(Arc::new(dsn.build().unwrap().graph), TrafficPattern::Uniform, 2.0);
-    let l_torus = run(Arc::new(torus.build().unwrap().graph), TrafficPattern::Uniform, 2.0);
-    let l_rand = run(Arc::new(random.build().unwrap().graph), TrafficPattern::Uniform, 2.0);
+    let l_dsn = run(
+        Arc::new(dsn.build().unwrap().graph),
+        TrafficPattern::Uniform,
+        2.0,
+    );
+    let l_torus = run(
+        Arc::new(torus.build().unwrap().graph),
+        TrafficPattern::Uniform,
+        2.0,
+    );
+    let l_rand = run(
+        Arc::new(random.build().unwrap().graph),
+        TrafficPattern::Uniform,
+        2.0,
+    );
     assert!(l_dsn.delivery_ratio() > 0.95);
     assert!(l_torus.delivery_ratio() > 0.95);
     assert!(
@@ -73,8 +85,16 @@ fn fig10_all_patterns_deliver_at_low_load() {
             pattern.name(),
             stats.delivery_ratio()
         );
-        assert!(stats.avg_latency_ns > 300.0, "{} latency implausibly low", pattern.name());
-        assert!(stats.avg_latency_ns < 3_000.0, "{} latency implausibly high", pattern.name());
+        assert!(
+            stats.avg_latency_ns > 300.0,
+            "{} latency implausibly low",
+            pattern.name()
+        );
+        assert!(
+            stats.avg_latency_ns < 3_000.0,
+            "{} latency implausibly high",
+            pattern.name()
+        );
     }
 }
 
@@ -85,6 +105,10 @@ fn accepted_tracks_offered_at_low_load() {
     for gbps in [1.0, 4.0] {
         let stats = run(g.clone(), TrafficPattern::Uniform, gbps);
         let err = (stats.accepted_gbps_per_host - gbps).abs() / gbps;
-        assert!(err < 0.1, "accepted {} vs offered {gbps}", stats.accepted_gbps_per_host);
+        assert!(
+            err < 0.1,
+            "accepted {} vs offered {gbps}",
+            stats.accepted_gbps_per_host
+        );
     }
 }

@@ -13,7 +13,10 @@ fn arb_spec() -> impl Strategy<Value = TopologySpec> {
         }),
         (8usize..300, 1u32..4).prop_map(|(n, xsel)| {
             let p = dsn::core::util::ceil_log2(n);
-            TopologySpec::Dsn { n, x: 1 + (xsel % (p - 1)).min(p - 2) }
+            TopologySpec::Dsn {
+                n,
+                x: 1 + (xsel % (p - 1)).min(p - 2),
+            }
         }),
         (8usize..200).prop_map(|n| TopologySpec::DsnE { n }),
         (16usize..200, 1u32..4).prop_map(|(n, x)| TopologySpec::DsnD { n, x }),
@@ -33,10 +36,7 @@ fn arb_spec() -> impl Strategy<Value = TopologySpec> {
         (3u32..9).prop_map(|dim| TopologySpec::Hypercube { dim }),
         (3u32..7).prop_map(|dim| TopologySpec::Ccc { dim }),
         (2usize..4, 2u32..7).prop_map(|(base, dim)| TopologySpec::DeBruijn { base, dim }),
-        (2usize..6, 2u32..4).prop_map(|(k, nflat)| TopologySpec::FlattenedButterfly {
-            k,
-            nflat
-        }),
+        (2usize..6, 2u32..4).prop_map(|(k, nflat)| TopologySpec::FlattenedButterfly { k, nflat }),
         (2usize..7, 1usize..4).prop_map(|(a, h)| TopologySpec::Dragonfly { a, h }),
     ]
 }

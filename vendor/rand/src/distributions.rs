@@ -1,0 +1,115 @@
+//! Distribution sampling (`rand::distributions` subset).
+
+use crate::Rng;
+
+/// A sampling distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight list was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// Every weight was zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no items to sample from"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..weights.len()` proportionally to the weights, via
+/// binary search over the cumulative-sum table.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from a slice of non-negative finite weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<f64>,
+    {
+        use std::borrow::Borrow;
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x = rng.gen_f64() * self.total;
+        // First index whose cumulative sum exceeds x; partition_point keeps
+        // zero-weight entries unreachable (their cumsum equals the
+        // predecessor's, so `<= x` skips them).
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, -2.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+
+    #[test]
+    fn respects_weights() {
+        let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight index sampled");
+        assert!(counts[2] > 2 * counts[0], "weights ignored: {counts:?}");
+    }
+}

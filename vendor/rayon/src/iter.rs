@@ -1,0 +1,411 @@
+//! Indexed parallel iterators.
+//!
+//! Sources (ranges, slices) know their length and can produce the item at
+//! any index; adaptors (`map`, `map_init`) wrap them. Consuming methods
+//! hand contiguous index chunks to scoped worker threads through an atomic
+//! cursor, then reassemble results **in index order** before any folding,
+//! which makes every consumer deterministic in the worker count.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An indexed parallel iterator: the vendored subset of rayon's trait.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced per index.
+    type Item: Send;
+    /// Per-worker scratch state (`map_init`'s init value lives here).
+    type Scratch;
+
+    /// Total number of items.
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    /// Fresh per-worker scratch.
+    #[doc(hidden)]
+    fn pi_scratch(&self) -> Self::Scratch;
+
+    /// Produce the item at `index`.
+    #[doc(hidden)]
+    fn pi_get(&self, scratch: &mut Self::Scratch, index: usize) -> Self::Item;
+
+    /// Transform each item with `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Like `map`, with per-worker mutable state built by `init` (rayon's
+    /// `map_init`): `f` receives `&mut state` plus the item.
+    fn map_init<INIT, T, F, R>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit {
+            inner: self,
+            init,
+            f,
+        }
+    }
+
+    /// Run `f` on every item (order of side effects unspecified).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive_discard(&self, &f);
+    }
+
+    /// Collect into `C`, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered_vec(drive(&self))
+    }
+
+    /// Sum the items, folding in index order (bit-deterministic for floats).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        drive(&self).into_iter().sum()
+    }
+
+    /// Reduce with `op` starting from `identity()`, folding in index order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        drive(&self).into_iter().fold(identity(), op)
+    }
+
+    /// Greatest item, folding in index order.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(&self).into_iter().max()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.pi_len()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on collections, yielding `&T`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: Send + 'a;
+
+    /// Iterate by shared reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `.par_iter_mut()` is not supported by this vendored subset; the trait
+/// exists so `use rayon::prelude::*` keeps compiling if upstream code
+/// imports it.
+pub trait IntoParallelRefMutIterator<'a> {}
+
+/// Collections buildable from an ordered item vector.
+pub trait FromParallelIterator<T> {
+    /// Build from items already in index order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Parallel iterator over `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    type Scratch = ();
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn pi_scratch(&self) {}
+
+    fn pi_get(&self, _: &mut (), index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over `Range<u32>`.
+#[derive(Debug, Clone)]
+pub struct RangeIterU32 {
+    start: u32,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIterU32 {
+    type Item = u32;
+    type Scratch = ();
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn pi_scratch(&self) {}
+
+    fn pi_get(&self, _: &mut (), index: usize) -> u32 {
+        self.start + index as u32
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Iter = RangeIterU32;
+    type Item = u32;
+
+    fn into_par_iter(self) -> RangeIterU32 {
+        RangeIterU32 {
+            start: self.start,
+            len: (self.end.saturating_sub(self.start)) as usize,
+        }
+    }
+}
+
+/// Parallel iterator over a slice, yielding `&T`.
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Scratch = ();
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_scratch(&self) {}
+
+    fn pi_get(&self, _: &mut (), index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+// --------------------------------------------------------------- adaptors
+
+/// `map` adaptor.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Scratch = I::Scratch;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_scratch(&self) -> I::Scratch {
+        self.inner.pi_scratch()
+    }
+
+    fn pi_get(&self, scratch: &mut I::Scratch, index: usize) -> R {
+        (self.f)(self.inner.pi_get(scratch, index))
+    }
+}
+
+/// `map_init` adaptor: worker-local state threaded through the scratch.
+#[derive(Debug)]
+pub struct MapInit<I, INIT, F> {
+    inner: I,
+    init: INIT,
+    f: F,
+}
+
+/// Scratch for [`MapInit`]: inner scratch + lazily created init value.
+pub struct MapInitScratch<S, T> {
+    inner: S,
+    state: Option<T>,
+}
+
+impl<I, INIT, T, F, R> ParallelIterator for MapInit<I, INIT, F>
+where
+    I: ParallelIterator,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Scratch = MapInitScratch<I::Scratch, T>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_scratch(&self) -> Self::Scratch {
+        MapInitScratch {
+            inner: self.inner.pi_scratch(),
+            state: None,
+        }
+    }
+
+    fn pi_get(&self, scratch: &mut Self::Scratch, index: usize) -> R {
+        let item = self.inner.pi_get(&mut scratch.inner, index);
+        let state = scratch.state.get_or_insert_with(&self.init);
+        (self.f)(state, item)
+    }
+}
+
+// ----------------------------------------------------------------- driver
+
+/// Materialize every item in index order, fanning the work out over
+/// scoped threads pulling chunks from an atomic cursor.
+fn drive<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
+    let len = p.pi_len();
+    let threads = crate::current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        let mut scratch = p.pi_scratch();
+        return (0..len).map(|i| p.pi_get(&mut scratch, i)).collect();
+    }
+    // Small chunks for load balance; at least 1, at most len.
+    let chunk = (len / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<(usize, Vec<P::Item>)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, Vec<P::Item>)> = Vec::new();
+                    let mut scratch = p.pi_scratch();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk).min(len);
+                        let mut items = Vec::with_capacity(end - start);
+                        for i in start..end {
+                            items.push(p.pi_get(&mut scratch, i));
+                        }
+                        out.push((start, items));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut result = Vec::with_capacity(len);
+    for (_, items) in parts {
+        result.extend(items);
+    }
+    result
+}
+
+/// Run the pipeline for side effects only, without materializing items.
+fn drive_discard<P, F>(p: &P, f: &F)
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) + Sync,
+{
+    let len = p.pi_len();
+    let threads = crate::current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        let mut scratch = p.pi_scratch();
+        for i in 0..len {
+            f(p.pi_get(&mut scratch, i));
+        }
+        return;
+    }
+    let chunk = (len / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut scratch = p.pi_scratch();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk).min(len);
+                        for i in start..end {
+                            f(p.pi_get(&mut scratch, i));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}

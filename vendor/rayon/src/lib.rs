@@ -1,0 +1,191 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the slice of rayon it uses: indexed parallel iterators over ranges and
+//! slices with `map` / `map_init` / `for_each` / `sum` / `reduce` /
+//! `collect`, fanned out over `std::thread::scope` workers that pull
+//! contiguous index chunks from a shared atomic cursor.
+//!
+//! **Determinism discipline.** Every consuming adaptor first materializes
+//! items in index order and then folds them sequentially, so `sum`,
+//! `reduce` and `collect` return *bit-identical* results regardless of the
+//! worker count — including `RAYON_NUM_THREADS=1`. This is a deliberate
+//! contract the analysis crates rely on (serial/parallel equivalence
+//! tests); upstream rayon only promises it for `collect`.
+//!
+//! Thread count resolution order:
+//! 1. [`ThreadPoolBuilder::num_threads`] + [`ThreadPoolBuilder::build_global`]
+//! 2. the `RAYON_NUM_THREADS` environment variable
+//! 3. `std::thread::available_parallelism()`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+mod iter;
+
+pub use iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+};
+
+/// `rayon::prelude` equivalent: glob-import the iterator traits.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+/// Global worker-count override installed by [`ThreadPoolBuilder::build_global`].
+/// 0 = not set.
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads parallel iterators will use.
+pub fn current_num_threads() -> usize {
+    let global = GLOBAL_NUM_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (never produced here;
+/// kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build global thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global worker count, mirroring rayon's builder API.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use exactly `n` workers (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. Unlike upstream rayon this may
+    /// be called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data: Vec<u64> = (0..257).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(doubled, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let par: f64 = (0..10_000usize)
+            .into_par_iter()
+            .map(|i| (i as f64).sqrt())
+            .sum();
+        let ser: f64 = (0..10_000usize).map(|i| (i as f64).sqrt()).sum();
+        assert_eq!(par.to_bits(), ser.to_bits(), "sum must fold in index order");
+    }
+
+    #[test]
+    fn map_init_gets_per_thread_state() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .map_init(Vec::<u8>::new, |scratch, i| {
+                scratch.push(1);
+                i + scratch.capacity().min(1)
+            })
+            .collect();
+        assert_eq!(out, (1..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_is_deterministic() {
+        let r = (1..=100u64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&x| x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 5050);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let s: u64 = Vec::<u64>::new().par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..500usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+}
