@@ -1,11 +1,28 @@
 //! Criterion bench: simulator throughput behind Figure 10 — a shortened
-//! 64-switch run per topology under uniform traffic at 4 Gbit/s/host.
+//! 64-switch run per topology under uniform traffic at 4 Gbit/s/host,
+//! plus dense-vs-event engine rows on the 256-switch trio at the lowest
+//! and a near-saturation fig10 load point (the event core's headline is
+//! low-load speedup: idle units cost it nothing).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsn_bench::trio;
-use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
+use dsn_sim::{AdaptiveEscape, EngineKind, SimConfig, Simulator, TrafficPattern};
 use std::hint::black_box;
 use std::sync::Arc;
+
+fn run_once(graph: &Arc<dsn_core::graph::Graph>, cfg: &SimConfig, gbps: f64) -> dsn_sim::RunStats {
+    let rate = cfg.packets_per_cycle_for_gbps(gbps);
+    let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+    Simulator::new(
+        graph.clone(),
+        cfg.clone(),
+        routing,
+        TrafficPattern::Uniform,
+        rate,
+        7,
+    )
+    .run()
+}
 
 fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_simulation");
@@ -16,28 +33,43 @@ fn bench_sim(c: &mut Criterion) {
         drain_cycles: 2_000,
         ..SimConfig::default()
     };
-    let rate = cfg.packets_per_cycle_for_gbps(4.0);
     for spec in trio(64) {
         let built = spec.build().unwrap();
         let graph = Arc::new(built.graph);
         group.bench_with_input(
             BenchmarkId::new("7k_cycles_4gbps", &built.name),
             &graph,
-            |b, graph| {
-                b.iter(|| {
-                    let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
-                    let sim = Simulator::new(
-                        graph.clone(),
-                        cfg.clone(),
-                        routing,
-                        TrafficPattern::Uniform,
-                        rate,
-                        7,
-                    );
-                    black_box(sim.run())
-                })
-            },
+            |b, graph| b.iter(|| black_box(run_once(graph, &cfg, 4.0))),
         );
+    }
+    group.finish();
+
+    // Engine comparison on the 256-switch trio: the dense reference pays
+    // O(network) per cycle regardless of load, the event core O(work).
+    let mut group = c.benchmark_group("engine_dense_vs_event");
+    group.sample_size(10);
+    for (gbps, point) in [(0.5f64, "low_0.5gbps"), (11.0, "sat_11gbps")] {
+        for spec in trio(256) {
+            let built = spec.build().unwrap();
+            let graph = Arc::new(built.graph);
+            for engine in [EngineKind::Dense, EngineKind::Event] {
+                let cfg = SimConfig {
+                    engine,
+                    warmup_cycles: 1_000,
+                    measure_cycles: 4_000,
+                    drain_cycles: 2_000,
+                    ..SimConfig::default()
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{point}_{}", engine.name()),
+                        format!("{}_n256", built.name),
+                    ),
+                    &graph,
+                    |b, graph| b.iter(|| black_box(run_once(graph, &cfg, gbps))),
+                );
+            }
+        }
     }
     group.finish();
 }

@@ -5,16 +5,20 @@
 //! simulator's stall watchdog catch the real deadlock exactly where the
 //! static analysis predicts it.
 //!
-//! Run: `cargo run --release -p dsn-bench --bin deadlock_in_vivo`
+//! Run: `cargo run --release -p dsn-bench --bin deadlock_in_vivo [--engine dense|event]`
 
+use dsn_bench::take_engine_arg;
 use dsn_core::dsn::Dsn;
 use dsn_sim::{SimConfig, Simulator, SourceRouted, TrafficPattern};
 use std::sync::Arc;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = take_engine_arg(&mut args);
     let dsn = Arc::new(Dsn::new(60, 5).expect("dsn")); // p | n: clean instance
     let graph = Arc::new(dsn.graph().clone());
     let cfg = SimConfig {
+        engine,
         warmup_cycles: 2_000,
         measure_cycles: 20_000,
         drain_cycles: 20_000,
@@ -22,6 +26,7 @@ fn main() {
     };
 
     println!("Dynamic deadlock check on DSN-5-60 (60 switches, complete super nodes)");
+    println!("# engine: {}", cfg.engine.name());
     println!(
         "  {:>7} {:<22} {:>10} {:>14} {:>10}",
         "load", "routing", "delivered", "longest stall", "deadlock?"

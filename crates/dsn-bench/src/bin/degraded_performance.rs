@@ -3,9 +3,10 @@
 //! escape recomputed on the survivor graph) — the fault-tolerance angle the
 //! paper's related work (Jellyfish, small-world datacenters) emphasizes.
 //!
-//! Run: `cargo run --release -p dsn-bench --bin degraded_performance [--quick]`
+//! Run: `cargo run --release -p dsn-bench --bin degraded_performance \
+//!       [--quick] [--engine dense|event]`
 
-use dsn_bench::trio;
+use dsn_bench::{take_engine_arg, trio};
 use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -13,8 +14,13 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = SimConfig::default();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = take_engine_arg(&mut args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = SimConfig {
+        engine,
+        ..SimConfig::default()
+    };
     if quick {
         cfg.warmup_cycles = 3_000;
         cfg.measure_cycles = 8_000;
@@ -26,6 +32,7 @@ fn main() {
     }
 
     println!("Latency under link failures (uniform traffic at 4 Gbit/s/host, 64 switches)");
+    println!("# engine: {}", cfg.engine.name());
     println!(
         "  {:<14} {:>10} {:>10} {:>10} {:>10}",
         "topology", "0 dead", "2 dead", "5 dead", "10 dead"

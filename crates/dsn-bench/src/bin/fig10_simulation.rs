@@ -6,12 +6,19 @@
 //! topology-agnostic adaptive routing with up*/down* escape). Also prints
 //! the T3 summary row (DSN latency improvement vs torus).
 //!
-//! Run: `cargo run --release -p dsn-bench --bin fig10_simulation [uniform|bitrev|neighbor|all] [--quick]`
+//! Run: `cargo run --release -p dsn-bench --bin fig10_simulation \
+//!       [uniform|bitrev|neighbor|all] [--quick] [--engine dense|event]`
+//!
+//! `--json` switches to benchmark mode: instead of the figure sweeps it
+//! times both engines on the trio at a low and a near-saturation load
+//! point and writes machine-readable rows to `BENCH_sim.json`, so CI can
+//! track the engine's perf trajectory.
 
-use dsn_bench::trio;
+use dsn_bench::{peak_rss_kb, take_engine_arg, trio};
 use dsn_sim::sweep::{format_sweep, load_sweep, paper_load_grid, SweepResult};
-use dsn_sim::{AdaptiveEscape, SimConfig, TrafficPattern};
+use dsn_sim::{AdaptiveEscape, EngineKind, SimConfig, Simulator, TrafficPattern};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn run_pattern(pattern: &TrafficPattern, cfg: &SimConfig, loads: &[f64]) -> Vec<SweepResult> {
     let mut results = Vec::new();
@@ -54,17 +61,80 @@ fn summarize(results: &[SweepResult]) {
     );
 }
 
+/// Benchmark mode: time both engines on the fig10 trio at a low and a
+/// near-saturation load point and write `BENCH_sim.json` (hand-rolled —
+/// the workspace carries no JSON dependency).
+fn emit_bench_json(cfg: &SimConfig) {
+    let mut rows = String::new();
+    for engine in [EngineKind::Dense, EngineKind::Event] {
+        for spec in trio(64) {
+            let built = spec.build().expect("topology");
+            let graph = Arc::new(built.graph);
+            for gbps in [1.0f64, 11.0] {
+                let cfg = SimConfig {
+                    engine,
+                    ..cfg.clone()
+                };
+                let rate = cfg.packets_per_cycle_for_gbps(gbps);
+                let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+                let sim = Simulator::new(
+                    graph.clone(),
+                    cfg.clone(),
+                    routing,
+                    TrafficPattern::Uniform,
+                    rate,
+                    0x000F_1610,
+                );
+                let start = Instant::now();
+                let stats = sim.run();
+                let wall = start.elapsed().as_secs_f64();
+                let cycles = cfg.total_cycles();
+                if !rows.is_empty() {
+                    rows.push_str(",\n");
+                }
+                rows.push_str(&format!(
+                    "  {{\"engine\": \"{}\", \"topology\": \"{}\", \"pattern\": \"uniform\", \
+                     \"load_gbps\": {gbps}, \"cycles\": {cycles}, \"wall_s\": {wall:.6}, \
+                     \"cycles_per_sec\": {:.0}, \"delivered_packets\": {}, \
+                     \"peak_in_flight_packets\": {}, \"peak_rss_kb\": {}}}",
+                    engine.name(),
+                    built.name,
+                    cycles as f64 / wall,
+                    stats.delivered_packets,
+                    stats.peak_in_flight_packets,
+                    peak_rss_kb().unwrap_or(0),
+                ));
+                println!(
+                    "  {:<6} {:<14} {:>5.1}G  {:>10.0} cycles/s",
+                    engine.name(),
+                    built.name,
+                    gbps,
+                    cycles as f64 / wall
+                );
+            }
+        }
+    }
+    let json = format!("[\n{rows}\n]\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = take_engine_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
 
-    let mut cfg = SimConfig::default();
-    let loads = if quick {
+    let mut cfg = SimConfig {
+        engine,
+        ..SimConfig::default()
+    };
+    let loads = if quick || json {
         cfg.warmup_cycles = 5_000;
         cfg.measure_cycles = 15_000;
         cfg.drain_cycles = 15_000;
@@ -72,6 +142,11 @@ fn main() {
     } else {
         paper_load_grid()
     };
+
+    if json {
+        emit_bench_json(&cfg);
+        return;
+    }
 
     let patterns: Vec<TrafficPattern> = match which {
         "uniform" => vec![TrafficPattern::Uniform],
@@ -88,6 +163,7 @@ fn main() {
         }
     };
 
+    println!("# engine: {}", cfg.engine.name());
     for pattern in &patterns {
         let fig = match pattern {
             TrafficPattern::Uniform => "10(a)",

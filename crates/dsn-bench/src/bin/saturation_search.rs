@@ -7,19 +7,23 @@
 //! utilization per topology and traffic pattern.
 //!
 //! Run: `cargo run --release -p dsn-bench --bin saturation_search \
-//!       [--quick] [--threads N | --serial]`
+//!       [--quick] [--threads N | --serial] [--engine dense|event]`
 
-use dsn_bench::trio;
+use dsn_bench::{take_engine_arg, trio};
 use dsn_core::parallel::Parallelism;
 use dsn_sim::sweep::find_saturation_with;
 use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
 use std::sync::Arc;
 
 fn main() {
-    let (par, rest) = Parallelism::from_args(std::env::args().skip(1));
+    let (par, mut rest) = Parallelism::from_args(std::env::args().skip(1));
     par.install();
+    let engine = take_engine_arg(&mut rest);
     let quick = rest.iter().any(|a| a == "--quick");
-    let mut cfg = SimConfig::default();
+    let mut cfg = SimConfig {
+        engine,
+        ..SimConfig::default()
+    };
     if quick {
         cfg.warmup_cycles = 3_000;
         cfg.measure_cycles = 8_000;
@@ -32,7 +36,7 @@ fn main() {
     let tol = if quick { 2.0 } else { 1.0 };
 
     println!("Saturation search (beyond the paper's 12 Gbit/s/host axis)");
-    println!("# parallelism: {par}");
+    println!("# parallelism: {par}; engine: {}", cfg.engine.name());
     println!(
         "  {:<14} {:<14} {:>12} {:>10} {:>10}",
         "topology", "pattern", "sat [Gbps]", "mean-util", "max-util"

@@ -4,18 +4,25 @@
 //! gets away with tiny buffers but lets blocked packets straddle routers,
 //! so it saturates earlier — this quantifies why the paper picked VCT.
 //!
-//! Run: `cargo run --release -p dsn-bench --bin switching_ablation [--quick]`
+//! Run: `cargo run --release -p dsn-bench --bin switching_ablation \
+//!       [--quick] [--engine dense|event]`
 
+use dsn_bench::take_engine_arg;
 use dsn_core::dsn::Dsn;
 use dsn_sim::sweep::find_saturation;
 use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, Switching, TrafficPattern};
 use std::sync::Arc;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = take_engine_arg(&mut args);
+    let quick = args.iter().any(|a| a == "--quick");
     let dsn = Dsn::new(64, 5).expect("dsn");
     let graph = Arc::new(dsn.into_graph());
-    let mut base = SimConfig::default();
+    let mut base = SimConfig {
+        engine,
+        ..SimConfig::default()
+    };
     if quick {
         base.warmup_cycles = 3_000;
         base.measure_cycles = 8_000;
@@ -28,6 +35,7 @@ fn main() {
     let tol = if quick { 2.0 } else { 1.0 };
 
     println!("Switching ablation on DSN-5-64, uniform traffic, adaptive + escape routing");
+    println!("# engine: {}", base.engine.name());
     println!(
         "  {:<22} {:>12} {:>14} {:>12}",
         "mode", "buffer[flit]", "low-load [ns]", "sat [Gbps]"

@@ -39,3 +39,44 @@ pub fn block_header(title: &str, columns: &[&str]) -> String {
     s.push('\n');
     s
 }
+
+/// Extract `--engine dense|event` (or `--engine=...`) from `args`,
+/// removing the consumed tokens. Defaults to the event engine; exits with
+/// a usage message on an unknown value so every simulation binary rejects
+/// typos the same way.
+pub fn take_engine_arg(args: &mut Vec<String>) -> dsn_sim::EngineKind {
+    let mut engine = dsn_sim::EngineKind::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--engine" && i + 1 < args.len() {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Some(v)
+        } else if let Some(v) = args[i].strip_prefix("--engine=") {
+            let v = v.to_string();
+            args.remove(i);
+            Some(v)
+        } else {
+            i += 1;
+            None
+        };
+        if let Some(v) = value {
+            match dsn_sim::EngineKind::parse(&v) {
+                Some(kind) => engine = kind,
+                None => {
+                    eprintln!("unknown engine `{v}` (expected dense | event)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    engine
+}
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`); `None` on platforms without procfs.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}

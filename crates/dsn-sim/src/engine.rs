@@ -15,8 +15,17 @@
 //!   cycles; credits return with `credit_delay`;
 //! * each switch serializes at most one flit per output channel per cycle
 //!   and one flit per input port per cycle, with round-robin arbitration.
+//!
+//! Two scheduling cores drive this model ([`crate::config::EngineKind`]):
+//! the *dense* reference scans every input VC, output channel and link
+//! queue each cycle, while the *event* core (in [`crate::event`]) only
+//! touches units with pending work. Both cores share the state and the
+//! mutation helpers in this module, so a cycle's observable effects — and
+//! therefore [`RunStats`] — are bit-identical between them (enforced by
+//! `tests/sim_equivalence.rs`).
 
 use crate::config::SimConfig;
+use crate::inject::{Injector, NEVER};
 use crate::routing::{RouteState, SimRouting};
 use crate::stats::{RunStats, StatsCollector};
 use crate::trace::{PacketTracer, TraceEvent};
@@ -24,31 +33,88 @@ use crate::traffic::TrafficPattern;
 use crate::workload::Workload;
 use dsn_core::graph::Graph;
 use dsn_core::NodeId;
-use rand::rngs::SmallRng;
-use rand::Rng;
-use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// A flit in flight: packet index plus sequence number.
+/// A flit in flight: packet slab index plus sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Flit {
-    packet: u32,
-    seq: u16,
+pub(crate) struct Flit {
+    /// Index into the [`PacketSlab`] (recycled; see [`Packet::uid`] for
+    /// the stable creation-order identity).
+    pub packet: u32,
+    pub seq: u16,
 }
 
 #[derive(Debug)]
-struct Packet {
-    dest_host: u32,
-    dest_sw: u32,
-    created: u64,
-    route: RouteState,
-    measured: bool,
+pub(crate) struct Packet {
+    /// Stable creation-order id (what the tracer reports); slab indices
+    /// are recycled and so unfit for identity.
+    pub uid: u32,
+    pub dest_host: u32,
+    pub dest_sw: u32,
+    pub created: u64,
+    pub route: RouteState,
+    pub measured: bool,
+}
+
+/// Packet storage with free-list recycling: delivered packets are retired
+/// and their slots reused, so memory is bounded by the *peak in-flight*
+/// packet count rather than the all-time total.
+#[derive(Debug, Default)]
+pub(crate) struct PacketSlab {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    live: u64,
+    /// High-water mark of simultaneously live packets.
+    pub peak_live: u64,
+    /// All-time number of packets created.
+    pub total_created: u64,
+}
+
+impl PacketSlab {
+    /// Store a packet; returns its slab index. Both engines create and
+    /// retire packets in the same order, so indices match between them.
+    pub fn alloc(&mut self, p: Packet) -> u32 {
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        debug_assert!(self.slots[id as usize].is_none());
+        self.slots[id as usize] = Some(p);
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        self.total_created += 1;
+        id
+    }
+
+    /// Retire a delivered packet, releasing its slot for reuse.
+    pub fn retire(&mut self, id: u32) {
+        let gone = self.slots[id as usize].take();
+        debug_assert!(gone.is_some(), "double retire of slot {id}");
+        self.free.push(id);
+        self.live -= 1;
+    }
+
+    pub fn get(&self, id: u32) -> &Packet {
+        self.slots[id as usize].as_ref().expect("live packet")
+    }
+
+    pub fn get_mut(&mut self, id: u32) -> &mut Packet {
+        self.slots[id as usize].as_mut().expect("live packet")
+    }
+
+    /// Packets currently in flight (created but not delivered).
+    pub fn live(&self) -> u64 {
+        self.live
+    }
 }
 
 /// Where an allocated packet is headed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OutRef {
+pub(crate) enum OutRef {
     /// Network channel + VC.
     Net { channel: usize, vc: u8 },
     /// Ejection port (host-local index at the destination switch).
@@ -56,68 +122,105 @@ enum OutRef {
 }
 
 #[derive(Debug, Default)]
-struct InputVc {
-    buf: VecDeque<Flit>,
-    /// Cycle at which header processing completes; `u64::MAX` = idle.
-    route_ready_at: u64,
-    alloc: Option<OutRef>,
+pub(crate) struct InputVc {
+    pub buf: VecDeque<Flit>,
+    /// First cycle at which the head packet may attempt allocation
+    /// (header processing complete); `u64::MAX` = no head armed.
+    pub route_ready_at: u64,
+    pub alloc: Option<OutRef>,
 }
 
 #[derive(Debug)]
-struct InputUnit {
-    node: NodeId,
+pub(crate) struct InputUnit {
+    pub node: NodeId,
     /// Upstream directed channel feeding this input (None for injection).
-    upstream: Option<usize>,
-    vcs: Vec<InputVc>,
+    pub upstream: Option<usize>,
+    pub vcs: Vec<InputVc>,
 }
 
 #[derive(Debug, Clone)]
-struct OutVc {
-    credits: usize,
-    owner: Option<(usize, u8)>,
+pub(crate) struct OutVc {
+    pub credits: usize,
+    pub owner: Option<(usize, u8)>,
 }
 
 #[derive(Debug)]
-struct OutputUnit {
-    vcs: Vec<OutVc>,
-    rr: usize,
+pub(crate) struct OutputUnit {
+    pub vcs: Vec<OutVc>,
+    pub rr: usize,
+}
+
+/// What [`Simulator::try_allocate_vc`] decided for one head packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AllocOutcome {
+    /// No output VC currently grantable; retry next cycle.
+    Blocked,
+    /// Granted the ejection port (destination reached).
+    Eject,
+    /// Granted a VC on this directed channel.
+    Net(usize),
+}
+
+/// What [`Simulator::grant_channel`] did this cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SendResult {
+    /// The tail flit left: ownership was released on both sides.
+    pub tail: bool,
 }
 
 /// The simulator: a topology + routing + traffic + configuration, run for a
 /// fixed horizon.
 pub struct Simulator {
-    graph: Arc<Graph>,
-    cfg: SimConfig,
-    routing: Arc<dyn SimRouting>,
-    rng: SmallRng,
+    pub(crate) graph: Arc<Graph>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) routing: Arc<dyn SimRouting>,
 
-    packets: Vec<Packet>,
-    inputs: Vec<InputUnit>,
-    outputs: Vec<OutputUnit>,
-    /// Per-channel in-flight flits: `(arrival_cycle, flit, vc)`.
-    links: Vec<VecDeque<(u64, Flit, u8)>>,
-    /// In-flight credit returns `(cycle, channel, vc)`.
-    credits_in_flight: VecDeque<(u64, usize, u8)>,
+    /// Destination pattern for open workloads (None for closed batches).
+    pub(crate) pattern: Option<TrafficPattern>,
+    /// Per-host injection schedule + RNG streams (rate 0 for batches).
+    pub(crate) injector: Injector,
+    /// Closed-batch packets awaiting cycle-0 enqueue (drained once).
+    pub(crate) pending_batch: Vec<(usize, usize)>,
+    /// Total size of the closed batch (None for open workloads).
+    pub(crate) closed_total: Option<u64>,
+
+    pub(crate) packets: PacketSlab,
+    pub(crate) inputs: Vec<InputUnit>,
+    pub(crate) outputs: Vec<OutputUnit>,
+    /// Per-channel in-flight flits `(arrival_cycle, flit, vc)` — dense
+    /// engine only; the event engine schedules arrivals on its wheel.
+    pub(crate) links: Vec<VecDeque<(u64, Flit, u8)>>,
+    /// In-flight credit returns `(cycle, channel, vc)` — dense engine only.
+    pub(crate) credits_in_flight: VecDeque<(u64, usize, u8)>,
     /// Flits sent per directed channel during the measurement window.
-    channel_flits: Vec<u64>,
+    pub(crate) channel_flits: Vec<u64>,
     /// Cycle of the last flit movement (send or ejection).
-    last_progress: u64,
+    pub(crate) last_progress: u64,
     /// Consecutive cycles with packets in flight but no flit movement.
-    current_stall: u64,
+    pub(crate) current_stall: u64,
     /// Longest observed gap with packets in flight but no flit movement.
-    longest_stall: u64,
+    pub(crate) longest_stall: u64,
     /// Packets delivered (all time), to know how many are in flight.
-    delivered_all_time: u64,
-    /// Per-ejection-port busy marker for the current cycle.
-    now: u64,
+    pub(crate) delivered_all_time: u64,
+    pub(crate) now: u64,
 
-    workload: Workload,
-    stats: StatsCollector,
-    tracer: Option<PacketTracer>,
+    pub(crate) stats: StatsCollector,
+    pub(crate) tracer: Option<PacketTracer>,
     /// Per-cycle scratch: which input units already sent a flit.
-    input_used: Vec<bool>,
+    pub(crate) input_used: Vec<bool>,
     /// Per-cycle scratch: which ejection ports are busy.
-    eject_used: Vec<bool>,
+    pub(crate) eject_used: Vec<bool>,
+    /// Indices set in `input_used` this cycle (for O(work) clearing).
+    pub(crate) touched_inputs: Vec<u32>,
+    /// Indices set in `eject_used` this cycle.
+    pub(crate) touched_ejects: Vec<u32>,
+    /// Flits currently resident across all input-VC buffers.
+    pub(crate) buffered_flits: u64,
+    pub(crate) peak_buffered_flits: u64,
+    /// Scratch for routing candidate lists.
+    pub(crate) cand_scratch: Vec<(usize, u8)>,
+    /// Event-engine bookkeeping (None while running dense).
+    pub(crate) ev: Option<Box<crate::event::EventState>>,
 }
 
 impl Simulator {
@@ -158,30 +261,36 @@ impl Simulator {
         let channels = graph.channel_count();
         let hosts = n * cfg.hosts_per_switch;
 
+        let (pattern, injector, pending_batch, closed_total) = match workload {
+            Workload::Open {
+                pattern,
+                packets_per_cycle_per_host,
+            } => (
+                Some(pattern),
+                Injector::new(seed, hosts, packets_per_cycle_per_host),
+                Vec::new(),
+                None,
+            ),
+            Workload::Closed { packets } => {
+                let total = packets.len() as u64;
+                (None, Injector::new(seed, hosts, 0.0), packets, Some(total))
+            }
+        };
+
         let mut inputs = Vec::with_capacity(channels + hosts);
         for c in 0..channels {
             let (_, to) = graph.channel_endpoints(c);
             inputs.push(InputUnit {
                 node: to,
                 upstream: Some(c),
-                vcs: (0..cfg.vcs)
-                    .map(|_| InputVc {
-                        buf: VecDeque::new(),
-                        route_ready_at: u64::MAX,
-                        alloc: None,
-                    })
-                    .collect(),
+                vcs: (0..cfg.vcs).map(|_| InputVc::default()).collect(),
             });
         }
         for h in 0..hosts {
             inputs.push(InputUnit {
                 node: h / cfg.hosts_per_switch,
                 upstream: None,
-                vcs: vec![InputVc {
-                    buf: VecDeque::new(),
-                    route_ready_at: u64::MAX,
-                    alloc: None,
-                }],
+                vcs: vec![InputVc::default()],
             });
         }
 
@@ -208,15 +317,23 @@ impl Simulator {
             delivered_all_time: 0,
             graph,
             routing,
-            rng: SmallRng::seed_from_u64(seed),
-            packets: Vec::new(),
+            pattern,
+            injector,
+            pending_batch,
+            closed_total,
+            packets: PacketSlab::default(),
             inputs,
             outputs,
             credits_in_flight: VecDeque::new(),
             now: 0,
-            workload,
             input_used: vec![false; channels + hosts],
             eject_used: vec![false; n * cfg.hosts_per_switch],
+            touched_inputs: Vec::new(),
+            touched_ejects: Vec::new(),
+            buffered_flits: 0,
+            peak_buffered_flits: 0,
+            cand_scratch: Vec::new(),
+            ev: None,
             cfg,
             stats,
             tracer: None,
@@ -233,15 +350,7 @@ impl Simulator {
     /// Like [`Self::run`] but also returns the packet trace (empty when
     /// tracing was not enabled).
     pub fn run_traced(mut self) -> (RunStats, PacketTracer) {
-        let total = self.cfg.total_cycles();
-        while self.now < total {
-            self.step();
-            if let Workload::Closed { packets } = &self.workload {
-                if self.delivered_all_time == packets.len() as u64 {
-                    break;
-                }
-            }
-        }
+        self.run_inner();
         let tracer_out = self
             .tracer
             .take()
@@ -255,7 +364,7 @@ impl Simulator {
         self.graph.node_count() * self.cfg.hosts_per_switch
     }
 
-    fn injection_input(&self, host: usize) -> usize {
+    pub(crate) fn injection_input(&self, host: usize) -> usize {
         self.graph.channel_count() + host
     }
 
@@ -263,21 +372,41 @@ impl Simulator {
     /// drains (closed workloads, still bounded by the horizon) and return
     /// the collected statistics.
     pub fn run(mut self) -> RunStats {
+        self.run_inner();
+        self.finish_stats()
+    }
+
+    fn run_inner(&mut self) {
         let total = self.cfg.total_cycles();
-        while self.now < total {
-            self.step();
-            if let Workload::Closed { packets } = &self.workload {
-                if self.delivered_all_time == packets.len() as u64 {
-                    break;
+        match self.cfg.engine {
+            crate::config::EngineKind::Dense => {
+                while self.now < total {
+                    self.step_dense();
+                    if self.batch_done() {
+                        break;
+                    }
+                }
+            }
+            crate::config::EngineKind::Event => {
+                crate::event::prepare(self);
+                while self.now < total {
+                    crate::event::step(self, total);
+                    if self.batch_done() {
+                        break;
+                    }
                 }
             }
         }
-        self.finish_stats()
+    }
+
+    fn batch_done(&self) -> bool {
+        self.closed_total
+            .is_some_and(|t| self.delivered_all_time == t)
     }
 
     fn finish_stats(self) -> RunStats {
         let hosts = self.hosts();
-        let packets = self.packets.len();
+        let packets = self.packets.total_created;
         let window = self.cfg.measure_cycles.max(1) as f64;
         let mean_util = if self.channel_flits.is_empty() {
             0.0
@@ -289,26 +418,32 @@ impl Simulator {
             .iter()
             .map(|&f| f as f64 / window)
             .fold(0.0f64, f64::max);
-        let mut stats = self.stats.finish(&self.cfg, hosts, packets);
+        let mut stats = self.stats.finish(&self.cfg, hosts, packets as usize);
         stats.mean_channel_utilization = mean_util;
         stats.max_channel_utilization = max_util;
-        stats.completion_cycle = if self.delivered_all_time == packets as u64 && packets > 0 {
+        stats.completion_cycle = if self.delivered_all_time == packets && packets > 0 {
             Some(self.last_progress)
         } else {
             None
         };
         stats.longest_stall_cycles = self.longest_stall;
+        stats.peak_in_flight_packets = self.packets.peak_live;
+        stats.peak_buffered_flits = self.peak_buffered_flits;
         // Threshold: far beyond any legitimate wait (a full header + link
         // pipeline plus one packet serialization, with a wide margin).
         let threshold =
             16 * (self.cfg.header_delay + self.cfg.link_delay + self.cfg.packet_flits as u64);
         stats.deadlock_suspected =
-            self.longest_stall > threshold && self.packets.len() as u64 > self.delivered_all_time;
+            self.longest_stall > threshold && packets > self.delivered_all_time;
         stats
     }
 
-    /// Advance one cycle.
-    fn step(&mut self) {
+    // ------------------------------------------------------------------
+    // Dense reference core: scan everything, every cycle.
+    // ------------------------------------------------------------------
+
+    /// Advance one cycle (dense reference).
+    fn step_dense(&mut self) {
         let now = self.now;
 
         // 1. Credit returns.
@@ -317,12 +452,7 @@ impl Simulator {
                 break;
             }
             self.credits_in_flight.pop_front();
-            let ovc = &mut self.outputs[ch].vcs[vc as usize];
-            ovc.credits += 1;
-            debug_assert!(
-                ovc.credits <= self.cfg.buffer_flits,
-                "credit overflow on channel {ch} vc {vc}"
-            );
+            self.apply_credit(ch, vc);
         }
 
         // 2. Link arrivals into input buffers.
@@ -332,69 +462,116 @@ impl Simulator {
                     break;
                 }
                 self.links[ch].pop_front();
-                self.inputs[ch].vcs[vc as usize].buf.push_back(flit);
+                self.buf_push(ch, vc as usize, flit, now);
             }
         }
 
         // 3. Injection.
-        self.inject(now);
+        self.inject_dense(now);
 
         // 4. Routing + VC allocation.
-        self.allocate(now);
+        self.allocate_dense(now);
 
         // 5. Switch allocation + flit traversal.
-        self.traverse(now);
+        self.traverse_dense(now);
 
-        // Deadlock watchdog: count consecutive cycles in which packets are
-        // in flight yet no flit moved anywhere (injection does not count —
-        // an open workload keeps injecting into a wedged network).
-        let in_flight = self.packets.len() as u64 - self.delivered_all_time;
-        if self.last_progress == now || in_flight == 0 {
-            self.current_stall = 0;
-        } else {
-            self.current_stall += 1;
-            self.longest_stall = self.longest_stall.max(self.current_stall);
-        }
-
+        self.clear_used();
+        self.watchdog(now);
         self.now += 1;
     }
 
-    fn inject(&mut self, now: u64) {
-        let hosts = self.hosts();
-        match &self.workload {
-            Workload::Open {
-                pattern,
-                packets_per_cycle_per_host,
-            } => {
-                let pattern = pattern.clone();
-                let rate = packets_per_cycle_per_host.min(1.0);
-                for h in 0..hosts {
-                    if self.rng.gen_bool(rate) {
-                        let dest = pattern.pick(h, hosts, &mut self.rng);
-                        self.enqueue_packet(now, h, dest);
-                    }
-                }
+    fn inject_dense(&mut self, now: u64) {
+        if now == 0 && !self.pending_batch.is_empty() {
+            let batch = std::mem::take(&mut self.pending_batch);
+            for (src, dest) in batch {
+                self.enqueue_packet(now, src, dest);
             }
-            Workload::Closed { packets } => {
-                if now == 0 {
-                    let batch = packets.clone();
-                    for (src, dest) in batch {
-                        self.enqueue_packet(now, src, dest);
-                    }
-                }
+        }
+        let hosts = self.hosts();
+        for h in 0..hosts {
+            if self.injector.next_cycle(h) == now {
+                self.inject_host(h, now);
             }
         }
     }
 
-    fn enqueue_packet(&mut self, now: u64, src_host: usize, dest_host: usize) {
+    fn allocate_dense(&mut self, now: u64) {
+        for i in 0..self.inputs.len() {
+            for v in 0..self.inputs[i].vcs.len() {
+                let ivc = &self.inputs[i].vcs[v];
+                let Some(&head) = ivc.buf.front() else {
+                    continue;
+                };
+                if head.seq != 0 || ivc.alloc.is_some() {
+                    continue;
+                }
+                debug_assert_ne!(ivc.route_ready_at, u64::MAX, "head never armed");
+                if now < ivc.route_ready_at {
+                    continue;
+                }
+                self.try_allocate_vc(i, v, now);
+            }
+        }
+    }
+
+    fn traverse_dense(&mut self, now: u64) {
+        // Network outputs: one flit per channel per cycle, round-robin over
+        // the input VCs that own one of its output VCs.
+        for ch in 0..self.outputs.len() {
+            self.grant_channel(ch, now);
+        }
+        // Ejection: one flit per (switch, port) per cycle.
+        for i in 0..self.inputs.len() {
+            if self.input_used[i] {
+                continue;
+            }
+            for v in 0..self.inputs[i].vcs.len() {
+                self.try_eject_vc(i, v, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared mutation helpers: every observable state change goes through
+    // these, on both the dense and the event core. The `self.ev` branches
+    // keep the event engine's active sets and timing wheel in sync; they
+    // are no-ops on the dense core.
+    // ------------------------------------------------------------------
+
+    /// Inject one packet from `host` at its scheduled cycle and draw the
+    /// host's next injection gap.
+    pub(crate) fn inject_host(&mut self, host: usize, now: u64) {
+        debug_assert_eq!(self.injector.next_cycle(host), now);
+        let hosts = self.hosts();
+        let dest = {
+            let pattern = self
+                .pattern
+                .as_ref()
+                .expect("open workload has a traffic pattern");
+            pattern.pick(host, hosts, self.injector.rng_mut(host))
+        };
+        self.injector.advance(host, now);
+        if let Some(ev) = &mut self.ev {
+            let next = self.injector.next_cycle(host);
+            if next != NEVER {
+                ev.schedule_injection(next, host);
+            }
+        }
+        self.enqueue_packet(now, host, dest);
+    }
+
+    /// Create a packet and push its flits into the source host's injection
+    /// queue.
+    pub(crate) fn enqueue_packet(&mut self, now: u64, src_host: usize, dest_host: usize) {
         debug_assert_ne!(src_host, dest_host);
         let dest_sw = (dest_host / self.cfg.hosts_per_switch) as u32;
         let src_sw = src_host / self.cfg.hosts_per_switch;
         let route = self.routing.init(src_sw, dest_sw as usize);
-        let id = self.packets.len() as u32;
         let measured =
             now >= self.cfg.warmup_cycles && now < self.cfg.warmup_cycles + self.cfg.measure_cycles;
-        self.packets.push(Packet {
+        let uid = self.packets.total_created as u32;
+        let id = self.packets.alloc(Packet {
+            uid,
             dest_host: dest_host as u32,
             dest_sw,
             created: now,
@@ -405,7 +582,7 @@ impl Simulator {
         if let Some(tr) = &mut self.tracer {
             tr.record(
                 now,
-                id,
+                uid,
                 TraceEvent::Injected {
                     src_sw,
                     dest_sw: dest_sw as usize,
@@ -414,192 +591,295 @@ impl Simulator {
         }
         let input = self.injection_input(src_host);
         for seq in 0..self.cfg.packet_flits as u16 {
-            self.inputs[input].vcs[0]
-                .buf
-                .push_back(Flit { packet: id, seq });
+            self.buf_push(input, 0, Flit { packet: id, seq }, now);
         }
     }
 
-    fn allocate(&mut self, now: u64) {
-        let mut candidates: Vec<(usize, u8)> = Vec::new();
-        for i in 0..self.inputs.len() {
-            let node = self.inputs[i].node;
-            for v in 0..self.inputs[i].vcs.len() {
-                let ivc = &self.inputs[i].vcs[v];
-                let Some(&head) = ivc.buf.front() else {
-                    continue;
-                };
-                if head.seq != 0 || ivc.alloc.is_some() {
-                    continue;
-                }
-                if ivc.route_ready_at == u64::MAX {
-                    self.inputs[i].vcs[v].route_ready_at = now + self.cfg.header_delay;
-                    continue;
-                }
-                if now < ivc.route_ready_at {
-                    continue;
-                }
-                let pkt_idx = head.packet as usize;
-                let dest_sw = self.packets[pkt_idx].dest_sw as usize;
-                if dest_sw == node {
-                    // Eject: always grantable (sink arbitrated per cycle).
-                    let port = self.packets[pkt_idx].dest_host as usize % self.cfg.hosts_per_switch;
-                    self.inputs[i].vcs[v].alloc = Some(OutRef::Eject { port });
-                    continue;
-                }
-                candidates.clear();
-                self.routing.candidates(
-                    node,
-                    dest_sw,
-                    &self.packets[pkt_idx].route,
-                    &mut candidates,
-                );
-                debug_assert!(!candidates.is_empty(), "no route from {node} to {dest_sw}");
-                let need = match self.cfg.switching {
-                    crate::config::Switching::VirtualCutThrough => self.cfg.packet_flits,
-                    crate::config::Switching::Wormhole => 1,
-                };
-                for &(ch, vc) in &candidates {
-                    debug_assert_eq!(self.graph.channel_endpoints(ch).0, node);
-                    let ovc = &mut self.outputs[ch].vcs[vc as usize];
-                    if ovc.owner.is_none() && ovc.credits >= need {
-                        ovc.owner = Some((i, v as u8));
-                        self.inputs[i].vcs[v].alloc = Some(OutRef::Net { channel: ch, vc });
-                        if let Some(tr) = &mut self.tracer {
-                            tr.record(
-                                now,
-                                head.packet,
-                                TraceEvent::VcAllocated {
-                                    at: node,
-                                    channel: ch,
-                                    vc,
-                                },
-                            );
-                        }
-                        let pkt = &mut self.packets[pkt_idx];
-                        let route = &mut pkt.route;
-                        self.routing.on_hop(node, dest_sw, route, ch, vc);
-                        break;
-                    }
-                }
-            }
+    /// Append a flit to an input-VC buffer. A head flit landing in an empty
+    /// buffer arms the header-processing timer (the cycle at which the
+    /// dense scan would first see it).
+    pub(crate) fn buf_push(&mut self, i: usize, v: usize, flit: Flit, now: u64) {
+        let ivc = &mut self.inputs[i].vcs[v];
+        let was_empty = ivc.buf.is_empty();
+        ivc.buf.push_back(flit);
+        self.buffered_flits += 1;
+        self.peak_buffered_flits = self.peak_buffered_flits.max(self.buffered_flits);
+        if was_empty && flit.seq == 0 {
+            debug_assert!(
+                self.inputs[i].vcs[v].alloc.is_none(),
+                "fresh head in a buffer still owned by a previous packet"
+            );
+            self.arm_header(i, v, now);
         }
     }
 
-    fn traverse(&mut self, now: u64) {
-        self.input_used.iter_mut().for_each(|u| *u = false);
-        self.eject_used.iter_mut().for_each(|u| *u = false);
+    fn buf_pop(&mut self, i: usize, v: usize) -> Flit {
+        let flit = self.inputs[i].vcs[v].buf.pop_front().expect("nonempty");
+        self.buffered_flits -= 1;
+        flit
+    }
 
-        // Network outputs: one flit per channel per cycle, round-robin over
-        // the input VCs that own one of its output VCs.
-        for ch in 0..self.outputs.len() {
-            let nvc = self.outputs[ch].vcs.len();
-            let start = self.outputs[ch].rr;
-            let mut granted: Option<(usize, u8, u8)> = None; // (input, ivc, ovc)
-            for k in 0..nvc {
-                let ovc = (start + k) % nvc;
-                let Some((i, v)) = self.outputs[ch].vcs[ovc].owner else {
-                    continue;
-                };
-                if self.input_used[i] {
-                    continue;
+    /// Arm the header-delay timer for the head packet of `(i, v)`: routing
+    /// work conceptually starts at `arm_cycle`, and allocation may first be
+    /// attempted `max(header_delay, 1)` cycles later (the dense scan needs
+    /// at least one cycle between arming and allocating, so delay-0 configs
+    /// still wait one cycle).
+    fn arm_header(&mut self, i: usize, v: usize, arm_cycle: u64) {
+        let ready = arm_cycle + self.cfg.header_delay.max(1);
+        self.inputs[i].vcs[v].route_ready_at = ready;
+        if let Some(ev) = &mut self.ev {
+            ev.schedule_route(ready, i, v);
+        }
+    }
+
+    /// Release an input VC after its tail left; a revealed next-packet head
+    /// is seen by the allocator no earlier than the following cycle.
+    fn release_input_vc(&mut self, i: usize, v: usize, now: u64) {
+        let ivc = &mut self.inputs[i].vcs[v];
+        ivc.alloc = None;
+        ivc.route_ready_at = u64::MAX;
+        if let Some(&head) = ivc.buf.front() {
+            debug_assert_eq!(head.seq, 0, "packets stream whole, in order");
+            self.arm_header(i, v, now + 1);
+        }
+    }
+
+    pub(crate) fn apply_credit(&mut self, ch: usize, vc: u8) {
+        let ovc = &mut self.outputs[ch].vcs[vc as usize];
+        ovc.credits += 1;
+        debug_assert!(
+            ovc.credits <= self.cfg.buffer_flits,
+            "credit overflow on channel {ch} vc {vc}"
+        );
+    }
+
+    /// Schedule a flit's link traversal toward the downstream input. A
+    /// zero-delay link still delivers next cycle (the dense scan processes
+    /// arrivals before sends, so a same-cycle send is seen one cycle later).
+    fn send_flit_on_link(&mut self, ch: usize, flit: Flit, vc: u8, now: u64) {
+        let t = now + self.cfg.link_delay.max(1);
+        match &mut self.ev {
+            Some(ev) => ev.schedule_link(t, ch, flit, vc),
+            None => self.links[ch].push_back((t, flit, vc)),
+        }
+    }
+
+    /// Schedule a credit return toward the upstream output VC (zero-delay
+    /// credits likewise land next cycle).
+    fn return_credit(&mut self, ch: usize, vc: u8, now: u64) {
+        let t = now + self.cfg.credit_delay.max(1);
+        match &mut self.ev {
+            Some(ev) => ev.schedule_credit(t, ch, vc),
+            None => self.credits_in_flight.push_back((t, ch, vc)),
+        }
+    }
+
+    fn mark_input_used(&mut self, i: usize) {
+        debug_assert!(!self.input_used[i]);
+        self.input_used[i] = true;
+        self.touched_inputs.push(i as u32);
+    }
+
+    pub(crate) fn clear_used(&mut self) {
+        let mut touched = std::mem::take(&mut self.touched_inputs);
+        for &i in &touched {
+            self.input_used[i as usize] = false;
+        }
+        touched.clear();
+        self.touched_inputs = touched;
+        let mut touched = std::mem::take(&mut self.touched_ejects);
+        for &s in &touched {
+            self.eject_used[s as usize] = false;
+        }
+        touched.clear();
+        self.touched_ejects = touched;
+    }
+
+    /// Deadlock watchdog: count consecutive cycles in which packets are in
+    /// flight yet no flit moved anywhere (injection does not count — an
+    /// open workload keeps injecting into a wedged network).
+    pub(crate) fn watchdog(&mut self, now: u64) {
+        if self.last_progress == now || self.packets.live() == 0 {
+            self.current_stall = 0;
+        } else {
+            self.current_stall += 1;
+            self.longest_stall = self.longest_stall.max(self.current_stall);
+        }
+    }
+
+    /// Routing + VC allocation for one head packet whose timer has expired.
+    /// The caller guarantees the head is a seq-0 flit, unallocated, with
+    /// `now >= route_ready_at`.
+    pub(crate) fn try_allocate_vc(&mut self, i: usize, v: usize, now: u64) -> AllocOutcome {
+        let node = self.inputs[i].node;
+        let head = *self.inputs[i].vcs[v].buf.front().expect("head present");
+        debug_assert_eq!(head.seq, 0);
+        debug_assert!(self.inputs[i].vcs[v].alloc.is_none());
+        debug_assert!(now >= self.inputs[i].vcs[v].route_ready_at);
+        let pkt_idx = head.packet;
+        let dest_sw = self.packets.get(pkt_idx).dest_sw as usize;
+        if dest_sw == node {
+            // Eject: always grantable (sink arbitrated per cycle).
+            let port = self.packets.get(pkt_idx).dest_host as usize % self.cfg.hosts_per_switch;
+            self.inputs[i].vcs[v].alloc = Some(OutRef::Eject { port });
+            return AllocOutcome::Eject;
+        }
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        candidates.clear();
+        self.routing.candidates(
+            node,
+            dest_sw,
+            &self.packets.get(pkt_idx).route,
+            &mut candidates,
+        );
+        debug_assert!(!candidates.is_empty(), "no route from {node} to {dest_sw}");
+        let need = match self.cfg.switching {
+            crate::config::Switching::VirtualCutThrough => self.cfg.packet_flits,
+            crate::config::Switching::Wormhole => 1,
+        };
+        let mut outcome = AllocOutcome::Blocked;
+        for &(ch, vc) in &candidates {
+            debug_assert_eq!(self.graph.channel_endpoints(ch).0, node);
+            let ovc = &mut self.outputs[ch].vcs[vc as usize];
+            if ovc.owner.is_none() && ovc.credits >= need {
+                ovc.owner = Some((i, v as u8));
+                self.inputs[i].vcs[v].alloc = Some(OutRef::Net { channel: ch, vc });
+                if let Some(tr) = &mut self.tracer {
+                    let uid = self.packets.get(pkt_idx).uid;
+                    tr.record(
+                        now,
+                        uid,
+                        TraceEvent::VcAllocated {
+                            at: node,
+                            channel: ch,
+                            vc,
+                        },
+                    );
                 }
-                if self.outputs[ch].vcs[ovc].credits == 0 {
-                    continue;
-                }
-                let ivc = &self.inputs[i].vcs[v as usize];
-                if ivc.buf.is_empty() {
-                    continue;
-                }
-                granted = Some((i, v, ovc as u8));
+                let route = &mut self.packets.get_mut(pkt_idx).route;
+                self.routing.on_hop(node, dest_sw, route, ch, vc);
+                outcome = AllocOutcome::Net(ch);
                 break;
             }
-            if let Some((i, v, ovc)) = granted {
-                self.last_progress = now;
-                self.input_used[i] = true;
-                self.outputs[ch].rr = (ovc as usize + 1) % nvc;
-                let flit = self.inputs[i].vcs[v as usize].buf.pop_front().unwrap();
-                self.outputs[ch].vcs[ovc as usize].credits -= 1;
-                self.links[ch].push_back((now + self.cfg.link_delay, flit, ovc));
-                if now >= self.cfg.warmup_cycles
-                    && now < self.cfg.warmup_cycles + self.cfg.measure_cycles
-                {
-                    self.channel_flits[ch] += 1;
-                }
-                // Return a credit upstream for the flit leaving this buffer.
-                if let Some(up) = self.inputs[i].upstream {
-                    self.credits_in_flight
-                        .push_back((now + self.cfg.credit_delay, up, v));
-                }
-                if flit.seq as usize + 1 == self.cfg.packet_flits {
-                    // tail: release ownership and input state
-                    self.outputs[ch].vcs[ovc as usize].owner = None;
-                    let ivc = &mut self.inputs[i].vcs[v as usize];
-                    ivc.alloc = None;
-                    ivc.route_ready_at = u64::MAX;
-                    if let Some(tr) = &mut self.tracer {
-                        let at = self.inputs[i].node;
-                        tr.record(now, flit.packet, TraceEvent::TailSent { at, channel: ch });
-                    }
-                }
-            }
         }
+        self.cand_scratch = candidates;
+        outcome
+    }
 
-        // Ejection: one flit per (switch, port) per cycle.
-        let ports = self.cfg.hosts_per_switch;
-        // i is an input-unit id used against several arrays; keep indexed.
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..self.inputs.len() {
+    /// Switch allocation + flit send for one output channel this cycle:
+    /// round-robin over the output VCs with owners, send at most one flit.
+    pub(crate) fn grant_channel(&mut self, ch: usize, now: u64) -> Option<SendResult> {
+        let nvc = self.outputs[ch].vcs.len();
+        let start = self.outputs[ch].rr;
+        let mut granted: Option<(usize, u8, u8)> = None; // (input, ivc, ovc)
+        for k in 0..nvc {
+            let ovc = (start + k) % nvc;
+            let Some((i, v)) = self.outputs[ch].vcs[ovc].owner else {
+                continue;
+            };
             if self.input_used[i] {
                 continue;
             }
-            let node = self.inputs[i].node;
-            for v in 0..self.inputs[i].vcs.len() {
-                let Some(OutRef::Eject { port }) = self.inputs[i].vcs[v].alloc else {
-                    continue;
-                };
-                if self.inputs[i].vcs[v].buf.is_empty() {
-                    continue;
-                }
-                let slot = node * ports + port;
-                if self.eject_used[slot] || self.input_used[i] {
-                    continue;
-                }
-                self.eject_used[slot] = true;
-                self.input_used[i] = true;
-                self.last_progress = now;
-                let flit = self.inputs[i].vcs[v].buf.pop_front().unwrap();
-                if let Some(up) = self.inputs[i].upstream {
-                    self.credits_in_flight
-                        .push_back((now + self.cfg.credit_delay, up, v as u8));
-                }
-                if flit.seq as usize + 1 == self.cfg.packet_flits {
-                    let ivc = &mut self.inputs[i].vcs[v];
-                    ivc.alloc = None;
-                    ivc.route_ready_at = u64::MAX;
-                    self.delivered_all_time += 1;
-                    if let Some(tr) = &mut self.tracer {
-                        tr.record(now, flit.packet, TraceEvent::Delivered { at: node });
-                    }
-                    let pkt = &self.packets[flit.packet as usize];
-                    self.stats
-                        .on_delivered(now, pkt.created, pkt.measured, self.cfg.packet_flits);
-                }
+            if self.outputs[ch].vcs[ovc].credits == 0 {
+                continue;
             }
+            if self.inputs[i].vcs[v as usize].buf.is_empty() {
+                continue;
+            }
+            granted = Some((i, v, ovc as u8));
+            break;
         }
+        let (i, v, ovc) = granted?;
+        self.last_progress = now;
+        self.mark_input_used(i);
+        self.outputs[ch].rr = (ovc as usize + 1) % nvc;
+        let flit = self.buf_pop(i, v as usize);
+        self.outputs[ch].vcs[ovc as usize].credits -= 1;
+        self.send_flit_on_link(ch, flit, ovc, now);
+        if now >= self.cfg.warmup_cycles && now < self.cfg.warmup_cycles + self.cfg.measure_cycles {
+            self.channel_flits[ch] += 1;
+        }
+        // Return a credit upstream for the flit leaving this buffer.
+        if let Some(up) = self.inputs[i].upstream {
+            self.return_credit(up, v, now);
+        }
+        let tail = flit.seq as usize + 1 == self.cfg.packet_flits;
+        if tail {
+            // tail: release ownership and input state
+            self.outputs[ch].vcs[ovc as usize].owner = None;
+            if let Some(tr) = &mut self.tracer {
+                let at = self.inputs[i].node;
+                let uid = self.packets.get(flit.packet).uid;
+                tr.record(now, uid, TraceEvent::TailSent { at, channel: ch });
+            }
+            self.release_input_vc(i, v as usize, now);
+        }
+        Some(SendResult { tail })
+    }
+
+    /// Eject one flit from `(i, v)` if it holds an ejection grant and the
+    /// input port + ejection port are both free this cycle. Returns true
+    /// when the tail was ejected (packet delivered and retired).
+    pub(crate) fn try_eject_vc(&mut self, i: usize, v: usize, now: u64) -> bool {
+        if self.input_used[i] {
+            return false;
+        }
+        let Some(OutRef::Eject { port }) = self.inputs[i].vcs[v].alloc else {
+            return false;
+        };
+        if self.inputs[i].vcs[v].buf.is_empty() {
+            return false;
+        }
+        let node = self.inputs[i].node;
+        let slot = node * self.cfg.hosts_per_switch + port;
+        if self.eject_used[slot] {
+            return false;
+        }
+        self.eject_used[slot] = true;
+        self.touched_ejects.push(slot as u32);
+        self.mark_input_used(i);
+        self.last_progress = now;
+        let flit = self.buf_pop(i, v);
+        if let Some(up) = self.inputs[i].upstream {
+            self.return_credit(up, v as u8, now);
+        }
+        if flit.seq as usize + 1 == self.cfg.packet_flits {
+            self.delivered_all_time += 1;
+            {
+                let pkt = self.packets.get(flit.packet);
+                let (uid, created, measured) = (pkt.uid, pkt.created, pkt.measured);
+                if let Some(tr) = &mut self.tracer {
+                    tr.record(now, uid, TraceEvent::Delivered { at: node });
+                }
+                self.stats
+                    .on_delivered(now, created, measured, self.cfg.packet_flits);
+            }
+            self.packets.retire(flit.packet);
+            self.release_input_vc(i, v, now);
+            return true;
+        }
+        false
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EngineKind;
     use crate::routing::AdaptiveEscape;
     use dsn_core::ring::Ring;
     use dsn_core::torus::Torus;
 
     fn tiny_sim(rate: f64) -> Simulator {
+        tiny_sim_engine(rate, EngineKind::default())
+    }
+
+    fn tiny_sim_engine(rate: f64, engine: EngineKind) -> Simulator {
         let g = Arc::new(Ring::new(8).unwrap().into_graph());
-        let cfg = SimConfig::test_small();
+        let cfg = SimConfig {
+            engine,
+            ..SimConfig::test_small()
+        };
         let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
         Simulator::new(g, cfg, routing, TrafficPattern::Uniform, rate, 42)
     }
@@ -651,6 +931,13 @@ mod tests {
             (accepted - offered).abs() / offered < 0.15,
             "accepted {accepted} vs offered {offered}"
         );
+    }
+
+    #[test]
+    fn dense_reference_agrees_with_event_default() {
+        let dense = tiny_sim_engine(0.01, EngineKind::Dense).run();
+        let event = tiny_sim_engine(0.01, EngineKind::Event).run();
+        assert_eq!(dense, event, "engines diverged");
     }
 
     #[test]
@@ -772,5 +1059,47 @@ mod tests {
         let b = tiny_sim(0.01).run();
         assert_eq!(a.delivered_packets, b.delivered_packets);
         assert_eq!(a.avg_latency_cycles, b.avg_latency_cycles);
+    }
+
+    #[test]
+    fn memory_stays_bounded_on_open_runs() {
+        let stats = tiny_sim(0.01).run();
+        assert!(stats.total_packets_all_time > 50);
+        assert!(
+            stats.peak_in_flight_packets < stats.total_packets_all_time / 2,
+            "peak in-flight {} should be far below total {}",
+            stats.peak_in_flight_packets,
+            stats.total_packets_all_time
+        );
+        assert!(stats.peak_buffered_flits > 0);
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut slab = PacketSlab::default();
+        let mk = |uid| Packet {
+            uid,
+            dest_host: 1,
+            dest_sw: 0,
+            created: 0,
+            route: RouteState {
+                ud_phase: dsn_route::updown::UdPhase::Up,
+                path: None,
+                idx: 0,
+            },
+            measured: false,
+        };
+        let a = slab.alloc(mk(0));
+        let b = slab.alloc(mk(1));
+        assert_ne!(a, b);
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab.peak_live, 2);
+        slab.retire(a);
+        assert_eq!(slab.live(), 1);
+        let c = slab.alloc(mk(2));
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(slab.get(c).uid, 2);
+        assert_eq!(slab.peak_live, 2, "peak unchanged by recycling");
+        assert_eq!(slab.total_created, 3);
     }
 }

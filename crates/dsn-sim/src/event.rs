@@ -1,0 +1,379 @@
+//! Event-driven scheduling core for the [`crate::engine::Simulator`].
+//!
+//! The dense reference scans every input VC, output channel and link queue
+//! each cycle; this core touches only the units with pending work, while
+//! producing **bit-identical** [`crate::RunStats`]:
+//!
+//! * a *timing wheel* holds cycle-stamped events — credit returns, link
+//!   arrivals, and header-delay expiries — whose delays are all bounded by
+//!   a small constant, so a power-of-two slot ring indexed by
+//!   `cycle & mask` replaces the per-channel `VecDeque` front-polling;
+//! * *active sets* track the input VCs eligible for allocation, the
+//!   channels with at least one owned output VC, and the VCs holding an
+//!   ejection grant; each phase iterates its set in sorted index order,
+//!   which is exactly the order of the dense scan restricted to units
+//!   whose state could change, so round-robin pointers advance identically;
+//! * a *calendar heap* of `(cycle, host)` pairs pops injections in the
+//!   same (cycle, host-ascending) order the dense per-cycle host scan
+//!   produces, at O(log hosts) per injection instead of O(hosts) per cycle;
+//! * when no event, injection or active unit exists the clock jumps
+//!   straight to the next injection — safe because a live packet always
+//!   keeps at least one set or wheel slot nonempty, and an idle network
+//!   has zero stall by definition.
+
+use crate::engine::{AllocOutcome, Flit, Simulator};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One timed event on the wheel.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A credit arrives back at output VC `(ch, vc)`.
+    Credit { ch: u32, vc: u8 },
+    /// A flit arrives at the downstream input of `ch` on `vc`.
+    Link { ch: u32, vc: u8, flit: Flit },
+    /// Header delay expired for input VC `iv`: eligible for allocation.
+    Route { iv: u32 },
+}
+
+/// Timing wheel: a power-of-two ring of slots indexed by `cycle & mask`.
+/// All scheduled delays are bounded by the wheel size, so no event ever
+/// wraps onto a pending slot.
+#[derive(Debug)]
+struct Wheel {
+    slots: Vec<Vec<Ev>>,
+    mask: u64,
+    /// Total events currently scheduled (for the idle-skip check).
+    pending: usize,
+    /// Recycled slot vectors (avoids reallocating every cycle).
+    pool: Vec<Vec<Ev>>,
+}
+
+impl Wheel {
+    fn new(max_delay: u64) -> Self {
+        let size = (max_delay + 1).next_power_of_two().max(2);
+        Wheel {
+            slots: (0..size).map(|_| Vec::new()).collect(),
+            mask: size - 1,
+            pending: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, t: u64, ev: Ev) {
+        self.slots[(t & self.mask) as usize].push(ev);
+        self.pending += 1;
+    }
+
+    /// Take all events due at `now` (the slot is emptied; recycle the
+    /// vector back with [`Self::recycle`]).
+    fn take_slot(&mut self, now: u64) -> Vec<Ev> {
+        let fresh = self.pool.pop().unwrap_or_default();
+        let slot = std::mem::replace(&mut self.slots[(now & self.mask) as usize], fresh);
+        self.pending -= slot.len();
+        slot
+    }
+
+    fn recycle(&mut self, mut v: Vec<Ev>) {
+        v.clear();
+        self.pool.push(v);
+    }
+}
+
+/// A set of active unit indices iterated in sorted order once per phase.
+/// Removal is lazy (a bitmap marks membership); the live count keeps the
+/// emptiness check O(1) for the idle skip.
+#[derive(Debug)]
+struct ActiveSet {
+    in_set: Vec<bool>,
+    items: Vec<u32>,
+    live: usize,
+}
+
+impl ActiveSet {
+    fn new(domain: usize) -> Self {
+        ActiveSet {
+            in_set: vec![false; domain],
+            items: Vec::new(),
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, id: u32) {
+        if !self.in_set[id as usize] {
+            self.in_set[id as usize] = true;
+            self.items.push(id);
+            self.live += 1;
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, id: u32) {
+        if self.in_set[id as usize] {
+            self.in_set[id as usize] = false;
+            self.live -= 1;
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Copy the live members, sorted ascending, into `out` (cleared
+    /// first). Compacts lazily-removed entries as a side effect. A member
+    /// re-inserted after a lazy removal exists twice in `items` until this
+    /// pass dedups it — without that, a phase would visit it twice.
+    fn snapshot_sorted(&mut self, out: &mut Vec<u32>) {
+        let in_set = &self.in_set;
+        self.items.retain(|&id| in_set[id as usize]);
+        self.items.sort_unstable();
+        self.items.dedup();
+        out.clear();
+        out.extend_from_slice(&self.items);
+    }
+}
+
+/// Event-engine state hanging off the simulator (`Simulator::ev`). The
+/// shared mutation helpers in `engine.rs` feed the wheel and the route
+/// events; the step loop below maintains the three active sets.
+#[derive(Debug)]
+pub(crate) struct EventState {
+    wheel: Wheel,
+    /// Input VCs whose head packet is armed, expired and unallocated.
+    alloc_pending: ActiveSet,
+    /// Channels with at least one owned output VC.
+    out_active: ActiveSet,
+    /// Input VCs holding an ejection grant.
+    eject_active: ActiveSet,
+    /// `(next_injection_cycle, host)` calendar, min-ordered.
+    inj_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Scratch for per-phase snapshots.
+    scratch: Vec<u32>,
+    /// VC stride for encoding `(input, vc)` pairs as a single index.
+    nvc: u32,
+}
+
+impl EventState {
+    #[inline]
+    fn iv(&self, i: usize, v: usize) -> u32 {
+        i as u32 * self.nvc + v as u32
+    }
+
+    #[inline]
+    fn iv_decode(&self, iv: u32) -> (usize, usize) {
+        ((iv / self.nvc) as usize, (iv % self.nvc) as usize)
+    }
+
+    pub(crate) fn schedule_route(&mut self, t: u64, i: usize, v: usize) {
+        let iv = self.iv(i, v);
+        self.wheel.push(t, Ev::Route { iv });
+    }
+
+    pub(crate) fn schedule_link(&mut self, t: u64, ch: usize, flit: Flit, vc: u8) {
+        self.wheel.push(
+            t,
+            Ev::Link {
+                ch: ch as u32,
+                vc,
+                flit,
+            },
+        );
+    }
+
+    pub(crate) fn schedule_credit(&mut self, t: u64, ch: usize, vc: u8) {
+        self.wheel.push(t, Ev::Credit { ch: ch as u32, vc });
+    }
+
+    pub(crate) fn schedule_injection(&mut self, t: u64, host: usize) {
+        self.inj_heap.push(Reverse((t, host as u32)));
+    }
+}
+
+/// Install the event state on a freshly constructed simulator (no flits in
+/// flight yet): empty wheel and sets, plus the injection calendar.
+pub(crate) fn prepare(sim: &mut Simulator) {
+    debug_assert!(sim.ev.is_none() && sim.now == 0);
+    let nvc = sim.cfg.vcs.max(1) as u32;
+    let iv_domain = sim.inputs.len() * nvc as usize;
+    // Largest delay ever pushed: a revealed head arms at `now + 1` and
+    // expires `max(header_delay, 1)` later.
+    let max_delay = sim
+        .cfg
+        .link_delay
+        .max(sim.cfg.credit_delay)
+        .max(sim.cfg.header_delay + 1)
+        .max(2);
+    let mut ev = Box::new(EventState {
+        wheel: Wheel::new(max_delay),
+        alloc_pending: ActiveSet::new(iv_domain),
+        out_active: ActiveSet::new(sim.outputs.len()),
+        eject_active: ActiveSet::new(iv_domain),
+        inj_heap: BinaryHeap::new(),
+        scratch: Vec::new(),
+        nvc,
+    });
+    for h in 0..sim.hosts() {
+        let t = sim.injector.next_cycle(h);
+        if t != crate::inject::NEVER {
+            ev.inj_heap.push(Reverse((t, h as u32)));
+        }
+    }
+    sim.ev = Some(ev);
+}
+
+/// Advance the event engine by one cycle (possibly skipping idle cycles at
+/// the end). Mirrors the dense phase order exactly: credits, link arrivals,
+/// injection, allocation, traversal, ejection, watchdog.
+pub(crate) fn step(sim: &mut Simulator, total: u64) {
+    let now = sim.now;
+
+    // Phases 1+2 (+ route expiries): drain this cycle's wheel slot in
+    // three passes so credits land before arrivals, before eligibility —
+    // the dense phase order. At most one credit and one arrival exist per
+    // (channel, VC) per cycle, so ordering within a pass is immaterial.
+    let slot = sim.ev.as_mut().expect("event state").wheel.take_slot(now);
+    for ev in &slot {
+        if let Ev::Credit { ch, vc } = *ev {
+            sim.apply_credit(ch as usize, vc);
+        }
+    }
+    for ev in &slot {
+        if let Ev::Link { ch, vc, flit } = *ev {
+            sim.buf_push(ch as usize, vc as usize, flit, now);
+        }
+    }
+    for ev in &slot {
+        if let Ev::Route { iv } = *ev {
+            let es = sim.ev.as_ref().expect("event state");
+            let (i, v) = es.iv_decode(iv);
+            let ivc = &sim.inputs[i].vcs[v];
+            // A route expiry always finds the armed head still waiting:
+            // allocation cannot have happened before the timer ran out,
+            // and re-arming implies the previous packet already left.
+            debug_assert!(ivc.buf.front().is_some_and(|f| f.seq == 0));
+            debug_assert!(ivc.alloc.is_none());
+            debug_assert_eq!(ivc.route_ready_at, now);
+            sim.ev
+                .as_mut()
+                .expect("event state")
+                .alloc_pending
+                .insert(iv);
+        }
+    }
+    sim.ev.as_mut().expect("event state").wheel.recycle(slot);
+
+    // Phase 3: injection — pop the calendar in (cycle, host) order, which
+    // matches the dense ascending-host scan for this cycle.
+    if now == 0 && !sim.pending_batch.is_empty() {
+        let batch = std::mem::take(&mut sim.pending_batch);
+        for (src, dest) in batch {
+            sim.enqueue_packet(now, src, dest);
+        }
+    }
+    loop {
+        let host = {
+            let es = sim.ev.as_mut().expect("event state");
+            match es.inj_heap.peek() {
+                Some(&Reverse((t, h))) if t == now => {
+                    es.inj_heap.pop();
+                    h as usize
+                }
+                _ => break,
+            }
+        };
+        // inject_host re-schedules the host's next injection via self.ev.
+        sim.inject_host(host, now);
+    }
+
+    // Phase 4: allocation over the eligible input VCs in (input, vc)
+    // order — the dense scan order restricted to eligible units.
+    let mut scratch = {
+        let es = sim.ev.as_mut().expect("event state");
+        let mut s = std::mem::take(&mut es.scratch);
+        es.alloc_pending.snapshot_sorted(&mut s);
+        s
+    };
+    for &iv in &scratch {
+        let (i, v) = sim.ev.as_ref().expect("event state").iv_decode(iv);
+        match sim.try_allocate_vc(i, v, now) {
+            AllocOutcome::Blocked => {}
+            AllocOutcome::Eject => {
+                let es = sim.ev.as_mut().expect("event state");
+                es.alloc_pending.remove(iv);
+                es.eject_active.insert(iv);
+            }
+            AllocOutcome::Net(ch) => {
+                let es = sim.ev.as_mut().expect("event state");
+                es.alloc_pending.remove(iv);
+                es.out_active.insert(ch as u32);
+            }
+        }
+    }
+
+    // Phase 5a: switch allocation + sends over channels with owners, in
+    // channel order (ownerless channels are no-ops in the dense scan).
+    {
+        let es = sim.ev.as_mut().expect("event state");
+        let mut s = scratch;
+        es.out_active.snapshot_sorted(&mut s);
+        scratch = s;
+    }
+    for &ch in &scratch {
+        let sent = sim.grant_channel(ch as usize, now);
+        if sent.is_some_and(|s| s.tail)
+            && sim.outputs[ch as usize]
+                .vcs
+                .iter()
+                .all(|o| o.owner.is_none())
+        {
+            sim.ev.as_mut().expect("event state").out_active.remove(ch);
+        }
+    }
+
+    // Phase 5b: ejection over VCs holding an eject grant, in (input, vc)
+    // order — matching the dense whole-input scan restricted to grants.
+    {
+        let es = sim.ev.as_mut().expect("event state");
+        let mut s = scratch;
+        es.eject_active.snapshot_sorted(&mut s);
+        scratch = s;
+    }
+    for &iv in &scratch {
+        let (i, v) = sim.ev.as_ref().expect("event state").iv_decode(iv);
+        if sim.try_eject_vc(i, v, now) {
+            sim.ev
+                .as_mut()
+                .expect("event state")
+                .eject_active
+                .remove(iv);
+        }
+    }
+    sim.ev.as_mut().expect("event state").scratch = scratch;
+
+    sim.clear_used();
+    sim.watchdog(now);
+    sim.now = now + 1;
+
+    // Idle skip: with no scheduled events and no active unit, nothing can
+    // happen before the next injection. A live packet always keeps a set
+    // or wheel slot nonempty (its flits are buffered → allocated/armed/
+    // pending, or on a link → wheel), so skipping implies zero packets in
+    // flight and the stall watchdog is vacuously idle across the gap.
+    let es = sim.ev.as_ref().expect("event state");
+    if es.wheel.pending == 0
+        && es.alloc_pending.is_empty()
+        && es.out_active.is_empty()
+        && es.eject_active.is_empty()
+    {
+        debug_assert_eq!(sim.packets.live(), 0);
+        debug_assert_eq!(sim.current_stall, 0);
+        let next = es
+            .inj_heap
+            .peek()
+            .map_or(total, |&Reverse((t, _))| t.min(total));
+        sim.now = sim.now.max(next);
+    }
+}

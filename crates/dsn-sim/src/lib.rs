@@ -35,6 +35,8 @@
 
 pub mod config;
 pub mod engine;
+mod event;
+mod inject;
 pub mod routing;
 pub mod stats;
 pub mod sweep;
@@ -42,7 +44,7 @@ pub mod trace;
 pub mod traffic;
 pub mod workload;
 
-pub use config::{SimConfig, Switching};
+pub use config::{EngineKind, SimConfig, Switching};
 pub use engine::Simulator;
 pub use routing::{AdaptiveEscape, MinimalAdaptiveDsn, SimRouting, SourceRouted, UpDownRouting};
 pub use stats::RunStats;

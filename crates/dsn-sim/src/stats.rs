@@ -104,6 +104,8 @@ impl StatsCollector {
             offered_gbps_per_host: offered_fpc * cfg.flit_bits as f64 / cfg.cycle_ns,
             mean_channel_utilization: 0.0,
             max_channel_utilization: 0.0,
+            peak_in_flight_packets: 0,
+            peak_buffered_flits: 0,
             longest_stall_cycles: 0,
             deadlock_suspected: false,
             completion_cycle: None,
@@ -158,6 +160,14 @@ pub struct RunStats {
     pub mean_channel_utilization: f64,
     /// Utilization of the busiest directed channel (the hotspot).
     pub max_channel_utilization: f64,
+    /// Peak number of packets simultaneously in flight (created but not
+    /// yet delivered) over the whole run. With the recycling packet slab
+    /// this — not the total packet count — bounds the engine's memory, so
+    /// arbitrarily long runs stay bounded. Filled by the engine.
+    pub peak_in_flight_packets: u64,
+    /// Peak number of flits simultaneously resident in input-VC buffers
+    /// (injection queues included). Filled by the engine.
+    pub peak_buffered_flits: u64,
     /// Longest stretch of cycles with packets in flight but zero flit
     /// movement anywhere in the network. Filled by the engine.
     pub longest_stall_cycles: u64,

@@ -1,0 +1,233 @@
+//! Bit-equivalence gate for the two scheduling cores: the event-driven
+//! engine must reproduce the dense reference's `RunStats` *exactly* —
+//! every counter and every float — across topologies, routings, traffic
+//! patterns, open and closed workloads, and a seeded deadlock case. Any
+//! divergence means the event core reordered an arbitration or mistimed an
+//! event, so the comparison is `assert_eq!` on the whole struct, not a
+//! tolerance check.
+
+use dsn_core::dln::Dln;
+use dsn_core::dsn::Dsn;
+use dsn_core::graph::Graph;
+use dsn_core::torus::Torus;
+use dsn_sim::{
+    AdaptiveEscape, EngineKind, RunStats, SimConfig, SimRouting, Simulator, SourceRouted,
+    TrafficPattern, UpDownRouting, Workload,
+};
+use std::sync::Arc;
+
+/// Short-horizon config so the dense reference stays fast in debug builds.
+fn cfg() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 300,
+        measure_cycles: 2_500,
+        drain_cycles: 2_500,
+        ..SimConfig::test_small()
+    }
+}
+
+/// Run the identical scenario under both engines and demand bit-identical
+/// stats; returns them for extra scenario-specific assertions.
+fn assert_engines_agree(
+    g: Arc<Graph>,
+    cfg: SimConfig,
+    routing: Arc<dyn SimRouting>,
+    workload: Workload,
+    seed: u64,
+    label: &str,
+) -> RunStats {
+    let dense = Simulator::with_workload(
+        g.clone(),
+        SimConfig {
+            engine: EngineKind::Dense,
+            ..cfg.clone()
+        },
+        routing.clone(),
+        workload.clone(),
+        seed,
+    )
+    .run();
+    let event = Simulator::with_workload(
+        g,
+        SimConfig {
+            engine: EngineKind::Event,
+            ..cfg
+        },
+        routing,
+        workload,
+        seed,
+    )
+    .run();
+    assert_eq!(dense, event, "{label}: engines diverged");
+    assert!(
+        dense.total_packets_all_time > 0,
+        "{label}: vacuous scenario"
+    );
+    dense
+}
+
+fn open(pattern: TrafficPattern, rate: f64) -> Workload {
+    Workload::Open {
+        pattern,
+        packets_per_cycle_per_host: rate,
+    }
+}
+
+#[test]
+fn dsn_adaptive_uniform_low_and_high_load() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let cfg = cfg();
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    for (rate, label) in [(0.002, "low"), (0.04, "near-saturation")] {
+        let stats = assert_engines_agree(
+            g.clone(),
+            cfg.clone(),
+            routing.clone(),
+            open(TrafficPattern::Uniform, rate),
+            42,
+            &format!("dsn64 adaptive uniform {label}"),
+        );
+        assert!(stats.delivered_packets > 0);
+    }
+}
+
+#[test]
+fn dsn_updown_transpose() {
+    // DSN-6-128: p = 7, so x = 6 is the densest shortcut set.
+    let g = Arc::new(Dsn::new(128, 6).unwrap().into_graph());
+    let cfg = cfg();
+    let routing = Arc::new(UpDownRouting::new(g.clone(), cfg.vcs));
+    assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        open(TrafficPattern::Transpose, 0.004),
+        7,
+        "dsn128-x6 up*/down* transpose",
+    );
+}
+
+#[test]
+fn dsn_custom_routing_uniform() {
+    let dsn = Arc::new(Dsn::new(64, 5).unwrap());
+    let g = Arc::new(dsn.graph().clone());
+    let routing = Arc::new(SourceRouted::dsn_custom(dsn));
+    // DSN-V levels need the paper's 4 VCs; keep the short test horizon.
+    let cfg = SimConfig { vcs: 4, ..cfg() };
+    assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        open(TrafficPattern::Uniform, 0.004),
+        11,
+        "dsn64 DSN-V custom uniform",
+    );
+}
+
+#[test]
+fn torus_dor_uniform_and_transpose() {
+    let torus = Arc::new(Torus::new(&[4, 4]).unwrap());
+    let g = Arc::new(torus.graph().clone());
+    for (pattern, label) in [
+        (TrafficPattern::Uniform, "uniform"),
+        (TrafficPattern::Transpose, "transpose"),
+    ] {
+        let routing = Arc::new(SourceRouted::torus_dor(torus.clone()));
+        assert_engines_agree(
+            g.clone(),
+            cfg(),
+            routing,
+            open(pattern, 0.006),
+            13,
+            &format!("torus4x4 DOR {label}"),
+        );
+    }
+}
+
+#[test]
+fn dln_adaptive_uniform() {
+    let g = Arc::new(Dln::new(64, 2).unwrap().into_graph());
+    let cfg = cfg();
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        open(TrafficPattern::Uniform, 0.004),
+        17,
+        "dln64 adaptive uniform",
+    );
+}
+
+#[test]
+fn closed_all_to_all_batch() {
+    let g = Arc::new(Dsn::new(16, 3).unwrap().into_graph());
+    let mut cfg = cfg();
+    cfg.drain_cycles = 60_000; // room for the batch to finish
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    let hosts = 16 * cfg.hosts_per_switch;
+    let stats = assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        Workload::all_to_all(hosts),
+        3,
+        "dsn16 all-to-all batch",
+    );
+    assert!(stats.completion_cycle.is_some(), "batch must complete");
+}
+
+#[test]
+fn seeded_deadlock_watchdog_case() {
+    // The provably-cyclic single-VC basic routing wedges under load; both
+    // engines must agree on the whole wedged-run fingerprint, watchdog
+    // verdict included.
+    let dsn = Arc::new(Dsn::new(60, 5).unwrap());
+    let g = Arc::new(dsn.graph().clone());
+    let cfg = SimConfig {
+        warmup_cycles: 500,
+        measure_cycles: 5_000,
+        drain_cycles: 5_000,
+        ..SimConfig::default()
+    };
+    let rate = cfg.packets_per_cycle_for_gbps(4.0);
+    let routing = Arc::new(SourceRouted::dsn_basic_single_vc(dsn));
+    let stats = assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        open(TrafficPattern::Uniform, rate),
+        0xDEAD,
+        "dsn60 unsafe 1-VC routing at 4 Gbps",
+    );
+    assert!(
+        stats.deadlock_suspected,
+        "expected the watchdog to fire (longest stall {})",
+        stats.longest_stall_cycles
+    );
+}
+
+/// CI smoke: a 30k-cycle dense-vs-event check on a paper-sized DSN, kept
+/// as one named test so the workflow can run exactly this gate.
+#[test]
+fn smoke_30k_dense_vs_event() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let cfg = SimConfig {
+        warmup_cycles: 5_000,
+        measure_cycles: 15_000,
+        drain_cycles: 10_000,
+        ..SimConfig::default()
+    };
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    let rate = cfg.packets_per_cycle_for_gbps(1.0);
+    let stats = assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        open(TrafficPattern::Uniform, rate),
+        2024,
+        "smoke dsn64-x5 30k cycles",
+    );
+    assert!(stats.delivered_packets > 0);
+    assert!(!stats.deadlock_suspected);
+}
