@@ -1,77 +1,137 @@
 //! Performance under link failures: run the Figure 10 setup on degraded
-//! topologies (random links removed before the run; adaptive + up*/down*
-//! escape recomputed on the survivor graph) — the fault-tolerance angle the
-//! paper's related work (Jellyfish, small-world datacenters) emphasizes.
+//! topologies — statically (random links removed before the run; adaptive +
+//! up*/down* escape recomputed on the survivor graph) or dynamically
+//! (`--faults N`: links die *mid-run* and the simulator reroutes online,
+//! dropping or salvaging in-flight packets and retrying at the hosts) — the
+//! fault-tolerance angle the paper's related work (Jellyfish, small-world
+//! datacenters) emphasizes.
 //!
 //! Run: `cargo run --release -p dsn-bench --bin degraded_performance \
-//!       [--quick] [--engine dense|event]`
+//!       [--quick] [--engine dense|event] [--faults N] [--json]`
+//!
+//! `--json` additionally writes the report to `BENCH_degraded.json`
+//! (schema pinned by `tests/degraded_schema.rs`).
 
+use dsn_bench::degraded::{base_config, run_dynamic, run_static, DegradedMode, DegradedReport};
 use dsn_bench::{take_engine_arg, trio};
-use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::sync::Arc;
 
 fn main() {
+    // Parse the CLI exactly once into one shared `SimConfig`; every trial
+    // below reuses it.
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let engine = take_engine_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
-    let mut cfg = SimConfig {
-        engine,
-        ..SimConfig::default()
-    };
-    if quick {
-        cfg.warmup_cycles = 3_000;
-        cfg.measure_cycles = 8_000;
-        cfg.drain_cycles = 8_000;
-    } else {
-        cfg.warmup_cycles = 8_000;
-        cfg.measure_cycles = 20_000;
-        cfg.drain_cycles = 20_000;
-    }
+    let json = args.iter().any(|a| a == "--json");
+    let faults = args
+        .iter()
+        .position(|a| a == "--faults")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--faults needs a link count");
+                    std::process::exit(2);
+                })
+        })
+        .or_else(|| {
+            args.iter().find_map(|a| {
+                a.strip_prefix("--faults=").map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("--faults needs a link count");
+                        std::process::exit(2);
+                    })
+                })
+            })
+        });
+    let cfg = base_config(engine, quick);
+    let gbps = 4.0;
+    let specs = trio(64);
 
-    println!("Latency under link failures (uniform traffic at 4 Gbit/s/host, 64 switches)");
-    println!("# engine: {}", cfg.engine.name());
-    println!(
-        "  {:<14} {:>10} {:>10} {:>10} {:>10}",
-        "topology", "0 dead", "2 dead", "5 dead", "10 dead"
-    );
-    let mut rng = SmallRng::seed_from_u64(0xFA11);
-    for spec in trio(64) {
-        let built = spec.build().expect("topology");
-        let m = built.graph.edge_count();
-        let mut ids: Vec<usize> = (0..m).collect();
-        ids.shuffle(&mut rng);
-        let mut row = format!("  {:<14}", built.name);
-        for dead in [0usize, 2, 5, 10] {
-            let g = built.graph.without_edges(&ids[..dead]);
-            if !g.is_connected() {
-                row.push_str(&format!("{:>11}", "split"));
-                continue;
-            }
-            let g = Arc::new(g);
-            let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-            let rate = cfg.packets_per_cycle_for_gbps(4.0);
-            let stats = Simulator::new(
-                g,
-                cfg.clone(),
-                routing,
-                TrafficPattern::Uniform,
-                rate,
-                0xFA11,
-            )
-            .run();
-            if stats.delivery_ratio() > 0.95 {
-                row.push_str(&format!("{:>9.0}ns", stats.avg_latency_ns));
-            } else {
-                row.push_str(&format!("{:>11}", "saturated"));
-            }
-        }
-        println!("{row}");
+    let report = match faults {
+        Some(n) => run_dynamic(&cfg, &specs, n, gbps),
+        None => run_static(&cfg, &specs, &[0, 2, 5, 10], gbps),
+    };
+    print_report(&report);
+    if json {
+        let path = "BENCH_degraded.json";
+        std::fs::write(path, report.to_json()).expect("write JSON report");
+        println!("\n# wrote {path}");
     }
-    println!(
-        "\n(failed links chosen uniformly; the topology-agnostic escape routing is\n \
-         recomputed on the survivor graph, as an operator would after a failure)"
-    );
+}
+
+fn print_report(report: &DegradedReport) {
+    match report.mode {
+        DegradedMode::Static => {
+            println!(
+                "Latency under link failures (uniform traffic at {} Gbit/s/host, 64 switches)",
+                report.gbps_per_host
+            );
+            println!("# engine: {}", report.engine.name());
+            println!(
+                "  {:<14} {:>10} {:>10} {:>10} {:>10}",
+                "topology", "0 dead", "2 dead", "5 dead", "10 dead"
+            );
+            let mut row = String::new();
+            let mut current = None;
+            for r in &report.rows {
+                if current.as_deref() != Some(r.topology.as_str()) {
+                    if current.is_some() {
+                        println!("{row}");
+                    }
+                    row = format!("  {:<14}", r.topology);
+                    current = Some(r.topology.clone());
+                }
+                if r.split {
+                    row.push_str(&format!("{:>11}", "split"));
+                } else if r.saturated {
+                    row.push_str(&format!("{:>11}", "saturated"));
+                } else {
+                    row.push_str(&format!("{:>9.0}ns", r.avg_latency_ns));
+                }
+            }
+            if current.is_some() {
+                println!("{row}");
+            }
+            println!(
+                "\n(failed links chosen uniformly; the topology-agnostic escape routing is\n \
+                 recomputed on the survivor graph, as an operator would after a failure)"
+            );
+        }
+        DegradedMode::Dynamic => {
+            println!(
+                "Latency under mid-run link deaths (uniform traffic at {} Gbit/s/host, \
+                 64 switches)",
+                report.gbps_per_host
+            );
+            println!("# engine: {}", report.engine.name());
+            println!(
+                "  {:<14} {:>6} {:>10} {:>9} {:>8} {:>8} {:>10} {:>10}",
+                "topology",
+                "deaths",
+                "latency",
+                "delivery",
+                "dropped",
+                "retried",
+                "pf-avg",
+                "pf-p99"
+            );
+            for r in &report.rows {
+                println!(
+                    "  {:<14} {:>6} {:>8.0}ns {:>9.4} {:>8} {:>8} {:>8.0}cy {:>8}cy",
+                    r.topology,
+                    r.dead_links,
+                    r.avg_latency_ns,
+                    r.delivery_ratio,
+                    r.dropped,
+                    r.retried,
+                    r.post_fault_avg_latency_cycles,
+                    r.post_fault_p99_latency_cycles
+                );
+            }
+            println!(
+                "\n(seeded connectivity-preserving schedule: links die during the measurement\n \
+                 window, routing is rebuilt online, dropped packets are retried by hosts)"
+            );
+        }
+    }
 }

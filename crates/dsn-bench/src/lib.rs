@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod degraded;
+
 use dsn_core::topology::TopologySpec;
 
 /// The network sizes of Figures 7–9: `log2 N = 5 .. 11`.

@@ -39,6 +39,7 @@ pub mod dsn;
 pub mod dsn_ext;
 pub mod error;
 pub mod export;
+pub mod fault;
 pub mod graph;
 pub mod highradix;
 pub mod kautz;
@@ -53,6 +54,7 @@ pub mod util;
 
 pub use dsn::Dsn;
 pub use error::{Result, TopologyError};
+pub use fault::EdgeMask;
 pub use graph::{Edge, EdgeId, Graph, LinkKind, NodeId};
 pub use parallel::Parallelism;
 pub use topology::{BuiltTopology, TopologySpec};

@@ -13,6 +13,7 @@
 //! destinations), and next hops are enumerated on demand from the current
 //! phase — which is exactly what a switch's routing logic needs.
 
+use dsn_core::fault::EdgeMask;
 use dsn_core::graph::Graph;
 use dsn_core::NodeId;
 use rayon::prelude::*;
@@ -50,6 +51,9 @@ pub struct UpDown {
     /// `dist[t][2v + phase]` = shortest legal path length from `(v, phase)`
     /// to `t`.
     dist: Vec<Vec<u32>>,
+    /// Liveness overlay when built on a survivor graph (`None` = strict
+    /// mode: the full graph, connectivity asserted).
+    mask: Option<EdgeMask>,
 }
 
 impl UpDown {
@@ -61,7 +65,7 @@ impl UpDown {
     pub fn new(g: &Graph, root: NodeId) -> Self {
         let n = g.node_count();
         assert!(root < n, "root out of range");
-        let depth = bfs_depth(g, root);
+        let depth = bfs_depth(g, root, None);
         assert!(
             depth.iter().all(|&d| d != INF),
             "up*/down* requires a connected graph"
@@ -69,9 +73,54 @@ impl UpDown {
 
         let dist: Vec<Vec<u32>> = (0..n)
             .into_par_iter()
-            .map(|t| legal_distances(g, &depth, t))
+            .map(|t| legal_distances(g, &depth, t, None))
             .collect();
-        UpDown { root, depth, dist }
+        UpDown {
+            root,
+            depth,
+            dist,
+            mask: None,
+        }
+    }
+
+    /// Orient links on the *survivor* graph defined by `mask`: a BFS
+    /// forest grown from `root` (when it is up), then from the smallest
+    /// still-unreached up node of each remaining component. The survivor
+    /// graph may be disconnected — unreachable `(state, dest)` pairs keep
+    /// distance `INF` and [`Self::next_hops`] returns no hops for them
+    /// instead of panicking, so the caller (the simulator's online-reroute
+    /// path) can treat them as unroutable.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    pub fn new_masked(g: &Graph, root: NodeId, mask: &EdgeMask) -> Self {
+        let n = g.node_count();
+        assert!(root < n, "root out of range");
+        let mut depth = vec![INF; n];
+        let mut seeds: Vec<NodeId> = Vec::with_capacity(1 + n);
+        seeds.push(root);
+        seeds.extend(0..n);
+        for s in seeds {
+            if depth[s] != INF || !mask.node_up(s) {
+                continue;
+            }
+            let sub = bfs_depth(g, s, Some(mask));
+            for v in 0..n {
+                if sub[v] != INF && depth[v] == INF {
+                    depth[v] = sub[v];
+                }
+            }
+        }
+        let dist: Vec<Vec<u32>> = (0..n)
+            .into_par_iter()
+            .map(|t| legal_distances(g, &depth, t, Some(mask)))
+            .collect();
+        UpDown {
+            root,
+            depth,
+            dist,
+            mask: Some(mask.clone()),
+        }
     }
 
     /// The spanning-tree root.
@@ -118,8 +167,16 @@ impl UpDown {
             return out;
         }
         let dv = self.distance_phased(v, phase, t);
-        debug_assert_ne!(dv, INF, "state ({v}, {phase:?}) cannot reach {t}");
+        if dv == INF {
+            // Only possible on a masked (survivor) instance: the state
+            // cannot reach `t`, so there is no hop to offer.
+            debug_assert!(self.mask.is_some(), "({v}, {phase:?}) cannot reach {t}");
+            return out;
+        }
         for (u, e) in g.neighbors(v) {
+            if self.mask.as_ref().is_some_and(|m| !m.edge_alive(e)) {
+                continue; // dead link on the survivor graph
+            }
             let up = is_up(&self.depth, v, u);
             if up && phase == UdPhase::Down {
                 continue; // illegal down -> up turn
@@ -174,7 +231,7 @@ impl UpDown {
         let mut count = 0u64;
         for (t, row) in self.dist.iter().enumerate() {
             for s in 0..n {
-                if s != t {
+                if s != t && row[2 * s] != INF {
                     sum += row[2 * s] as u64;
                     count += 1;
                 }
@@ -194,13 +251,16 @@ fn is_up(depth: &[u32], from: NodeId, to: NodeId) -> bool {
     depth[to] < depth[from] || (depth[to] == depth[from] && to < from)
 }
 
-fn bfs_depth(g: &Graph, root: NodeId) -> Vec<u32> {
+fn bfs_depth(g: &Graph, root: NodeId, mask: Option<&EdgeMask>) -> Vec<u32> {
     let mut depth = vec![INF; g.node_count()];
     let mut q = VecDeque::new();
     depth[root] = 0;
     q.push_back(root);
     while let Some(v) = q.pop_front() {
-        for u in g.neighbor_ids(v) {
+        for (u, e) in g.neighbors(v) {
+            if mask.is_some_and(|m| !m.edge_alive(e)) {
+                continue;
+            }
             if depth[u] == INF {
                 depth[u] = depth[v] + 1;
                 q.push_back(u);
@@ -213,7 +273,7 @@ fn bfs_depth(g: &Graph, root: NodeId) -> Vec<u32> {
 /// Backward BFS from `t` over the `(node, phase)` state graph. Forward
 /// transitions: `(v, Up) -up-> (u, Up)`, `(v, Up) -down-> (u, Down)`,
 /// `(v, Down) -down-> (u, Down)`. Arrival at `t` in either phase accepts.
-fn legal_distances(g: &Graph, depth: &[u32], t: NodeId) -> Vec<u32> {
+fn legal_distances(g: &Graph, depth: &[u32], t: NodeId, mask: Option<&EdgeMask>) -> Vec<u32> {
     let n = g.node_count();
     let mut dist = vec![INF; 2 * n];
     let mut q = VecDeque::new();
@@ -224,7 +284,10 @@ fn legal_distances(g: &Graph, depth: &[u32], t: NodeId) -> Vec<u32> {
     while let Some(state) = q.pop_front() {
         let (u, phase_u) = (state / 2, state % 2);
         let du = dist[state];
-        for v in g.neighbor_ids(u) {
+        for (v, e) in g.neighbors(u) {
+            if mask.is_some_and(|m| !m.edge_alive(e)) {
+                continue;
+            }
             let up = is_up(depth, v, u);
             if up {
                 // v must be in Up phase and u is entered in Up phase.
@@ -369,6 +432,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn masked_full_mask_matches_strict() {
+        let g = Dsn::new(64, 5).unwrap().into_graph();
+        let strict = UpDown::new(&g, 0);
+        let masked = UpDown::new_masked(&g, 0, &dsn_core::EdgeMask::fully_alive(&g));
+        for s in 0..64 {
+            for t in 0..64 {
+                assert_eq!(strict.distance(s, t), masked.distance(s, t), "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_avoids_dead_edges_and_stays_legal() {
+        let g = Dsn::new(64, 5).unwrap().into_graph();
+        let mut mask = dsn_core::EdgeMask::fully_alive(&g);
+        mask.set_edge_admin(&g, 0, false);
+        mask.set_edge_admin(&g, 17, false);
+        let ud = UpDown::new_masked(&g, 0, &mask);
+        for (s, t) in [(0usize, 32usize), (5, 60), (63, 1)] {
+            let mut v = s;
+            let mut phase = UdPhase::Up;
+            let mut hops = 0;
+            while v != t {
+                let next = ud.next_hops(&g, v, phase, t);
+                assert!(
+                    !next.is_empty(),
+                    "{v}->{t} unroutable on connected survivor"
+                );
+                let (e, p) = next[0];
+                assert!(mask.edge_alive(e), "routed over dead edge {e}");
+                v = g.edge(e).other(v);
+                phase = p;
+                hops += 1;
+                assert!(hops < 200);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_disconnected_survivor_reports_unroutable() {
+        // Cut ring edges (0,1) and (3,4) on a plain 6-ring: {1,2,3} vs
+        // {4,5,0}. Cross-component states must be INF with no next hops
+        // (and no panic).
+        let g = Ring::new(6).unwrap().into_graph();
+        let mut mask = dsn_core::EdgeMask::fully_alive(&g);
+        mask.set_edge_admin(&g, 0, false);
+        mask.set_edge_admin(&g, 3, false);
+        let ud = UpDown::new_masked(&g, 0, &mask);
+        assert_eq!(ud.distance(1, 4), INF);
+        assert!(ud.next_hops(&g, 1, UdPhase::Up, 4).is_empty());
+        // same-side pairs still route
+        assert_ne!(ud.distance(1, 3), INF);
+        assert_ne!(ud.distance(4, 0), INF);
+        assert!(!ud.next_hops(&g, 4, UdPhase::Up, 0).is_empty());
     }
 
     #[test]

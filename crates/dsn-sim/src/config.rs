@@ -60,6 +60,8 @@ pub enum Switching {
     Wormhole,
 }
 
+use crate::fault::FaultPlan;
+
 /// Simulation parameters. All latencies are in cycles; [`SimConfig::cycle_ns`]
 /// converts to wall-clock nanoseconds.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +98,9 @@ pub struct SimConfig {
     pub measure_cycles: u64,
     /// Extra drain time after the measurement window before the run stops.
     pub drain_cycles: u64,
+    /// Scripted runtime fault schedule (links/switches going down and up
+    /// mid-run). Empty = no faults, zero overhead.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -115,6 +120,7 @@ impl Default for SimConfig {
             warmup_cycles: 20_000,
             measure_cycles: 60_000,
             drain_cycles: 60_000,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -138,6 +144,7 @@ impl SimConfig {
             warmup_cycles: 200,
             measure_cycles: 2_000,
             drain_cycles: 4_000,
+            fault_plan: FaultPlan::none(),
         }
     }
 

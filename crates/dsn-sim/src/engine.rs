@@ -50,11 +50,14 @@ pub(crate) struct Packet {
     /// Stable creation-order id (what the tracer reports); slab indices
     /// are recycled and so unfit for identity.
     pub uid: u32,
+    pub src_host: u32,
     pub dest_host: u32,
     pub dest_sw: u32,
     pub created: u64,
     pub route: RouteState,
     pub measured: bool,
+    /// How many times this packet has been re-sent after fault drops.
+    pub attempt: u32,
 }
 
 /// Packet storage with free-list recycling: delivered packets are retired
@@ -110,6 +113,14 @@ impl PacketSlab {
     pub fn live(&self) -> u64 {
         self.live
     }
+
+    /// Visit every live packet in slab-index order (identical between the
+    /// engines, since both create and retire in the same order).
+    pub fn for_each_live_mut(&mut self, mut f: impl FnMut(&mut Packet)) {
+        for p in self.slots.iter_mut().flatten() {
+            f(p);
+        }
+    }
 }
 
 /// Where an allocated packet is headed.
@@ -128,6 +139,10 @@ pub(crate) struct InputVc {
     /// (header processing complete); `u64::MAX` = no head armed.
     pub route_ready_at: u64,
     pub alloc: Option<OutRef>,
+    /// Slab index of the allocated packet — only meaningful while `alloc`
+    /// is `Some`. Identifies the owner even when the buffer is transiently
+    /// empty mid-stream (needed by the fault purge).
+    pub alloc_pkt: u32,
 }
 
 #[derive(Debug)]
@@ -159,13 +174,9 @@ pub(crate) enum AllocOutcome {
     Eject,
     /// Granted a VC on this directed channel.
     Net(usize),
-}
-
-/// What [`Simulator::grant_channel`] did this cycle.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct SendResult {
-    /// The tail flit left: ownership was released on both sides.
-    pub tail: bool,
+    /// Faulted run only: no structurally usable candidate exists on the
+    /// survivor graph (dead/unreachable) — the engine drops the packet.
+    Unroutable,
 }
 
 /// The simulator: a topology + routing + traffic + configuration, run for a
@@ -221,6 +232,8 @@ pub struct Simulator {
     pub(crate) cand_scratch: Vec<(usize, u8)>,
     /// Event-engine bookkeeping (None while running dense).
     pub(crate) ev: Option<Box<crate::event::EventState>>,
+    /// Fault-injection state (None when `cfg.fault_plan` is empty).
+    pub(crate) fault: Option<Box<crate::fault::FaultRuntime>>,
 }
 
 impl Simulator {
@@ -308,6 +321,14 @@ impl Simulator {
             .collect();
 
         let stats = StatsCollector::new(&cfg);
+        let fault = if cfg.fault_plan.is_empty() {
+            None
+        } else {
+            Some(Box::new(crate::fault::FaultRuntime::new(
+                &graph,
+                &cfg.fault_plan,
+            )))
+        };
         Simulator {
             links: vec![VecDeque::new(); channels],
             channel_flits: vec![0; channels],
@@ -334,6 +355,7 @@ impl Simulator {
             peak_buffered_flits: 0,
             cand_scratch: Vec::new(),
             ev: None,
+            fault,
             cfg,
             stats,
             tracer: None,
@@ -400,8 +422,10 @@ impl Simulator {
     }
 
     fn batch_done(&self) -> bool {
-        self.closed_total
-            .is_some_and(|t| self.delivered_all_time == t)
+        let retries_empty = self.fault.as_ref().is_none_or(|f| f.retries.is_empty());
+        self.closed_total.is_some_and(|t| {
+            self.packets.total_created >= t && self.packets.live() == 0 && retries_empty
+        })
     }
 
     fn finish_stats(self) -> RunStats {
@@ -421,7 +445,21 @@ impl Simulator {
         let mut stats = self.stats.finish(&self.cfg, hosts, packets as usize);
         stats.mean_channel_utilization = mean_util;
         stats.max_channel_utilization = max_util;
-        stats.completion_cycle = if self.delivered_all_time == packets && packets > 0 {
+        let (dropped_all, retries_pending) = match &self.fault {
+            Some(f) => {
+                stats.dropped_packets = f.dropped_measured;
+                stats.dropped_packets_all_time = f.dropped_all;
+                stats.salvaged_packets = f.salvaged;
+                stats.retried_packets = f.retried;
+                stats.abandoned_packets = f.abandoned;
+                (f.dropped_all, f.retries.len() as u64)
+            }
+            None => (0, 0),
+        };
+        stats.completion_cycle = if packets > 0
+            && retries_pending == 0
+            && self.delivered_all_time + dropped_all == packets
+        {
             Some(self.last_progress)
         } else {
             None
@@ -434,7 +472,7 @@ impl Simulator {
         let threshold =
             16 * (self.cfg.header_delay + self.cfg.link_delay + self.cfg.packet_flits as u64);
         stats.deadlock_suspected =
-            self.longest_stall > threshold && packets > self.delivered_all_time;
+            self.longest_stall > threshold && packets > self.delivered_all_time + dropped_all;
         stats
     }
 
@@ -445,6 +483,9 @@ impl Simulator {
     /// Advance one cycle (dense reference).
     fn step_dense(&mut self) {
         let now = self.now;
+
+        // 0. Faults due this cycle (mask mutation, purges, reroute).
+        self.process_faults(now);
 
         // 1. Credit returns.
         while let Some(&(t, ch, vc)) = self.credits_in_flight.front() {
@@ -487,6 +528,7 @@ impl Simulator {
                 self.enqueue_packet(now, src, dest);
             }
         }
+        self.inject_retries(now);
         let hosts = self.hosts();
         for h in 0..hosts {
             if self.injector.next_cycle(h) == now {
@@ -509,7 +551,9 @@ impl Simulator {
                 if now < ivc.route_ready_at {
                     continue;
                 }
-                self.try_allocate_vc(i, v, now);
+                if let AllocOutcome::Unroutable = self.try_allocate_vc(i, v, now) {
+                    self.unroutable_drop(i, v, now);
+                }
             }
         }
     }
@@ -563,6 +607,18 @@ impl Simulator {
     /// Create a packet and push its flits into the source host's injection
     /// queue.
     pub(crate) fn enqueue_packet(&mut self, now: u64, src_host: usize, dest_host: usize) {
+        self.enqueue_packet_attempt(now, src_host, dest_host, 0);
+    }
+
+    /// Like [`Self::enqueue_packet`] but recording the retry attempt number
+    /// (used when a fault-dropped packet is re-sent by its source host).
+    pub(crate) fn enqueue_packet_attempt(
+        &mut self,
+        now: u64,
+        src_host: usize,
+        dest_host: usize,
+        attempt: u32,
+    ) {
         debug_assert_ne!(src_host, dest_host);
         let dest_sw = (dest_host / self.cfg.hosts_per_switch) as u32;
         let src_sw = src_host / self.cfg.hosts_per_switch;
@@ -572,11 +628,13 @@ impl Simulator {
         let uid = self.packets.total_created as u32;
         let id = self.packets.alloc(Packet {
             uid,
+            src_host: src_host as u32,
             dest_host: dest_host as u32,
             dest_sw,
             created: now,
             route,
             measured,
+            attempt,
         });
         self.stats.on_offered(now, self.cfg.packet_flits);
         if let Some(tr) = &mut self.tracer {
@@ -624,7 +682,7 @@ impl Simulator {
     /// attempted `max(header_delay, 1)` cycles later (the dense scan needs
     /// at least one cycle between arming and allocating, so delay-0 configs
     /// still wait one cycle).
-    fn arm_header(&mut self, i: usize, v: usize, arm_cycle: u64) {
+    pub(crate) fn arm_header(&mut self, i: usize, v: usize, arm_cycle: u64) {
         let ready = arm_cycle + self.cfg.header_delay.max(1);
         self.inputs[i].vcs[v].route_ready_at = ready;
         if let Some(ev) = &mut self.ev {
@@ -718,10 +776,18 @@ impl Simulator {
         debug_assert!(now >= self.inputs[i].vcs[v].route_ready_at);
         let pkt_idx = head.packet;
         let dest_sw = self.packets.get(pkt_idx).dest_sw as usize;
+        if let Some(f) = &self.fault {
+            // A dead local or destination switch makes the packet unroutable
+            // outright (it can never be delivered while the switch is down).
+            if !f.mask.node_up(node) || !f.mask.node_up(dest_sw) {
+                return AllocOutcome::Unroutable;
+            }
+        }
         if dest_sw == node {
             // Eject: always grantable (sink arbitrated per cycle).
             let port = self.packets.get(pkt_idx).dest_host as usize % self.cfg.hosts_per_switch;
             self.inputs[i].vcs[v].alloc = Some(OutRef::Eject { port });
+            self.inputs[i].vcs[v].alloc_pkt = pkt_idx;
             return AllocOutcome::Eject;
         }
         let mut candidates = std::mem::take(&mut self.cand_scratch);
@@ -732,18 +798,31 @@ impl Simulator {
             &self.packets.get(pkt_idx).route,
             &mut candidates,
         );
-        debug_assert!(!candidates.is_empty(), "no route from {node} to {dest_sw}");
+        debug_assert!(
+            self.fault.is_some() || !candidates.is_empty(),
+            "no route from {node} to {dest_sw}"
+        );
         let need = match self.cfg.switching {
             crate::config::Switching::VirtualCutThrough => self.cfg.packet_flits,
             crate::config::Switching::Wormhole => 1,
         };
         let mut outcome = AllocOutcome::Blocked;
+        let mut usable = 0usize;
         for &(ch, vc) in &candidates {
             debug_assert_eq!(self.graph.channel_endpoints(ch).0, node);
+            if self
+                .fault
+                .as_ref()
+                .is_some_and(|f| !f.mask.channel_alive(ch))
+            {
+                continue;
+            }
+            usable += 1;
             let ovc = &mut self.outputs[ch].vcs[vc as usize];
             if ovc.owner.is_none() && ovc.credits >= need {
                 ovc.owner = Some((i, v as u8));
                 self.inputs[i].vcs[v].alloc = Some(OutRef::Net { channel: ch, vc });
+                self.inputs[i].vcs[v].alloc_pkt = pkt_idx;
                 if let Some(tr) = &mut self.tracer {
                     let uid = self.packets.get(pkt_idx).uid;
                     tr.record(
@@ -763,12 +842,17 @@ impl Simulator {
             }
         }
         self.cand_scratch = candidates;
+        if matches!(outcome, AllocOutcome::Blocked) && usable == 0 && self.fault.is_some() {
+            // Every candidate is structurally dead on the survivor graph
+            // (not merely busy): the packet cannot make progress here.
+            outcome = AllocOutcome::Unroutable;
+        }
         outcome
     }
 
     /// Switch allocation + flit send for one output channel this cycle:
     /// round-robin over the output VCs with owners, send at most one flit.
-    pub(crate) fn grant_channel(&mut self, ch: usize, now: u64) -> Option<SendResult> {
+    pub(crate) fn grant_channel(&mut self, ch: usize, now: u64) {
         let nvc = self.outputs[ch].vcs.len();
         let start = self.outputs[ch].rr;
         let mut granted: Option<(usize, u8, u8)> = None; // (input, ivc, ovc)
@@ -789,7 +873,9 @@ impl Simulator {
             granted = Some((i, v, ovc as u8));
             break;
         }
-        let (i, v, ovc) = granted?;
+        let Some((i, v, ovc)) = granted else {
+            return;
+        };
         self.last_progress = now;
         self.mark_input_used(i);
         self.outputs[ch].rr = (ovc as usize + 1) % nvc;
@@ -814,7 +900,6 @@ impl Simulator {
             }
             self.release_input_vc(i, v as usize, now);
         }
-        Some(SendResult { tail })
     }
 
     /// Eject one flit from `(i, v)` if it holds an ejection grant and the
@@ -1079,6 +1164,7 @@ mod tests {
         let mut slab = PacketSlab::default();
         let mk = |uid| Packet {
             uid,
+            src_host: 0,
             dest_host: 1,
             dest_sw: 0,
             created: 0,
@@ -1088,6 +1174,7 @@ mod tests {
                 idx: 0,
             },
             measured: false,
+            attempt: 0,
         };
         let a = slab.alloc(mk(0));
         let b = slab.alloc(mk(1));

@@ -21,7 +21,7 @@
 //!   keeps at least one set or wheel slot nonempty, and an idle network
 //!   has zero stall by definition.
 
-use crate::engine::{AllocOutcome, Flit, Simulator};
+use crate::engine::{AllocOutcome, Flit, OutRef, Simulator};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -190,6 +190,41 @@ impl EventState {
     pub(crate) fn schedule_injection(&mut self, t: u64, host: usize) {
         self.inj_heap.push(Reverse((t, host as u32)));
     }
+
+    /// Packets with a flit currently in flight on channel `ch` (scans the
+    /// whole wheel; fault-path only, so the cost is fine).
+    pub(crate) fn wire_packets_on(&self, ch: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for slot in &self.wheel.slots {
+            for ev in slot {
+                if let Ev::Link { ch: c, flit, .. } = *ev {
+                    if c as usize == ch {
+                        out.push(flit.packet);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Remove every in-flight link event carrying a flit of `pkt`; returns
+    /// the `(channel, vc)` of each removed flit so the caller can refund
+    /// its credit. Fault-path only.
+    pub(crate) fn purge_link_flits(&mut self, pkt: u32) -> Vec<(usize, u8)> {
+        let mut out = Vec::new();
+        for slot in &mut self.wheel.slots {
+            let before = slot.len();
+            slot.retain(|ev| match *ev {
+                Ev::Link { ch, vc, flit } if flit.packet == pkt => {
+                    out.push((ch as usize, vc));
+                    false
+                }
+                _ => true,
+            });
+            self.wheel.pending -= before - slot.len();
+        }
+        out
+    }
 }
 
 /// Install the event state on a freshly constructed simulator (no flits in
@@ -230,6 +265,11 @@ pub(crate) fn prepare(sim: &mut Simulator) {
 pub(crate) fn step(sim: &mut Simulator, total: u64) {
     let now = sim.now;
 
+    // Phase 0: faults due at or before this cycle (the idle skip may have
+    // jumped over fault cycles — safe, because it only fires on an empty
+    // network and the routing rebuild is a pure function of the final mask).
+    sim.process_faults(now);
+
     // Phases 1+2 (+ route expiries): drain this cycle's wheel slot in
     // three passes so credits land before arrivals, before eligibility —
     // the dense phase order. At most one credit and one arrival exist per
@@ -250,17 +290,27 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
             let es = sim.ev.as_ref().expect("event state");
             let (i, v) = es.iv_decode(iv);
             let ivc = &sim.inputs[i].vcs[v];
-            // A route expiry always finds the armed head still waiting:
-            // allocation cannot have happened before the timer ran out,
-            // and re-arming implies the previous packet already left.
-            debug_assert!(ivc.buf.front().is_some_and(|f| f.seq == 0));
-            debug_assert!(ivc.alloc.is_none());
-            debug_assert_eq!(ivc.route_ready_at, now);
-            sim.ev
-                .as_mut()
-                .expect("event state")
-                .alloc_pending
-                .insert(iv);
+            // Without faults a route expiry always finds the armed head
+            // still waiting: allocation cannot have happened before the
+            // timer ran out, and re-arming implies the previous packet
+            // already left. A fault purge can orphan an expiry; a stale
+            // event can never collide with a fresh arm's ready cycle
+            // (old ready = T + hd with T < now < now + hd = new ready),
+            // so `route_ready_at == now` is a precise validity test.
+            let valid = ivc.route_ready_at == now
+                && ivc.alloc.is_none()
+                && ivc.buf.front().is_some_and(|f| f.seq == 0);
+            debug_assert!(
+                valid || sim.fault.is_some(),
+                "stale route expiry without faults"
+            );
+            if valid {
+                sim.ev
+                    .as_mut()
+                    .expect("event state")
+                    .alloc_pending
+                    .insert(iv);
+            }
         }
     }
     sim.ev.as_mut().expect("event state").wheel.recycle(slot);
@@ -273,6 +323,7 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
             sim.enqueue_packet(now, src, dest);
         }
     }
+    sim.inject_retries(now);
     loop {
         let host = {
             let es = sim.ev.as_mut().expect("event state");
@@ -298,6 +349,21 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
     };
     for &iv in &scratch {
         let (i, v) = sim.ev.as_ref().expect("event state").iv_decode(iv);
+        // Re-check eligibility fresh: an earlier iteration's unroutable
+        // drop may have purged this entry's head or re-armed it.
+        let ivc = &sim.inputs[i].vcs[v];
+        let eligible = ivc.alloc.is_none()
+            && ivc.route_ready_at <= now
+            && ivc.buf.front().is_some_and(|f| f.seq == 0);
+        if !eligible {
+            debug_assert!(sim.fault.is_some(), "stale alloc entry without faults");
+            sim.ev
+                .as_mut()
+                .expect("event state")
+                .alloc_pending
+                .remove(iv);
+            continue;
+        }
         match sim.try_allocate_vc(i, v, now) {
             AllocOutcome::Blocked => {}
             AllocOutcome::Eject => {
@@ -309,6 +375,14 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
                 let es = sim.ev.as_mut().expect("event state");
                 es.alloc_pending.remove(iv);
                 es.out_active.insert(ch as u32);
+            }
+            AllocOutcome::Unroutable => {
+                sim.unroutable_drop(i, v, now);
+                sim.ev
+                    .as_mut()
+                    .expect("event state")
+                    .alloc_pending
+                    .remove(iv);
             }
         }
     }
@@ -322,12 +396,13 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
         scratch = s;
     }
     for &ch in &scratch {
-        let sent = sim.grant_channel(ch as usize, now);
-        if sent.is_some_and(|s| s.tail)
-            && sim.outputs[ch as usize]
-                .vcs
-                .iter()
-                .all(|o| o.owner.is_none())
+        sim.grant_channel(ch as usize, now);
+        // Deactivate whenever no owner remains — not only after a tail
+        // send, since a fault drop can strip ownership mid-stream.
+        if sim.outputs[ch as usize]
+            .vcs
+            .iter()
+            .all(|o| o.owner.is_none())
         {
             sim.ev.as_mut().expect("event state").out_active.remove(ch);
         }
@@ -343,6 +418,15 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
     }
     for &iv in &scratch {
         let (i, v) = sim.ev.as_ref().expect("event state").iv_decode(iv);
+        // A fault drop may have stripped the grant since the snapshot.
+        if !matches!(sim.inputs[i].vcs[v].alloc, Some(OutRef::Eject { .. })) {
+            sim.ev
+                .as_mut()
+                .expect("event state")
+                .eject_active
+                .remove(iv);
+            continue;
+        }
         if sim.try_eject_vc(i, v, now) {
             sim.ev
                 .as_mut()
@@ -370,10 +454,12 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
     {
         debug_assert_eq!(sim.packets.live(), 0);
         debug_assert_eq!(sim.current_stall, 0);
-        let next = es
-            .inj_heap
-            .peek()
-            .map_or(total, |&Reverse((t, _))| t.min(total));
-        sim.now = sim.now.max(next);
+        let next_inj = es.inj_heap.peek().map_or(u64::MAX, |&Reverse((t, _))| t);
+        let next_retry = sim
+            .fault
+            .as_ref()
+            .and_then(|f| f.next_retry_cycle())
+            .unwrap_or(u64::MAX);
+        sim.now = sim.now.max(next_inj.min(next_retry).min(total));
     }
 }

@@ -36,6 +36,7 @@
 pub mod config;
 pub mod engine;
 mod event;
+pub mod fault;
 mod inject;
 pub mod routing;
 pub mod stats;
@@ -46,6 +47,7 @@ pub mod workload;
 
 pub use config::{EngineKind, SimConfig, Switching};
 pub use engine::Simulator;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, SalvagePolicy};
 pub use routing::{AdaptiveEscape, MinimalAdaptiveDsn, SimRouting, SourceRouted, UpDownRouting};
 pub use stats::RunStats;
 pub use sweep::{

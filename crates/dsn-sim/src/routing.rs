@@ -9,7 +9,8 @@
 //! routing for tori), so the simulator can compare custom vs agnostic
 //! routing the way Section VII.B discusses.
 
-use dsn_core::graph::Graph;
+use dsn_core::fault::EdgeMask;
+use dsn_core::graph::{Graph, LinkKind};
 use dsn_core::NodeId;
 use dsn_route::updown::{UdPhase, UpDown};
 use std::sync::Arc;
@@ -56,6 +57,22 @@ pub trait SimRouting: Send + Sync {
     /// Commit a hop: update the packet state after the engine granted
     /// `(channel, vc)`.
     fn on_hop(&self, cur: NodeId, dest: NodeId, state: &mut RouteState, channel: usize, vc: u8);
+
+    /// Rebuild this routing for the survivor graph described by `mask`
+    /// (online reroute after a fault). Returns `None` when the scheme does
+    /// not support reroute — the simulator panics on a fault then.
+    fn rebuild(&self, graph: &Arc<Graph>, mask: &EdgeMask) -> Option<Arc<dyn SimRouting>> {
+        let _ = (graph, mask);
+        None
+    }
+
+    /// Reset one packet's in-flight state after a reroute, so stale
+    /// assumptions (escape phase, cached paths into the old topology) do
+    /// not leak into the new epoch. The default restarts the up*/down*
+    /// phase; cached source routes are translated by the scheme itself.
+    fn reset_state(&self, state: &mut RouteState) {
+        state.ud_phase = UdPhase::Up;
+    }
 }
 
 /// Precomputed all-pairs hop distances (BFS), used for minimal-adaptive
@@ -69,6 +86,16 @@ pub struct DistanceTable {
 impl DistanceTable {
     /// Build by one BFS per source.
     pub fn new(g: &Graph) -> Self {
+        Self::build(g, None)
+    }
+
+    /// Build over the survivor graph only (dead edges skipped); pairs
+    /// disconnected by the faults keep distance `u16::MAX`.
+    pub fn new_masked(g: &Graph, mask: &EdgeMask) -> Self {
+        Self::build(g, Some(mask))
+    }
+
+    fn build(g: &Graph, mask: Option<&EdgeMask>) -> Self {
         let n = g.node_count();
         let mut dist = vec![u16::MAX; n * n];
         let mut queue = std::collections::VecDeque::new();
@@ -79,7 +106,10 @@ impl DistanceTable {
             queue.push_back(s);
             while let Some(v) = queue.pop_front() {
                 let dv = row[v];
-                for u in g.neighbor_ids(v) {
+                for (u, e) in g.neighbors(v) {
+                    if mask.is_some_and(|m| !m.edge_alive(e)) {
+                        continue;
+                    }
                     if row[u] == u16::MAX {
                         row[u] = dv + 1;
                         queue.push_back(u);
@@ -104,6 +134,8 @@ pub struct AdaptiveEscape {
     dist: DistanceTable,
     updown: UpDown,
     vcs: u8,
+    /// Survivor mask when this instance is a post-fault rebuild.
+    mask: Option<EdgeMask>,
 }
 
 impl AdaptiveEscape {
@@ -121,6 +153,7 @@ impl AdaptiveEscape {
             dist,
             updown,
             vcs,
+            mask: None,
         }
     }
 }
@@ -138,6 +171,9 @@ impl SimRouting for AdaptiveEscape {
         // Adaptive minimal candidates on VCs 1..V, closest-first.
         let dcur = self.dist.get(cur, dest);
         for (u, e) in self.graph.neighbors(cur) {
+            if self.mask.as_ref().is_some_and(|m| !m.edge_alive(e)) {
+                continue;
+            }
             if self.dist.get(u, dest) < dcur {
                 let ch = self.graph.channel_id(e, cur);
                 for vc in 1..self.vcs {
@@ -164,6 +200,16 @@ impl SimRouting for AdaptiveEscape {
             // Adaptive hop: next escape entry starts a fresh up*/down* walk.
             state.ud_phase = UdPhase::Up;
         }
+    }
+
+    fn rebuild(&self, graph: &Arc<Graph>, mask: &EdgeMask) -> Option<Arc<dyn SimRouting>> {
+        Some(Arc::new(AdaptiveEscape {
+            graph: graph.clone(),
+            dist: DistanceTable::new_masked(graph, mask),
+            updown: UpDown::new_masked(graph, self.updown.root(), mask),
+            vcs: self.vcs,
+            mask: Some(mask.clone()),
+        }))
     }
 }
 
@@ -209,6 +255,14 @@ impl SimRouting for UpDownRouting {
         let edge = channel / 2;
         let up = self.updown.is_up_move(&self.graph, edge, cur);
         state.ud_phase = if up { UdPhase::Up } else { UdPhase::Down };
+    }
+
+    fn rebuild(&self, graph: &Arc<Graph>, mask: &EdgeMask) -> Option<Arc<dyn SimRouting>> {
+        Some(Arc::new(UpDownRouting {
+            graph: graph.clone(),
+            updown: UpDown::new_masked(graph, self.updown.root(), mask),
+            vcs: self.vcs,
+        }))
     }
 }
 
@@ -332,7 +386,8 @@ impl SimRouting for MinimalAdaptiveDsn {
 /// depend on which lane inside the class a packet holds, and inter-class
 /// dependencies stay monotone.
 /// A source-routing path provider: `(src, dest) -> [(channel, vc_class)]`.
-pub type PathProvider = Box<dyn Fn(NodeId, NodeId) -> Vec<(usize, u8)> + Send + Sync>;
+/// Shared (`Arc`) so a post-fault rebuild can reuse the same provider.
+pub type PathProvider = Arc<dyn Fn(NodeId, NodeId) -> Vec<(usize, u8)> + Send + Sync>;
 
 /// Deterministic source routing driven by a [`PathProvider`]; see the
 /// module docs for the lane/VC-class discipline.
@@ -351,7 +406,7 @@ impl SourceRouted {
     ) -> Self {
         SourceRouted {
             name: name.into(),
-            provider: Box::new(provider),
+            provider: Arc::new(provider),
             lanes: 1,
         }
     }
@@ -438,6 +493,114 @@ impl SimRouting for SourceRouted {
         _vc: u8,
     ) {
         state.idx += 1;
+    }
+
+    fn rebuild(&self, graph: &Arc<Graph>, mask: &EdgeMask) -> Option<Arc<dyn SimRouting>> {
+        Some(Arc::new(DetourSourceRouted {
+            name: format!("{}+detour", self.name),
+            provider: self.provider.clone(),
+            lanes: self.lanes,
+            graph: graph.clone(),
+            dist: DistanceTable::new_masked(graph, mask),
+            mask: mask.clone(),
+        }))
+    }
+}
+
+/// Post-fault form of [`SourceRouted`]: packets follow their planned path
+/// while its next channel is alive; when the plan hits a dead channel the
+/// packet switches permanently to a greedy masked-distance descent that
+/// prefers ring links (the "ring detour" — DSN's ring is the always-present
+/// fallback substrate). New packets still get full planned paths and only
+/// detour where the plan is broken.
+///
+/// The detour abandons the source-route VC discipline, so deadlock freedom
+/// is no longer statically guaranteed across epochs; the simulator's stall
+/// watchdog covers this (and the differential tests keep both engines in
+/// bit-identical agreement either way).
+struct DetourSourceRouted {
+    name: String,
+    provider: PathProvider,
+    lanes: u8,
+    graph: Arc<Graph>,
+    dist: DistanceTable,
+    mask: EdgeMask,
+}
+
+impl SimRouting for DetourSourceRouted {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn init(&self, src: NodeId, dest: NodeId) -> RouteState {
+        let path: Arc<[(usize, u8)]> = (self.provider)(src, dest).into();
+        RouteState {
+            ud_phase: UdPhase::Up,
+            path: Some(path),
+            idx: 0,
+        }
+    }
+
+    fn candidates(&self, cur: NodeId, dest: NodeId, state: &RouteState, out: &mut Vec<Candidate>) {
+        // On plan and the next planned channel is alive: stay on plan.
+        if let Some(&(ch, class)) = state.path.as_ref().and_then(|p| p.get(state.idx)) {
+            if self.graph.channel_endpoints(ch).0 == cur && self.mask.channel_alive(ch) {
+                for lane in 0..self.lanes {
+                    out.push((ch, class * self.lanes + lane));
+                }
+                return;
+            }
+        }
+        // Detour: greedy descent on survivor-graph distance, ring links
+        // first. Empty output (unreachable destination) makes the engine
+        // drop the packet as unroutable.
+        let dcur = self.dist.get(cur, dest);
+        if dcur == u16::MAX {
+            return;
+        }
+        for ring_pass in [true, false] {
+            for (u, e) in self.graph.neighbors(cur) {
+                if !self.mask.edge_alive(e) {
+                    continue;
+                }
+                if (self.graph.edge(e).kind == LinkKind::Ring) != ring_pass {
+                    continue;
+                }
+                if self.dist.get(u, dest) < dcur {
+                    let ch = self.graph.channel_id(e, cur);
+                    for lane in 0..self.lanes {
+                        out.push((ch, lane));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_hop(&self, _cur: NodeId, _dest: NodeId, state: &mut RouteState, channel: usize, _vc: u8) {
+        let on_plan = state
+            .path
+            .as_ref()
+            .and_then(|p| p.get(state.idx))
+            .is_some_and(|&(ch, _)| ch == channel);
+        if on_plan {
+            state.idx += 1;
+        } else {
+            // Left the plan: the remaining planned hops start at the wrong
+            // switch, so the packet detours greedily for the rest of its
+            // life.
+            state.path = None;
+        }
+    }
+
+    fn rebuild(&self, graph: &Arc<Graph>, mask: &EdgeMask) -> Option<Arc<dyn SimRouting>> {
+        Some(Arc::new(DetourSourceRouted {
+            name: self.name.clone(),
+            provider: self.provider.clone(),
+            lanes: self.lanes,
+            graph: graph.clone(),
+            dist: DistanceTable::new_masked(graph, mask),
+            mask: mask.clone(),
+        }))
     }
 }
 

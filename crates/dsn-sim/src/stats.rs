@@ -19,6 +19,12 @@ pub struct StatsCollector {
     /// Latency histogram in 16-cycle bins (for percentile estimation).
     latency_hist: Vec<u64>,
     delivered_total: u64,
+    /// First cycle of the fault plan (None = fault-free run); measured
+    /// packets created at or after it feed the post-fault aggregates.
+    post_fault_from: Option<u64>,
+    pf_delivered: u64,
+    pf_latency_sum: u64,
+    pf_hist: Vec<u64>,
 }
 
 const BIN: u64 = 16;
@@ -38,6 +44,10 @@ impl StatsCollector {
             latency_min_cycles: u64::MAX,
             latency_hist: Vec::new(),
             delivered_total: 0,
+            post_fault_from: cfg.fault_plan.first_fault_cycle(),
+            pf_delivered: 0,
+            pf_latency_sum: 0,
+            pf_hist: Vec::new(),
         }
     }
 
@@ -66,6 +76,14 @@ impl StatsCollector {
                 self.latency_hist.resize(bin + 1, 0);
             }
             self.latency_hist[bin] += 1;
+            if self.post_fault_from.is_some_and(|f| created >= f) {
+                self.pf_delivered += 1;
+                self.pf_latency_sum += lat;
+                if self.pf_hist.len() <= bin {
+                    self.pf_hist.resize(bin + 1, 0);
+                }
+                self.pf_hist[bin] += 1;
+            }
         }
     }
 
@@ -81,6 +99,12 @@ impl StatsCollector {
         let offered_fpc =
             self.offered_packets_window as f64 * cfg.packet_flits as f64 / window / hosts as f64;
         let p99 = percentile(&self.latency_hist, self.measured_delivered, 0.99);
+        let pf_avg = if self.pf_delivered > 0 {
+            self.pf_latency_sum as f64 / self.pf_delivered as f64
+        } else {
+            0.0
+        };
+        let pf_p99 = percentile(&self.pf_hist, self.pf_delivered, 0.99);
         RunStats {
             delivered_packets: self.measured_delivered,
             created_packets: self.measured_created,
@@ -109,6 +133,14 @@ impl StatsCollector {
             longest_stall_cycles: 0,
             deadlock_suspected: false,
             completion_cycle: None,
+            dropped_packets: 0,
+            dropped_packets_all_time: 0,
+            salvaged_packets: 0,
+            retried_packets: 0,
+            abandoned_packets: 0,
+            post_fault_delivered: self.pf_delivered,
+            post_fault_avg_latency_cycles: pf_avg,
+            post_fault_p99_latency_cycles: pf_p99,
         }
     }
 }
@@ -177,8 +209,30 @@ pub struct RunStats {
     pub deadlock_suspected: bool,
     /// For closed (batch) workloads: the cycle of the last delivery, i.e.
     /// the makespan of the batch. `None` when the batch did not finish (or
-    /// the workload was open-loop).
+    /// the workload was open-loop). Under faults, fault-dropped packets
+    /// count as resolved (the batch completes when everything is delivered
+    /// or definitively dropped and no retry is pending).
     pub completion_cycle: Option<u64>,
+    /// Packets dropped by faults whose *creation* fell inside the
+    /// measurement window. Filled by the engine.
+    pub dropped_packets: u64,
+    /// All packets dropped by faults over the whole run.
+    pub dropped_packets_all_time: u64,
+    /// Head packets rescued from a dying channel by re-arming at their
+    /// current switch instead of being dropped ([`crate::SalvagePolicy`]).
+    pub salvaged_packets: u64,
+    /// Retransmissions injected by source hosts after fault drops.
+    pub retried_packets: u64,
+    /// Dropped packets whose retry budget was exhausted (lost for good).
+    pub abandoned_packets: u64,
+    /// Measured packets created at or after the first fault cycle and
+    /// delivered — the post-fault population.
+    pub post_fault_delivered: u64,
+    /// Mean latency (cycles) of the post-fault population (0.0 when none).
+    pub post_fault_avg_latency_cycles: f64,
+    /// Approximate 99th-percentile latency (cycles) of the post-fault
+    /// population.
+    pub post_fault_p99_latency_cycles: u64,
 }
 
 impl RunStats {

@@ -37,6 +37,9 @@ pub enum TraceEvent {
         /// Destination switch.
         at: NodeId,
     },
+    /// Packet dropped by a fault (link/switch death or unroutable on the
+    /// survivor graph).
+    Dropped,
 }
 
 /// A `(cycle, packet, event)` record.

@@ -1,0 +1,321 @@
+//! Bit-equivalence gate for the fault-injection subsystem: under every
+//! fault schedule shape (single link, correlated burst, flapping link,
+//! switch death), every salvage policy and every retry policy, the
+//! event-driven engine must reproduce the dense reference's `RunStats`
+//! *exactly* — drop/salvage/retry counters and post-fault latency floats
+//! included. The comparison is `assert_eq!` on the whole struct, so any
+//! new `RunStats` field is automatically covered.
+
+use dsn_core::dln::Dln;
+use dsn_core::dsn::Dsn;
+use dsn_core::graph::Graph;
+use dsn_core::torus::Torus;
+use dsn_sim::{
+    AdaptiveEscape, EngineKind, FaultKind, FaultPlan, RetryPolicy, RunStats, SalvagePolicy,
+    SimConfig, SimRouting, Simulator, SourceRouted, TrafficPattern, UpDownRouting, Workload,
+};
+use std::sync::Arc;
+
+/// Short-horizon config so the dense reference stays fast in debug builds.
+fn cfg() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 300,
+        measure_cycles: 2_500,
+        drain_cycles: 2_500,
+        ..SimConfig::test_small()
+    }
+}
+
+/// Run the identical faulted scenario under both engines and demand
+/// bit-identical stats; returns them for scenario-specific assertions.
+fn assert_engines_agree(
+    g: Arc<Graph>,
+    cfg: SimConfig,
+    routing: Arc<dyn SimRouting>,
+    workload: Workload,
+    seed: u64,
+    label: &str,
+) -> RunStats {
+    let dense = Simulator::with_workload(
+        g.clone(),
+        SimConfig {
+            engine: EngineKind::Dense,
+            ..cfg.clone()
+        },
+        routing.clone(),
+        workload.clone(),
+        seed,
+    )
+    .run();
+    let event = Simulator::with_workload(
+        g,
+        SimConfig {
+            engine: EngineKind::Event,
+            ..cfg
+        },
+        routing,
+        workload,
+        seed,
+    )
+    .run();
+    assert_eq!(dense, event, "{label}: engines diverged under faults");
+    assert!(
+        dense.total_packets_all_time > 0,
+        "{label}: vacuous scenario"
+    );
+    dense
+}
+
+fn open(rate: f64) -> Workload {
+    Workload::Open {
+        pattern: TrafficPattern::Uniform,
+        packets_per_cycle_per_host: rate,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scripted single-link schedules across the topology × routing matrix.
+// ---------------------------------------------------------------------
+
+#[test]
+fn single_link_dsn_adaptive_both_policies() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let cfg0 = cfg();
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg0.vcs));
+    for policy in [SalvagePolicy::Drop, SalvagePolicy::Salvage] {
+        let cfg = SimConfig {
+            fault_plan: FaultPlan::single_link(5, 900).with_salvage(policy),
+            ..cfg0.clone()
+        };
+        let stats = assert_engines_agree(
+            g.clone(),
+            cfg,
+            routing.clone(),
+            open(0.02),
+            42,
+            &format!("dsn64 adaptive single-link salvage={}", policy.name()),
+        );
+        assert!(stats.delivered_packets > 0);
+    }
+}
+
+#[test]
+fn single_link_dsn_updown_with_retries() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let cfg0 = cfg();
+    let routing = Arc::new(UpDownRouting::new(g.clone(), cfg0.vcs));
+    for retry in [RetryPolicy::disabled(), RetryPolicy::new(3, 200, 100)] {
+        let cfg = SimConfig {
+            fault_plan: FaultPlan::single_link(7, 800).with_retry(retry),
+            ..cfg0.clone()
+        };
+        assert_engines_agree(
+            g.clone(),
+            cfg,
+            routing.clone(),
+            open(0.015),
+            7,
+            &format!("dsn64 up*/down* single-link retries={}", retry.max_retries),
+        );
+    }
+}
+
+#[test]
+fn single_link_dsn_custom_routing() {
+    // DSN-V custom routing: the planned source routes detour around the
+    // dead link via the greedy masked-distance ring fallback.
+    let dsn = Arc::new(Dsn::new(64, 5).unwrap());
+    let g = Arc::new(dsn.graph().clone());
+    let routing = Arc::new(SourceRouted::dsn_custom(dsn));
+    let cfg = SimConfig {
+        vcs: 4,
+        fault_plan: FaultPlan::single_link(3, 900).with_retry(RetryPolicy::new(2, 150, 50)),
+        ..cfg()
+    };
+    assert_engines_agree(g, cfg, routing, open(0.01), 11, "dsn64 DSN-V single-link");
+}
+
+#[test]
+fn single_link_torus_dor_detour() {
+    let torus = Arc::new(Torus::new(&[4, 4]).unwrap());
+    let g = Arc::new(torus.graph().clone());
+    let routing = Arc::new(SourceRouted::torus_dor(torus));
+    let cfg = SimConfig {
+        fault_plan: FaultPlan::single_link(2, 700).with_salvage(SalvagePolicy::Salvage),
+        ..cfg()
+    };
+    assert_engines_agree(g, cfg, routing, open(0.012), 13, "torus4x4 DOR single-link");
+}
+
+#[test]
+fn single_link_dln_adaptive() {
+    let g = Arc::new(Dln::new(64, 2).unwrap().into_graph());
+    let cfg0 = cfg();
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg0.vcs));
+    let cfg = SimConfig {
+        fault_plan: FaultPlan::single_link(9, 1_000),
+        ..cfg0
+    };
+    assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        open(0.015),
+        17,
+        "dln64 adaptive single-link",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Correlated bursts and flapping links.
+// ---------------------------------------------------------------------
+
+#[test]
+fn burst_dsn_adaptive_both_policies() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let cfg0 = cfg();
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg0.vcs));
+    for policy in [SalvagePolicy::Drop, SalvagePolicy::Salvage] {
+        let cfg = SimConfig {
+            fault_plan: FaultPlan::burst(&[4, 11, 30, 57], 850)
+                .with_salvage(policy)
+                .with_retry(RetryPolicy::new(2, 120, 60)),
+            ..cfg0.clone()
+        };
+        let stats = assert_engines_agree(
+            g.clone(),
+            cfg,
+            routing.clone(),
+            open(0.025),
+            23,
+            &format!("dsn64 adaptive burst salvage={}", policy.name()),
+        );
+        assert!(stats.delivered_packets > 0);
+    }
+}
+
+#[test]
+fn flap_dsn_updown() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let cfg0 = cfg();
+    let routing = Arc::new(UpDownRouting::new(g.clone(), cfg0.vcs));
+    let cfg = SimConfig {
+        fault_plan: FaultPlan::flap(6, 600, 400, 3).with_retry(RetryPolicy::new(4, 100, 50)),
+        ..cfg0
+    };
+    assert_engines_agree(g, cfg, routing, open(0.015), 29, "dsn64 up*/down* flap");
+}
+
+#[test]
+fn flap_torus_dor() {
+    let torus = Arc::new(Torus::new(&[4, 4]).unwrap());
+    let g = Arc::new(torus.graph().clone());
+    let routing = Arc::new(SourceRouted::torus_dor(torus));
+    let cfg = SimConfig {
+        fault_plan: FaultPlan::flap(1, 500, 300, 4).with_salvage(SalvagePolicy::Salvage),
+        ..cfg()
+    };
+    assert_engines_agree(g, cfg, routing, open(0.012), 31, "torus4x4 DOR flap");
+}
+
+// ---------------------------------------------------------------------
+// Switch death, seeded-random schedules, and closed workloads.
+// ---------------------------------------------------------------------
+
+#[test]
+fn switch_down_and_recovery_dsn_adaptive() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let cfg0 = cfg();
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg0.vcs));
+    let cfg = SimConfig {
+        fault_plan: FaultPlan::none()
+            .with_event(700, FaultKind::SwitchDown(10))
+            .with_event(1_900, FaultKind::SwitchUp(10))
+            .with_retry(RetryPolicy::new(3, 150, 80)),
+        ..cfg0
+    };
+    let stats = assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        open(0.02),
+        37,
+        "dsn64 adaptive switch bounce",
+    );
+    assert!(
+        stats.dropped_packets_all_time > 0,
+        "a dying switch at load must drop residents"
+    );
+}
+
+#[test]
+fn seeded_random_connected_schedule() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let cfg0 = cfg();
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg0.vcs));
+    let plan = FaultPlan::random_connected(&g, 0xFA11, 5, 600, 350)
+        .with_retry(RetryPolicy::new(3, 150, 80));
+    assert_eq!(plan.events.len(), 5, "dsn64 has links to spare");
+    let cfg = SimConfig {
+        fault_plan: plan,
+        ..cfg0
+    };
+    assert_engines_agree(g, cfg, routing, open(0.02), 41, "dsn64 random-connected x5");
+}
+
+#[test]
+fn closed_batch_under_single_link() {
+    // A closed all-to-all exchange with a mid-batch link death: the batch
+    // completes once everything is delivered or definitively dropped, and
+    // both engines agree on the makespan.
+    let g = Arc::new(Dsn::new(16, 3).unwrap().into_graph());
+    let mut cfg0 = cfg();
+    cfg0.drain_cycles = 60_000;
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg0.vcs));
+    let hosts = 16 * cfg0.hosts_per_switch;
+    for retry in [RetryPolicy::disabled(), RetryPolicy::new(3, 200, 100)] {
+        let cfg = SimConfig {
+            fault_plan: FaultPlan::single_link(2, 150).with_retry(retry),
+            ..cfg0.clone()
+        };
+        let stats = assert_engines_agree(
+            g.clone(),
+            cfg,
+            routing.clone(),
+            Workload::all_to_all(hosts),
+            3,
+            &format!("dsn16 all-to-all faulted retries={}", retry.max_retries),
+        );
+        assert!(stats.completion_cycle.is_some(), "batch must resolve");
+    }
+}
+
+/// CI smoke: a 30k-cycle faulted dense-vs-event check on a paper-sized DSN
+/// with a seeded connectivity-preserving schedule, salvage and retries all
+/// on — one named test so the workflow can run exactly this gate.
+#[test]
+fn smoke_30k_faulted_dense_vs_event() {
+    let g = Arc::new(Dsn::new(64, 5).unwrap().into_graph());
+    let mut cfg = SimConfig {
+        warmup_cycles: 5_000,
+        measure_cycles: 15_000,
+        drain_cycles: 10_000,
+        ..SimConfig::default()
+    };
+    cfg.fault_plan = FaultPlan::random_connected(&g, 2024, 4, 8_000, 3_000)
+        .with_salvage(SalvagePolicy::Salvage)
+        .with_retry(RetryPolicy::new(3, 500, 250));
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    let rate = cfg.packets_per_cycle_for_gbps(1.0);
+    let stats = assert_engines_agree(
+        g,
+        cfg,
+        routing,
+        open(rate),
+        2024,
+        "smoke dsn64-x5 30k cycles faulted",
+    );
+    assert!(stats.delivered_packets > 0);
+    assert!(!stats.deadlock_suspected);
+    assert!(stats.post_fault_delivered > 0, "post-fault traffic flowed");
+}

@@ -3,7 +3,9 @@
 //! no panics, sane ratios, conservation between offered and delivered.
 
 use dsn::core::topology::TopologySpec;
-use dsn::sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern, Workload};
+use dsn::sim::{
+    AdaptiveEscape, FaultPlan, RetryPolicy, SimConfig, Simulator, TrafficPattern, Workload,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -77,5 +79,43 @@ proptest! {
         let stats = Simulator::with_workload(g, c, routing, w, seed).run();
         prop_assert_eq!(stats.total_packets_all_time, expected);
         prop_assert!(stats.completion_cycle.is_some(), "batch did not drain");
+    }
+
+    /// Fault tolerance property: for any seeded fault schedule that keeps
+    /// the survivor graph connected, every packet not explicitly dropped by
+    /// a fault is eventually delivered — `completion_cycle` closes the
+    /// delivered + dropped == created accounting with no retry pending —
+    /// and the deadlock watchdog never fires. Closed batch, so the run has
+    /// a well-defined end state.
+    #[test]
+    fn connected_faults_deliver_every_survivor(
+        spec in arb_topology(),
+        shift in 1usize..5,
+        fault_count in 1usize..4,
+        fault_seed in 0u64..1_000,
+        seed in 0u64..100,
+    ) {
+        let built = spec.build().unwrap();
+        let n = built.graph.node_count();
+        let g = Arc::new(built.graph);
+        let mut cfg = cfg();
+        cfg.drain_cycles = 200_000;
+        cfg.fault_plan = FaultPlan::random_connected(&g, fault_seed, fault_count, 50, 100)
+            .with_retry(RetryPolicy::new(2, 50, 25));
+        let hosts = n * cfg.hosts_per_switch;
+        let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+        let w = Workload::ring_shift(hosts, shift % hosts.max(1), 2);
+        let stats = Simulator::with_workload(g, cfg, routing, w, seed).run();
+
+        prop_assert!(!stats.deadlock_suspected, "watchdog fired under faults");
+        prop_assert!(
+            stats.completion_cycle.is_some(),
+            "undelivered non-dropped packets remain (dropped {} retried {} of {})",
+            stats.dropped_packets_all_time,
+            stats.retried_packets,
+            stats.total_packets_all_time
+        );
+        prop_assert!(stats.dropped_packets_all_time <= stats.total_packets_all_time);
+        prop_assert!(stats.delivery_ratio() >= 0.0 && stats.delivery_ratio() <= 1.0);
     }
 }
