@@ -2,7 +2,10 @@
 //! 64-switch run per topology under uniform traffic at 4 Gbit/s/host,
 //! plus dense-vs-event engine rows on the 256-switch trio at the lowest
 //! and a near-saturation fig10 load point (the event core's headline is
-//! low-load speedup: idle units cost it nothing).
+//! low-load speedup: idle units cost it nothing), plus a
+//! `telemetry_overhead` group pinning the zero-cost-when-off claim:
+//! `Telemetry::Off` must sit within noise of the pre-telemetry event
+//! engine, with the telemetry-on row alongside for the enabled cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsn_bench::trio;
@@ -71,6 +74,34 @@ fn bench_sim(c: &mut Criterion) {
             }
         }
     }
+    group.finish();
+
+    // Telemetry overhead on a 256-switch DSN at 0.5 Gbit/s/host, event
+    // engine: the `off` row is the acceptance gate (hooks must compile to
+    // no-ops), the `on` row documents the cost of recording.
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let built = trio(256)[0].build().unwrap();
+    let graph = Arc::new(built.graph);
+    let cfg = SimConfig {
+        engine: EngineKind::Event,
+        warmup_cycles: 1_000,
+        measure_cycles: 4_000,
+        drain_cycles: 2_000,
+        ..SimConfig::default()
+    };
+    group.bench_with_input(
+        BenchmarkId::new("event_n256_0.5gbps", "off"),
+        &graph,
+        |b, graph| b.iter(|| black_box(run_once(graph, &cfg, 0.5))),
+    );
+    let mut cfg_on = cfg.clone();
+    cfg_on.telemetry = Some(cfg_on.standard_telemetry(1_000));
+    group.bench_with_input(
+        BenchmarkId::new("event_n256_0.5gbps", "on_w1000"),
+        &graph,
+        |b, graph| b.iter(|| black_box(run_once(graph, &cfg_on, 0.5))),
+    );
     group.finish();
 }
 

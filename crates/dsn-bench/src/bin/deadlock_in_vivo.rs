@@ -5,9 +5,15 @@
 //! simulator's stall watchdog catch the real deadlock exactly where the
 //! static analysis predicts it.
 //!
-//! Run: `cargo run --release -p dsn-bench --bin deadlock_in_vivo [--engine dense|event]`
+//! Run: `cargo run --release -p dsn-bench --bin deadlock_in_vivo \
+//!       [--engine dense|event] [--telemetry[=WINDOW]]`
+//!
+//! `--telemetry[=WINDOW]` adds a per-run allocation-conflict count and, for
+//! runs the watchdog flags as deadlocked, the full telemetry view (latency
+//! decomposition and heatmap — the wedged VCs show up as stalled hotspot
+//! links) with `telemetry_deadlock_<load>_<routing>.{json,csv}` exports.
 
-use dsn_bench::take_engine_arg;
+use dsn_bench::{emit_telemetry, take_engine_arg, take_telemetry_arg};
 use dsn_core::dsn::Dsn;
 use dsn_sim::{SimConfig, Simulator, SourceRouted, TrafficPattern};
 use std::sync::Arc;
@@ -15,6 +21,7 @@ use std::sync::Arc;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let engine = take_engine_arg(&mut args);
+    let telemetry = take_telemetry_arg(&mut args);
     let dsn = Arc::new(Dsn::new(60, 5).expect("dsn")); // p | n: clean instance
     let graph = Arc::new(dsn.graph().clone());
     let cfg = SimConfig {
@@ -45,15 +52,18 @@ fn main() {
             } else {
                 "DSN-V 4-VC (acyclic)"
             };
-            let stats = Simulator::new(
+            let mut sim = Simulator::new(
                 graph.clone(),
                 cfg.clone(),
                 routing,
                 TrafficPattern::Uniform,
                 rate,
                 0xDEAD,
-            )
-            .run();
+            );
+            if let Some(window) = telemetry {
+                sim = sim.with_telemetry(cfg.standard_telemetry(window));
+            }
+            let (stats, report) = sim.run_with_telemetry();
             println!(
                 "  {:>6.1}G {:<22} {:>9.3} {:>14} {:>10}",
                 gbps,
@@ -66,6 +76,22 @@ fn main() {
                     "no"
                 }
             );
+            if let Some(report) = report {
+                println!(
+                    "          telemetry: {} alloc conflicts, {} flits sent",
+                    report.alloc_conflicts_total, report.flits_sent_total
+                );
+                // Full view only for wedged runs: the heatmap shows where
+                // traffic froze.
+                if stats.deadlock_suspected {
+                    let tag = format!(
+                        "deadlock_{}G_{}",
+                        gbps as u64,
+                        if unsafe_mode { "basic1vc" } else { "dsnv" }
+                    );
+                    emit_telemetry(&tag, &report);
+                }
+            }
         }
     }
     println!();

@@ -7,19 +7,27 @@
 //! datacenters) emphasizes.
 //!
 //! Run: `cargo run --release -p dsn-bench --bin degraded_performance \
-//!       [--quick] [--engine dense|event] [--faults N] [--json]`
+//!       [--quick] [--engine dense|event] [--faults N] [--json] \
+//!       [--telemetry[=WINDOW]]`
 //!
 //! `--json` additionally writes the report to `BENCH_degraded.json`
-//! (schema pinned by `tests/degraded_schema.rs`).
+//! (schema pinned by `tests/degraded_schema.rs`). `--telemetry[=WINDOW]`
+//! adds an instrumented dynamic-fault run on DSN whose telemetry windows
+//! are tagged **pre-fault / post-fault**, so the decomposition table shows
+//! exactly how rerouting shifts latency from wire to queueing; exports go
+//! to `telemetry_degraded_dsn.{json,csv}`.
 
-use dsn_bench::degraded::{base_config, run_dynamic, run_static, DegradedMode, DegradedReport};
-use dsn_bench::{take_engine_arg, trio};
+use dsn_bench::degraded::{
+    base_config, run_dynamic, run_dynamic_telemetry, run_static, DegradedMode, DegradedReport,
+};
+use dsn_bench::{emit_telemetry, take_engine_arg, take_telemetry_arg, trio};
 
 fn main() {
     // Parse the CLI exactly once into one shared `SimConfig`; every trial
     // below reuses it.
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let engine = take_engine_arg(&mut args);
+    let telemetry = take_telemetry_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let faults = args
@@ -56,6 +64,17 @@ fn main() {
         let path = "BENCH_degraded.json";
         std::fs::write(path, report.to_json()).expect("write JSON report");
         println!("\n# wrote {path}");
+    }
+    if let Some(window) = telemetry {
+        // Instrumented dynamic-fault run on DSN (first trio entry), windows
+        // tagged pre-fault / post-fault.
+        let (stats, tel) =
+            run_dynamic_telemetry(&cfg, &specs[0], faults.unwrap_or(2), gbps, window);
+        emit_telemetry("degraded_dsn", &tel);
+        println!(
+            "# RunStats cross-check: dropped {}, retried {}, post-fault delivered {}",
+            stats.dropped_packets_all_time, stats.retried_packets, stats.post_fault_delivered
+        );
     }
 }
 

@@ -7,14 +7,19 @@
 //! the T3 summary row (DSN latency improvement vs torus).
 //!
 //! Run: `cargo run --release -p dsn-bench --bin fig10_simulation \
-//!       [uniform|bitrev|neighbor|all] [--quick] [--engine dense|event]`
+//!       [uniform|bitrev|neighbor|all] [--quick] [--engine dense|event] \
+//!       [--telemetry[=WINDOW]]`
+//!
+//! `--telemetry[=WINDOW]` adds an instrumented pass per topology at the
+//! low-load point: per-phase latency decomposition, the link-utilization
+//! heatmap, and `telemetry_fig10_<topology>.{json,csv}` exports.
 //!
 //! `--json` switches to benchmark mode: instead of the figure sweeps it
 //! times both engines on the trio at a low and a near-saturation load
 //! point and writes machine-readable rows to `BENCH_sim.json`, so CI can
 //! track the engine's perf trajectory.
 
-use dsn_bench::{peak_rss_kb, take_engine_arg, trio};
+use dsn_bench::{emit_telemetry, peak_rss_kb, take_engine_arg, take_telemetry_arg, trio};
 use dsn_sim::sweep::{format_sweep, load_sweep, paper_load_grid, SweepResult};
 use dsn_sim::{AdaptiveEscape, EngineKind, SimConfig, Simulator, TrafficPattern};
 use std::sync::Arc;
@@ -119,9 +124,43 @@ fn emit_bench_json(cfg: &SimConfig) {
     println!("wrote BENCH_sim.json");
 }
 
+/// Telemetry pass: one instrumented run per trio topology at the
+/// Figure 10 low-load point (1 Gbit/s/host, uniform traffic).
+fn run_telemetry_pass(cfg: &SimConfig, window: u64) {
+    let rate = cfg.packets_per_cycle_for_gbps(1.0);
+    for spec in trio(64) {
+        let built = spec.build().expect("topology");
+        let graph = Arc::new(built.graph);
+        let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+        let (stats, report) = Simulator::new(
+            graph,
+            cfg.clone(),
+            routing,
+            TrafficPattern::Uniform,
+            rate,
+            0x000F_1610,
+        )
+        .with_telemetry(cfg.standard_telemetry(window))
+        .run_with_telemetry();
+        let report = report.expect("telemetry enabled");
+        let tag = format!(
+            "fig10_{}",
+            built.name.replace(['-', ' '], "_").to_lowercase()
+        );
+        emit_telemetry(&tag, &report);
+        println!(
+            "# RunStats cross-check: mean util {:.3} (telemetry {:.3}), delivered {}",
+            stats.mean_channel_utilization,
+            report.mean_measured_utilization(),
+            stats.delivered_packets
+        );
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let engine = take_engine_arg(&mut args);
+    let telemetry = take_telemetry_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let which = args
@@ -145,6 +184,9 @@ fn main() {
 
     if json {
         emit_bench_json(&cfg);
+        if let Some(window) = telemetry {
+            run_telemetry_pass(&cfg, window);
+        }
         return;
     }
 
@@ -179,4 +221,7 @@ fn main() {
         println!();
     }
     println!("(paper T3: DSN improves latency vs torus by 15% on uniform, 4.3% on bit reversal;\n throughput of all three topologies is similar)");
+    if let Some(window) = telemetry {
+        run_telemetry_pass(&cfg, window);
+    }
 }

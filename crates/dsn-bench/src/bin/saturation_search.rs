@@ -7,9 +7,15 @@
 //! utilization per topology and traffic pattern.
 //!
 //! Run: `cargo run --release -p dsn-bench --bin saturation_search \
-//!       [--quick] [--threads N | --serial] [--engine dense|event]`
+//!       [--quick] [--threads N | --serial] [--engine dense|event] \
+//!       [--telemetry[=WINDOW]]`
+//!
+//! `--telemetry[=WINDOW]` instruments the near-saturation re-run (90% of
+//! the found saturation point) and prints where the cycles go — queueing
+//! vs credit-stall decomposition and the hotspot links on the heatmap —
+//! plus `telemetry_sat_<topology>_<pattern>.{json,csv}` exports.
 
-use dsn_bench::{take_engine_arg, trio};
+use dsn_bench::{emit_telemetry, take_engine_arg, take_telemetry_arg, trio};
 use dsn_core::parallel::Parallelism;
 use dsn_sim::sweep::find_saturation_with;
 use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
@@ -19,6 +25,7 @@ fn main() {
     let (par, mut rest) = Parallelism::from_args(std::env::args().skip(1));
     par.install();
     let engine = take_engine_arg(&mut rest);
+    let telemetry = take_telemetry_arg(&mut rest);
     let quick = rest.iter().any(|a| a == "--quick");
     let mut cfg = SimConfig {
         engine,
@@ -65,17 +72,21 @@ fn main() {
                 0x5A7,
                 &par,
             );
-            // Re-run near saturation to report channel utilization.
+            // Re-run near saturation to report channel utilization (and,
+            // with --telemetry, where the cycles go at that load).
             let rate = cfg.packets_per_cycle_for_gbps(sat * 0.9);
-            let stats = Simulator::new(
+            let mut sim = Simulator::new(
                 graph.clone(),
                 cfg.clone(),
                 make(),
                 pattern.clone(),
                 rate,
                 0x5A7,
-            )
-            .run();
+            );
+            if let Some(window) = telemetry {
+                sim = sim.with_telemetry(cfg.standard_telemetry(window));
+            }
+            let (stats, report) = sim.run_with_telemetry();
             println!(
                 "  {:<14} {:<14} {:>12.1} {:>10.3} {:>10.3}",
                 built.name,
@@ -84,6 +95,14 @@ fn main() {
                 stats.mean_channel_utilization,
                 stats.max_channel_utilization
             );
+            if let Some(report) = report {
+                let tag = format!(
+                    "sat_{}_{}",
+                    built.name.replace(['-', ' '], "_").to_lowercase(),
+                    pattern.name().replace(' ', "_")
+                );
+                emit_telemetry(&tag, &report);
+            }
         }
     }
 }

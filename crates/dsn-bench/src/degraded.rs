@@ -7,7 +7,7 @@
 use dsn_core::topology::TopologySpec;
 use dsn_sim::{
     AdaptiveEscape, EngineKind, FaultPlan, RetryPolicy, RunStats, SimConfig, Simulator,
-    TrafficPattern,
+    TelemetryConfig, TelemetryReport, TrafficPattern,
 };
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -216,6 +216,37 @@ pub fn run_dynamic(
         mode: DegradedMode::Dynamic,
         rows,
     }
+}
+
+/// Dynamic-mode telemetry pass: rebuild the same seeded fault plan as
+/// [`run_dynamic`] for one topology and run it instrumented, with
+/// telemetry windows tagged by **pre-fault / post-fault** phase (the
+/// boundary is [`FaultPlan::first_fault_cycle`]) so the post-fault latency
+/// decomposition and the rerouted hotspot links are directly visible.
+pub fn run_dynamic_telemetry(
+    cfg: &SimConfig,
+    spec: &TopologySpec,
+    faults: usize,
+    gbps: f64,
+    window: u64,
+) -> (RunStats, TelemetryReport) {
+    let rate = cfg.packets_per_cycle_for_gbps(gbps);
+    let first_cycle = cfg.warmup_cycles + cfg.measure_cycles / 4;
+    let spacing = (cfg.measure_cycles / (2 * faults.max(1) as u64)).max(1);
+    let built = spec.build().expect("topology");
+    let g = Arc::new(built.graph);
+    let mut cfg = cfg.clone();
+    cfg.fault_plan = FaultPlan::random_connected(&g, FAULT_SEED, faults, first_cycle, spacing)
+        .with_retry(RetryPolicy::new(3, 500, 250));
+    let fault_cycle = cfg.fault_plan.first_fault_cycle().unwrap_or(first_cycle);
+    let tc = TelemetryConfig::windowed(window)
+        .with_phases(&[(0, "pre-fault"), (fault_cycle, "post-fault")]);
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    let (stats, report) =
+        Simulator::new(g, cfg, routing, TrafficPattern::Uniform, rate, FAULT_SEED)
+            .with_telemetry(tc)
+            .run_with_telemetry();
+    (stats, report.expect("telemetry enabled"))
 }
 
 impl DegradedReport {

@@ -75,6 +75,104 @@ pub fn take_engine_arg(args: &mut Vec<String>) -> dsn_sim::EngineKind {
     engine
 }
 
+/// Window width (cycles) used when `--telemetry` is given with no value.
+pub const DEFAULT_TELEMETRY_WINDOW: u64 = 1_000;
+
+/// Extract `--telemetry` (default window) or `--telemetry=WINDOW` from
+/// `args`, removing the consumed tokens. Returns the window width in
+/// cycles, or `None` when the flag is absent (telemetry off — the
+/// simulator hooks compile to no-ops). Exits with a usage message on a
+/// malformed window so every simulation binary rejects typos the same way.
+pub fn take_telemetry_arg(args: &mut Vec<String>) -> Option<u64> {
+    let mut window = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--telemetry" {
+            args.remove(i);
+            window = Some(DEFAULT_TELEMETRY_WINDOW);
+        } else if let Some(v) = args[i].strip_prefix("--telemetry=") {
+            match v.parse::<u64>() {
+                Ok(w) if w >= 1 => window = Some(w),
+                _ => {
+                    eprintln!("--telemetry needs a window of >= 1 cycles, got `{v}`");
+                    std::process::exit(2);
+                }
+            }
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    window
+}
+
+/// Standard terminal + file rendering of a telemetry report: per-phase
+/// latency decomposition table, the ring-position link-utilization
+/// heatmap, and `telemetry_<tag>.json` / `telemetry_<tag>.csv` exports in
+/// the working directory.
+pub fn emit_telemetry(tag: &str, report: &dsn_sim::TelemetryReport) {
+    println!(
+        "\n--- telemetry [{tag}] (window = {} cycles) ---",
+        report.window_cycles
+    );
+    println!(
+        "  {:<12} {:>9} {:>9} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "phase",
+        "created",
+        "delivered",
+        "dropped",
+        "avg-lat",
+        "queue%",
+        "stall%",
+        "wire%",
+        "eject%",
+        "p99-max"
+    );
+    for p in &report.phases {
+        let lat = p.latency_sum_cycles as f64;
+        let pct = |part: u64| {
+            if p.latency_sum_cycles == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / lat
+            }
+        };
+        let avg = if p.delivered == 0 {
+            0.0
+        } else {
+            lat / p.delivered as f64
+        };
+        let p99_worst = p.classes.iter().map(|c| c.p99).max().unwrap_or(0);
+        println!(
+            "  {:<12} {:>9} {:>9} {:>8} {:>7.1}cy {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6}cy",
+            p.name,
+            p.created,
+            p.delivered,
+            p.dropped,
+            avg,
+            pct(p.queueing_cycles),
+            pct(p.credit_stall_cycles),
+            pct(p.wire_cycles),
+            pct(p.ejection_cycles),
+            p99_worst,
+        );
+    }
+    println!(
+        "  flits sent {} / ejected {}; alloc conflicts {}; mean/max measured util {:.3}/{:.3}",
+        report.flits_sent_total,
+        report.flits_ejected_total,
+        report.alloc_conflicts_total,
+        report.mean_measured_utilization(),
+        report.max_measured_utilization(),
+    );
+    print!("{}", report.heatmap());
+    let json_path = format!("telemetry_{tag}.json");
+    let csv_path = format!("telemetry_{tag}.csv");
+    std::fs::write(&json_path, report.to_json()).expect("write telemetry JSON");
+    std::fs::write(&csv_path, report.to_csv()).expect("write telemetry CSV");
+    println!("# wrote {json_path}, {csv_path}");
+}
+
 /// Peak resident set size of this process in kilobytes (`VmHWM` from
 /// `/proc/self/status`); `None` on platforms without procfs.
 pub fn peak_rss_kb() -> Option<u64> {

@@ -61,6 +61,7 @@ pub enum Switching {
 }
 
 use crate::fault::FaultPlan;
+use dsn_telemetry::TelemetryConfig;
 
 /// Simulation parameters. All latencies are in cycles; [`SimConfig::cycle_ns`]
 /// converts to wall-clock nanoseconds.
@@ -101,6 +102,10 @@ pub struct SimConfig {
     /// Scripted runtime fault schedule (links/switches going down and up
     /// mid-run). Empty = no faults, zero overhead.
     pub fault_plan: FaultPlan,
+    /// Telemetry recording (window length + traffic phases). `None` (the
+    /// default) compiles every hook down to a no-op variant check — zero
+    /// measurable overhead; `RunStats` are bit-identical either way.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for SimConfig {
@@ -121,6 +126,7 @@ impl Default for SimConfig {
             measure_cycles: 60_000,
             drain_cycles: 60_000,
             fault_plan: FaultPlan::none(),
+            telemetry: None,
         }
     }
 }
@@ -145,7 +151,26 @@ impl SimConfig {
             measure_cycles: 2_000,
             drain_cycles: 4_000,
             fault_plan: FaultPlan::none(),
+            telemetry: None,
         }
+    }
+
+    /// A telemetry configuration whose phases follow this config's
+    /// warmup / measure / drain boundaries (coincident boundaries are
+    /// merged, keeping the later name).
+    pub fn standard_telemetry(&self, window: u64) -> TelemetryConfig {
+        let mut phases: Vec<(u64, String)> = Vec::new();
+        for (start, name) in [
+            (0, "warmup"),
+            (self.warmup_cycles, "measure"),
+            (self.warmup_cycles + self.measure_cycles, "drain"),
+        ] {
+            if phases.last().is_some_and(|&(s, _)| s == start) {
+                phases.pop();
+            }
+            phases.push((start, name.to_string()));
+        }
+        TelemetryConfig { window, phases }
     }
 
     /// Offered load conversion: packets per cycle per host that correspond
@@ -187,6 +212,9 @@ impl SimConfig {
         }
         assert!(self.hosts_per_switch >= 1, "need at least one host");
         assert!(self.cycle_ns > 0.0, "cycle time must be positive");
+        if let Some(tc) = &self.telemetry {
+            tc.validate();
+        }
     }
 }
 

@@ -18,7 +18,7 @@
 //!
 //! Two scheduling cores drive this model ([`crate::config::EngineKind`]):
 //! the *dense* reference scans every input VC, output channel and link
-//! queue each cycle, while the *event* core (in [`crate::event`]) only
+//! queue each cycle, while the *event* core (in `crate::event`) only
 //! touches units with pending work. Both cores share the state and the
 //! mutation helpers in this module, so a cycle's observable effects — and
 //! therefore [`RunStats`] — are bit-identical between them (enforced by
@@ -28,11 +28,14 @@ use crate::config::SimConfig;
 use crate::inject::{Injector, NEVER};
 use crate::routing::{RouteState, SimRouting};
 use crate::stats::{RunStats, StatsCollector};
-use crate::trace::{PacketTracer, TraceEvent};
 use crate::traffic::TrafficPattern;
 use crate::workload::Workload;
 use dsn_core::graph::Graph;
 use dsn_core::NodeId;
+use dsn_telemetry::{
+    ChannelDesc, PacketTracer, Telemetry, TelemetryConfig, TelemetryReport, TelemetryTopo,
+    TraceEvent,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -217,6 +220,11 @@ pub struct Simulator {
 
     pub(crate) stats: StatsCollector,
     pub(crate) tracer: Option<PacketTracer>,
+    /// Telemetry sink ([`Telemetry::Off`] unless `cfg.telemetry` is set or
+    /// [`Self::with_telemetry`] was called). Hooks live in the shared
+    /// mutation helpers below, so both engines feed it identically and
+    /// `RunStats` stay bit-identical whether it is on or off.
+    pub(crate) telemetry: Telemetry,
     /// Per-cycle scratch: which input units already sent a flit.
     pub(crate) input_used: Vec<bool>,
     /// Per-cycle scratch: which ejection ports are busy.
@@ -321,6 +329,10 @@ impl Simulator {
             .collect();
 
         let stats = StatsCollector::new(&cfg);
+        let telemetry = match &cfg.telemetry {
+            Some(tc) => Telemetry::on(tc.clone(), telemetry_topo(&graph, &cfg)),
+            None => Telemetry::Off,
+        };
         let fault = if cfg.fault_plan.is_empty() {
             None
         } else {
@@ -359,7 +371,27 @@ impl Simulator {
             cfg,
             stats,
             tracer: None,
+            telemetry,
         }
+    }
+
+    /// Enable telemetry recording with the given configuration (windows +
+    /// phases); returns self for chaining. Equivalent to setting
+    /// `cfg.telemetry` before construction. Call
+    /// [`Self::run_with_telemetry`] to get the report back.
+    pub fn with_telemetry(mut self, tc: TelemetryConfig) -> Self {
+        self.telemetry = Telemetry::on(tc, telemetry_topo(&self.graph, &self.cfg));
+        self
+    }
+
+    /// Like [`Self::run`] but also returns the telemetry report (`None`
+    /// when telemetry was not enabled).
+    pub fn run_with_telemetry(mut self) -> (RunStats, Option<TelemetryReport>) {
+        self.run_inner();
+        let telemetry = std::mem::replace(&mut self.telemetry, Telemetry::Off);
+        let final_cycle = self.now;
+        let stats = self.finish_stats();
+        (stats, telemetry.finish(final_cycle))
     }
 
     /// Enable packet tracing for every `sample`-th packet; returns self for
@@ -637,6 +669,7 @@ impl Simulator {
             attempt,
         });
         self.stats.on_offered(now, self.cfg.packet_flits);
+        self.telemetry.on_created(id, src_sw as u32, dest_sw, now);
         if let Some(tr) = &mut self.tracer {
             tr.record(
                 now,
@@ -651,6 +684,10 @@ impl Simulator {
         for seq in 0..self.cfg.packet_flits as u16 {
             self.buf_push(input, 0, Flit { packet: id, seq }, now);
         }
+        if self.telemetry.enabled() {
+            let depth = self.inputs[input].vcs[0].buf.len() as u32;
+            self.telemetry.on_inject_depth(depth, now);
+        }
     }
 
     /// Append a flit to an input-VC buffer. A head flit landing in an empty
@@ -660,8 +697,22 @@ impl Simulator {
         let ivc = &mut self.inputs[i].vcs[v];
         let was_empty = ivc.buf.is_empty();
         ivc.buf.push_back(flit);
+        let depth = ivc.buf.len();
         self.buffered_flits += 1;
         self.peak_buffered_flits = self.peak_buffered_flits.max(self.buffered_flits);
+        // Network inputs only (input unit i receives channel i for
+        // i < channels); injection pushes are covered by `on_inject_depth`.
+        if i < self.links.len() {
+            let is_tail = flit.seq as usize + 1 == self.cfg.packet_flits;
+            self.telemetry.on_link_arrival(
+                i as u32,
+                v as u32,
+                depth as u32,
+                flit.packet,
+                is_tail,
+                now,
+            );
+        }
         if was_empty && flit.seq == 0 {
             debug_assert!(
                 self.inputs[i].vcs[v].alloc.is_none(),
@@ -788,6 +839,7 @@ impl Simulator {
             let port = self.packets.get(pkt_idx).dest_host as usize % self.cfg.hosts_per_switch;
             self.inputs[i].vcs[v].alloc = Some(OutRef::Eject { port });
             self.inputs[i].vcs[v].alloc_pkt = pkt_idx;
+            self.telemetry.on_alloc_granted(pkt_idx, now);
             return AllocOutcome::Eject;
         }
         let mut candidates = std::mem::take(&mut self.cand_scratch);
@@ -837,6 +889,7 @@ impl Simulator {
                 }
                 let route = &mut self.packets.get_mut(pkt_idx).route;
                 self.routing.on_hop(node, dest_sw, route, ch, vc);
+                self.telemetry.on_alloc_granted(pkt_idx, now);
                 outcome = AllocOutcome::Net(ch);
                 break;
             }
@@ -846,6 +899,12 @@ impl Simulator {
             // Every candidate is structurally dead on the survivor graph
             // (not merely busy): the packet cannot make progress here.
             outcome = AllocOutcome::Unroutable;
+        }
+        if matches!(outcome, AllocOutcome::Blocked) {
+            // Countable identically on both engines: the dense scan and the
+            // event core's `alloc_pending` set visit the same eligible
+            // heads each cycle.
+            self.telemetry.on_alloc_blocked(node as u32, now);
         }
         outcome
     }
@@ -890,6 +949,8 @@ impl Simulator {
             self.return_credit(up, v, now);
         }
         let tail = flit.seq as usize + 1 == self.cfg.packet_flits;
+        self.telemetry
+            .on_flit_sent(ch as u32, flit.packet, tail, now);
         if tail {
             // tail: release ownership and input state
             self.outputs[ch].vcs[ovc as usize].owner = None;
@@ -928,7 +989,9 @@ impl Simulator {
         if let Some(up) = self.inputs[i].upstream {
             self.return_credit(up, v as u8, now);
         }
-        if flit.seq as usize + 1 == self.cfg.packet_flits {
+        let tail = flit.seq as usize + 1 == self.cfg.packet_flits;
+        self.telemetry.on_ejected(flit.packet, tail, now);
+        if tail {
             self.delivered_all_time += 1;
             {
                 let pkt = self.packets.get(flit.packet);
@@ -944,6 +1007,31 @@ impl Simulator {
             return true;
         }
         false
+    }
+}
+
+/// Describe the simulated network to the (simulator-agnostic) telemetry
+/// crate: channel endpoints plus a `ring` flag marking index-ring adjacency
+/// (ring distance 1), which keys the exporter's ring-position heatmap.
+fn telemetry_topo(graph: &Graph, cfg: &SimConfig) -> TelemetryTopo {
+    let n = graph.node_count();
+    let channels = (0..graph.channel_count())
+        .map(|c| {
+            let (src, dst) = graph.channel_endpoints(c);
+            let d = src.abs_diff(dst);
+            ChannelDesc {
+                src: src as u32,
+                dst: dst as u32,
+                ring: d.min(n - d) == 1,
+            }
+        })
+        .collect();
+    TelemetryTopo {
+        nodes: n,
+        vcs: cfg.vcs as usize,
+        channels,
+        measure_start: cfg.warmup_cycles,
+        measure_end: cfg.warmup_cycles + cfg.measure_cycles,
     }
 }
 
@@ -1121,18 +1209,13 @@ mod tests {
         let delivered: Vec<u32> = trace
             .records()
             .iter()
-            .filter_map(|&(_, p, e)| {
-                matches!(e, crate::trace::TraceEvent::Delivered { .. }).then_some(p)
-            })
+            .filter_map(|&(_, p, e)| matches!(e, TraceEvent::Delivered { .. }).then_some(p))
             .collect();
         assert!(!delivered.is_empty());
         for &p in delivered.iter().take(5) {
             let timeline = trace.packet_timeline(p);
             assert!(timeline.windows(2).all(|w| w[0].0 <= w[1].0), "time order");
-            assert!(matches!(
-                timeline[0].2,
-                crate::trace::TraceEvent::Injected { .. }
-            ));
+            assert!(matches!(timeline[0].2, TraceEvent::Injected { .. }));
             let (queue, transit, total) = trace.latency_breakdown(p).expect("delivered");
             assert_eq!(queue + transit, total);
         }

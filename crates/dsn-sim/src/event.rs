@@ -20,6 +20,15 @@
 //!   straight to the next injection — safe because a live packet always
 //!   keeps at least one set or wheel slot nonempty, and an idle network
 //!   has zero stall by definition.
+//!
+//! Telemetry hooks (`dsn-telemetry`) live exclusively in the shared
+//! mutation helpers of `engine.rs`, never in this scheduling loop: both
+//! cores fire the same hook calls at the same cycles, so the exported
+//! telemetry — like `RunStats` — is bit-identical between them
+//! (`tests/telemetry_equivalence.rs`). Intra-cycle hook order may differ
+//! (e.g. wheel-slot vs channel-scan order for link arrivals), which is
+//! harmless because every telemetry accumulator is commutative within a
+//! cycle and at most one flit per (channel, VC) moves per cycle.
 
 use crate::engine::{AllocOutcome, Flit, OutRef, Simulator};
 use std::cmp::Reverse;

@@ -24,10 +24,10 @@
 //! fault schedule (`tests/fault_equivalence.rs`).
 
 use crate::engine::{OutRef, Simulator};
-use crate::trace::TraceEvent;
 use dsn_core::fault::{is_connected_masked, EdgeMask};
 use dsn_core::graph::Graph;
 use dsn_core::{EdgeId, NodeId};
+use dsn_telemetry::TraceEvent;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
@@ -519,6 +519,7 @@ impl Simulator {
         if let Some(tr) = &mut self.tracer {
             tr.record(now, uid, TraceEvent::Dropped);
         }
+        self.telemetry.on_dropped(pkt, now);
         self.drop_packet_everywhere(pkt, now);
         let f = self.fault.as_mut().expect("fault runtime");
         f.dropped_all += 1;

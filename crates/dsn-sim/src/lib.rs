@@ -11,10 +11,12 @@
 //! Beyond the paper's setup the simulator also provides: wormhole switching
 //! ([`config::Switching`]), closed batch workloads for collective-exchange
 //! makespans ([`workload::Workload`]), per-packet event tracing
-//! ([`trace::PacketTracer`]), a whole-network stall watchdog that detects
-//! real routing deadlocks, per-channel utilization accounting, bisection
-//! saturation search ([`sweep::find_saturation`]), and the paper's
-//! future-work routing ([`routing::MinimalAdaptiveDsn`]).
+//! ([`PacketTracer`]) and zero-cost-when-off telemetry recording
+//! ([`TelemetryConfig`] / [`engine::Simulator::run_with_telemetry`], both
+//! from the `dsn-telemetry` crate), a whole-network stall watchdog that
+//! detects real routing deadlocks, per-channel utilization accounting,
+//! bisection saturation search ([`sweep::find_saturation`]), and the
+//! paper's future-work routing ([`routing::MinimalAdaptiveDsn`]).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -46,6 +48,9 @@ pub mod traffic;
 pub mod workload;
 
 pub use config::{EngineKind, SimConfig, Switching};
+pub use dsn_telemetry::{
+    PacketTracer, Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord,
+};
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, SalvagePolicy};
 pub use routing::{AdaptiveEscape, MinimalAdaptiveDsn, SimRouting, SourceRouted, UpDownRouting};
@@ -54,6 +59,5 @@ pub use sweep::{
     find_saturation, find_saturation_with, load_sweep, load_sweep_with, paper_load_grid,
     SweepResult,
 };
-pub use trace::{PacketTracer, TraceEvent, TraceRecord};
 pub use traffic::TrafficPattern;
 pub use workload::Workload;

@@ -168,7 +168,7 @@ pub fn find_saturation(
 
 /// [`find_saturation`] under an explicit [`Parallelism`] policy.
 ///
-/// Each refinement round places [`SECTION_PROBES`] evenly spaced loads
+/// Each refinement round places `SECTION_PROBES` evenly spaced loads
 /// inside the bracket and simulates them (concurrently unless the policy
 /// is serial), then narrows to the gap around the lowest saturated probe.
 /// Every probe is seeded as `seed ^ load.to_bits()`, and the bracketing

@@ -1,189 +1,26 @@
-//! Optional per-packet event tracing: records injection, each hop's
-//! VC-allocation and tail departure, and final delivery, so latency can be
-//! decomposed into queueing vs pipeline vs serialization. Tracing is off
-//! by default (zero overhead beyond an `Option` check) and meant for small
-//! diagnostic runs, not full sweeps.
+//! Deprecated relocation shim: the per-packet tracer moved to the
+//! [`dsn_telemetry`] crate (one tracing/telemetry entry point for the
+//! whole workspace). The types below are re-exported unchanged — switch
+//! imports to `dsn_telemetry::{PacketTracer, TraceEvent, TraceRecord}` or
+//! the crate-root re-exports (`dsn_sim::PacketTracer`).
 
-use dsn_core::NodeId;
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to the dsn-telemetry crate; use `dsn_telemetry::PacketTracer` \
+            (also re-exported as `dsn_sim::PacketTracer`)"
+)]
+pub use dsn_telemetry::PacketTracer;
 
-/// One recorded event in a packet's life.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// Packet enqueued at its source host.
-    Injected {
-        /// Source switch.
-        src_sw: NodeId,
-        /// Destination switch.
-        dest_sw: NodeId,
-    },
-    /// Head flit won VC allocation toward the given channel/VC.
-    VcAllocated {
-        /// Switch where allocation happened.
-        at: NodeId,
-        /// Directed channel granted.
-        channel: usize,
-        /// Virtual channel granted.
-        vc: u8,
-    },
-    /// Tail flit left a switch over the given channel.
-    TailSent {
-        /// Switch the tail departed from.
-        at: NodeId,
-        /// Directed channel used.
-        channel: usize,
-    },
-    /// Tail flit ejected at the destination.
-    Delivered {
-        /// Destination switch.
-        at: NodeId,
-    },
-    /// Packet dropped by a fault (link/switch death or unroutable on the
-    /// survivor graph).
-    Dropped,
-}
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to the dsn-telemetry crate; use `dsn_telemetry::TraceEvent` \
+            (also re-exported as `dsn_sim::TraceEvent`)"
+)]
+pub use dsn_telemetry::TraceEvent;
 
-/// A `(cycle, packet, event)` record.
-pub type TraceRecord = (u64, u32, TraceEvent);
-
-/// Collects trace records for the packets selected by a predicate.
-#[derive(Debug)]
-pub struct PacketTracer {
-    /// Only packets with `id % sample == 0` are traced (1 = all).
-    sample: u32,
-    records: Vec<TraceRecord>,
-}
-
-impl PacketTracer {
-    /// Trace every `sample`-th packet (1 = every packet).
-    ///
-    /// # Panics
-    /// Panics if `sample == 0`.
-    pub fn new(sample: u32) -> Self {
-        assert!(sample >= 1, "sample must be >= 1");
-        PacketTracer {
-            sample,
-            records: Vec::new(),
-        }
-    }
-
-    /// Whether this packet id is traced.
-    #[inline]
-    pub fn traces(&self, packet: u32) -> bool {
-        packet.is_multiple_of(self.sample)
-    }
-
-    /// Record an event (no-op if the packet is not sampled).
-    #[inline]
-    pub fn record(&mut self, cycle: u64, packet: u32, event: TraceEvent) {
-        if self.traces(packet) {
-            self.records.push((cycle, packet, event));
-        }
-    }
-
-    /// All records in chronological (insertion) order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
-    }
-
-    /// Records for one packet, in order.
-    pub fn packet_timeline(&self, packet: u32) -> Vec<TraceRecord> {
-        self.records
-            .iter()
-            .filter(|&&(_, p, _)| p == packet)
-            .copied()
-            .collect()
-    }
-
-    /// Decompose one delivered packet's latency:
-    /// `(injection_to_first_alloc, network_transit, total)` in cycles.
-    /// Returns `None` when the packet was not traced or not delivered.
-    pub fn latency_breakdown(&self, packet: u32) -> Option<(u64, u64, u64)> {
-        let timeline = self.packet_timeline(packet);
-        let injected = timeline.iter().find_map(|&(c, _, e)| match e {
-            TraceEvent::Injected { .. } => Some(c),
-            _ => None,
-        })?;
-        let first_alloc = timeline.iter().find_map(|&(c, _, e)| match e {
-            TraceEvent::VcAllocated { .. } => Some(c),
-            _ => None,
-        })?;
-        let delivered = timeline.iter().find_map(|&(c, _, e)| match e {
-            TraceEvent::Delivered { .. } => Some(c),
-            _ => None,
-        })?;
-        Some((
-            first_alloc - injected,
-            delivered - first_alloc,
-            delivered - injected,
-        ))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sampling_filters() {
-        let mut t = PacketTracer::new(2);
-        t.record(
-            0,
-            0,
-            TraceEvent::Injected {
-                src_sw: 0,
-                dest_sw: 1,
-            },
-        );
-        t.record(
-            1,
-            1,
-            TraceEvent::Injected {
-                src_sw: 0,
-                dest_sw: 1,
-            },
-        );
-        t.record(
-            2,
-            2,
-            TraceEvent::Injected {
-                src_sw: 0,
-                dest_sw: 1,
-            },
-        );
-        assert_eq!(t.records().len(), 2);
-        assert!(t.traces(0) && !t.traces(1) && t.traces(2));
-    }
-
-    #[test]
-    fn breakdown_arithmetic() {
-        let mut t = PacketTracer::new(1);
-        t.record(
-            10,
-            7,
-            TraceEvent::Injected {
-                src_sw: 0,
-                dest_sw: 3,
-            },
-        );
-        t.record(
-            14,
-            7,
-            TraceEvent::VcAllocated {
-                at: 0,
-                channel: 2,
-                vc: 1,
-            },
-        );
-        t.record(20, 7, TraceEvent::TailSent { at: 0, channel: 2 });
-        t.record(55, 7, TraceEvent::Delivered { at: 3 });
-        assert_eq!(t.latency_breakdown(7), Some((4, 41, 45)));
-        assert_eq!(t.latency_breakdown(8), None);
-        assert_eq!(t.packet_timeline(7).len(), 4);
-    }
-
-    #[test]
-    #[should_panic(expected = "sample must be >= 1")]
-    fn zero_sample_rejected() {
-        PacketTracer::new(0);
-    }
-}
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to the dsn-telemetry crate; use `dsn_telemetry::TraceRecord` \
+            (also re-exported as `dsn_sim::TraceRecord`)"
+)]
+pub use dsn_telemetry::TraceRecord;

@@ -1,0 +1,169 @@
+//! Property tests for the telemetry primitives: histogram merge is
+//! associative and order-independent, quantiles bracket the data, and the
+//! per-packet latency decomposition sums exactly to the packet's latency
+//! for arbitrary monotone event sequences.
+
+use dsn_telemetry::{
+    bucket_of, bucket_upper_bound, ChannelDesc, LogHistogram, Recorder, TelemetryConfig,
+    TelemetryTopo,
+};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// merge(a, merge(b, c)) == merge(merge(a, b), c) == direct recording,
+    /// regardless of how the values are partitioned or ordered.
+    #[test]
+    fn histogram_merge_associative_and_order_independent(
+        values in proptest::collection::vec(0u64..1_000_000, 0..200),
+        cuts in proptest::collection::vec(0usize..200, 2..3),
+    ) {
+        let mut c1 = cuts[0].min(values.len());
+        let mut c2 = cuts[1].min(values.len());
+        if c1 > c2 {
+            std::mem::swap(&mut c1, &mut c2);
+        }
+        let (a, b, c) = (
+            hist_of(&values[..c1]),
+            hist_of(&values[c1..c2]),
+            hist_of(&values[c2..]),
+        );
+        let direct = hist_of(&values);
+
+        // Left fold.
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // Right fold.
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // Reversed order.
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+
+        prop_assert_eq!(&left, &direct);
+        prop_assert_eq!(&right, &direct);
+        prop_assert_eq!(&rev, &direct);
+    }
+
+    /// Every recorded value lands in a bucket whose range contains it, and
+    /// quantiles never fall below the true quantile's bucket lower bound
+    /// nor above the exact maximum.
+    #[test]
+    fn histogram_quantiles_bracket(values in proptest::collection::vec(0u64..100_000, 1..100)) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &[0.5, 0.95, 0.99, 1.0] {
+            let est = h.quantile(q);
+            let rank = ((values.len() as f64 * q).ceil() as usize).clamp(1, values.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(est <= h.max());
+            prop_assert!(
+                est >= truth,
+                "q={} estimate {} below true value {}", q, est, truth
+            );
+            // Estimate stays within the true value's bucket.
+            prop_assert!(bucket_of(est) >= bucket_of(truth));
+            prop_assert!(est <= bucket_upper_bound(bucket_of(truth)).max(h.max()));
+        }
+    }
+
+    /// Drive a packet through an arbitrary monotone event sequence (grants,
+    /// tail sends, tail arrivals, then final ejection): the four recorded
+    /// decomposition components always sum exactly to the end-to-end
+    /// latency — no cycle is lost or double-counted.
+    #[test]
+    fn decomposition_components_sum_exactly(
+        created in 0u64..1000,
+        gaps in proptest::collection::vec((0u64..50, 0usize..3), 0..30),
+        final_gap in 0u64..100,
+        dest in 1u32..8,
+    ) {
+        let topo = TelemetryTopo {
+            nodes: 8,
+            vcs: 2,
+            channels: vec![ChannelDesc { src: 0, dst: 1, ring: true }],
+            measure_start: 0,
+            measure_end: u64::MAX,
+        };
+        let mut r = Recorder::new(TelemetryConfig::windowed(64), topo);
+        r.on_created(0, 0, dest, created);
+        let mut now = created;
+        for &(gap, kind) in &gaps {
+            now += gap;
+            match kind {
+                0 => r.on_alloc_granted(0, now),
+                1 => r.on_flit_sent(0, 0, true, now),
+                _ => r.on_link_arrival(0, 0, 1, 0, true, now),
+            }
+        }
+        now += final_gap;
+        r.on_ejected(0, true, now);
+        let total = now - created;
+
+        let rep = r.finish(now + 1);
+        let p = &rep.phases[0];
+        prop_assert_eq!(p.delivered, 1);
+        prop_assert_eq!(
+            p.queueing_cycles + p.credit_stall_cycles + p.wire_cycles + p.ejection_cycles,
+            total,
+            "decomposition must partition the packet's lifetime"
+        );
+        prop_assert_eq!(p.latency_sum_cycles, total);
+        // The histogram agrees with the decomposition.
+        prop_assert_eq!(p.classes.iter().map(|c| c.latency_sum_cycles).sum::<u64>(), total);
+    }
+
+    /// Window tables lose no events: summing every flushed `link_flits`
+    /// row reproduces the total flit count, whatever the event spacing.
+    #[test]
+    fn window_rows_sum_to_totals(
+        events in proptest::collection::vec((0u64..5000, 0u32..4), 1..200),
+        window in 1u64..500,
+    ) {
+        let topo = TelemetryTopo {
+            nodes: 4,
+            vcs: 2,
+            channels: (0..4)
+                .map(|i| ChannelDesc { src: i, dst: (i + 1) % 4, ring: true })
+                .collect(),
+            measure_start: 0,
+            measure_end: u64::MAX,
+        };
+        let mut r = Recorder::new(TelemetryConfig::windowed(window), topo);
+        let mut sorted = events.clone();
+        sorted.sort_unstable();
+        for &(t, ch) in &sorted {
+            r.on_flit_sent(ch, 0, false, t);
+        }
+        let rep = r.finish(10_000);
+        let series = rep.series.iter().find(|s| s.metric == "link_flits").unwrap();
+        let from_rows: u64 = series
+            .rows
+            .iter()
+            .flat_map(|(_, pairs)| pairs.iter().map(|&(_, v)| v))
+            .sum();
+        prop_assert_eq!(from_rows, sorted.len() as u64);
+        prop_assert_eq!(rep.flits_sent_total, sorted.len() as u64);
+        // Rows are in window order with sorted, deduped indices.
+        for w in series.rows.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        for (_, pairs) in &series.rows {
+            for p in pairs.windows(2) {
+                prop_assert!(p[0].0 < p[1].0);
+            }
+        }
+    }
+}
