@@ -2,14 +2,19 @@
 //! 64-switch run per topology under uniform traffic at 4 Gbit/s/host,
 //! plus dense-vs-event engine rows on the 256-switch trio at the lowest
 //! and a near-saturation fig10 load point (the event core's headline is
-//! low-load speedup: idle units cost it nothing), plus a
-//! `telemetry_overhead` group pinning the zero-cost-when-off claim:
-//! `Telemetry::Off` must sit within noise of the pre-telemetry event
-//! engine, with the telemetry-on row alongside for the enabled cost.
+//! low-load speedup: idle units cost it nothing), plus a `high_load`
+//! group isolating the allocation hot path (64-switch trio at
+//! 11 Gbit/s/host, event engine, prebuilt routing, flat tables vs the
+//! dynamic trait-call path), plus a `telemetry_overhead` group pinning
+//! the zero-cost-when-off claim: `Telemetry::Off` must sit within noise
+//! of the pre-telemetry event engine, with the telemetry-on row alongside
+//! for the enabled cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsn_bench::trio;
-use dsn_sim::{AdaptiveEscape, EngineKind, SimConfig, Simulator, TrafficPattern};
+use dsn_sim::{
+    AdaptiveEscape, EngineKind, RoutingTables, SimConfig, SimRouting, Simulator, TrafficPattern,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -72,6 +77,54 @@ fn bench_sim(c: &mut Criterion) {
                     |b, graph| b.iter(|| black_box(run_once(graph, &cfg, gbps))),
                 );
             }
+        }
+    }
+    group.finish();
+
+    // Hot-path isolation at saturation load: 64-switch trio at
+    // 11 Gbit/s/host on the event engine with the routing *prebuilt* (and
+    // the flat arena precompiled) outside the timed loop, so the rows
+    // compare purely the per-allocation candidate sourcing — compiled CSR
+    // rows (`flat`) vs virtual `SimRouting` calls (`dyn`).
+    let mut group = c.benchmark_group("high_load");
+    group.sample_size(10);
+    for spec in trio(64) {
+        let built = spec.build().unwrap();
+        let graph = Arc::new(built.graph);
+        for tables in [RoutingTables::Dyn, RoutingTables::Flat] {
+            let cfg = SimConfig {
+                engine: EngineKind::Event,
+                routing_tables: tables,
+                warmup_cycles: 1_000,
+                measure_cycles: 4_000,
+                drain_cycles: 2_000,
+                ..SimConfig::default()
+            };
+            let routing: Arc<dyn SimRouting> =
+                Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+            if tables == RoutingTables::Flat {
+                routing.compiled_flat();
+            }
+            let rate = cfg.packets_per_cycle_for_gbps(11.0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("event_11gbps_{}", tables.name()), &built.name),
+                &graph,
+                |b, graph| {
+                    b.iter(|| {
+                        black_box(
+                            Simulator::new(
+                                graph.clone(),
+                                cfg.clone(),
+                                routing.clone(),
+                                TrafficPattern::Uniform,
+                                rate,
+                                7,
+                            )
+                            .run(),
+                        )
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -45,10 +45,12 @@ fn main() {
         graph: &Arc<dsn_core::Graph>,
         cfg: &SimConfig,
         tol: f64,
-        make: impl Fn() -> Arc<dyn SimRouting> + Sync,
+        routing: &Arc<dyn SimRouting>,
     ) {
-        let sweep = load_sweep(name, graph.clone(), cfg, &make, pattern, &[1.0], 0xC05);
-        let sat = find_saturation(graph.clone(), cfg, &make, pattern, 2.0, 40.0, tol, 0xC05);
+        let r = routing.clone();
+        let sweep = load_sweep(name, graph.clone(), cfg, || r, pattern, &[1.0], 0xC05);
+        let r = routing.clone();
+        let sat = find_saturation(graph.clone(), cfg, || r, pattern, 2.0, 40.0, tol, 0xC05);
         println!(
             "  {:<14} {:<22} {:>14.0} {:>12.1}",
             pattern.name(),
@@ -58,48 +60,45 @@ fn main() {
         );
     }
 
+    // Each scheme is immutable during a run, so one build serves every
+    // pattern's sweep and saturation search (and, with flat tables, the
+    // compiled arena is reused too).
+    let agnostic: Arc<dyn SimRouting> = Arc::new(AdaptiveEscape::new(graph.clone(), vcs));
+    // The paper's actual comparison target: plain up*/down*.
+    let ud_only: Arc<dyn SimRouting> = Arc::new(UpDownRouting::new(graph.clone(), vcs));
+    let custom4: Arc<dyn SimRouting> = Arc::new(SourceRouted::dsn_custom(dsn.clone()));
+    // 2 lanes per VC class needs 8 VCs; same deadlock-freedom proofs.
+    let mut cfg8 = cfg.clone();
+    cfg8.vcs = 8;
+    let custom8: Arc<dyn SimRouting> =
+        Arc::new(SourceRouted::dsn_custom(dsn.clone()).with_lanes(2));
+    // The paper's stated future work: minimal-adaptive custom routing
+    // with the DSN-V discipline as the (balanced) escape layer.
+    let min_adaptive: Arc<dyn SimRouting> = Arc::new(MinimalAdaptiveDsn::new(dsn.clone(), 8));
+
     for pattern in [
         TrafficPattern::Uniform,
         TrafficPattern::BitReversal,
         TrafficPattern::Tornado,
     ] {
-        let g = graph.clone();
-        report("adaptive+escape", &pattern, &graph, &cfg, tol, move || {
-            Arc::new(AdaptiveEscape::new(g.clone(), vcs)) as Arc<dyn SimRouting>
-        });
-        // The paper's actual comparison target: plain up*/down*.
-        let g = graph.clone();
-        report("up*/down* only", &pattern, &graph, &cfg, tol, move || {
-            Arc::new(UpDownRouting::new(g.clone(), vcs)) as Arc<dyn SimRouting>
-        });
-        let d = dsn.clone();
-        report("custom 4vc", &pattern, &graph, &cfg, tol, move || {
-            Arc::new(SourceRouted::dsn_custom(d.clone())) as Arc<dyn SimRouting>
-        });
-        // 2 lanes per VC class needs 8 VCs; same deadlock-freedom proofs.
-        let mut cfg8 = cfg.clone();
-        cfg8.vcs = 8;
-        let d = dsn.clone();
+        report("adaptive+escape", &pattern, &graph, &cfg, tol, &agnostic);
+        report("up*/down* only", &pattern, &graph, &cfg, tol, &ud_only);
+        report("custom 4vc", &pattern, &graph, &cfg, tol, &custom4);
         report(
             "custom 8vc (2 lanes)",
             &pattern,
             &graph,
             &cfg8,
             tol,
-            move || {
-                Arc::new(SourceRouted::dsn_custom(d.clone()).with_lanes(2)) as Arc<dyn SimRouting>
-            },
+            &custom8,
         );
-        // The paper's stated future work: minimal-adaptive custom routing
-        // with the DSN-V discipline as the (balanced) escape layer.
-        let d = dsn.clone();
         report(
             "min-adaptive+dsnv 8vc",
             &pattern,
             &graph,
             &cfg8,
             tol,
-            move || Arc::new(MinimalAdaptiveDsn::new(d.clone(), 8)) as Arc<dyn SimRouting>,
+            &min_adaptive,
         );
     }
     println!();

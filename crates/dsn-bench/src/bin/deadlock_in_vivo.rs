@@ -32,6 +32,14 @@ fn main() {
         ..SimConfig::default()
     };
 
+    // Source-routed path tables are load-independent: build each variant
+    // once and share the Arc across every load point instead of recomputing
+    // all-pairs shortest paths per run.
+    let safe_routing: Arc<dyn dsn_sim::SimRouting> =
+        Arc::new(SourceRouted::dsn_custom(dsn.clone()));
+    let unsafe_routing: Arc<dyn dsn_sim::SimRouting> =
+        Arc::new(SourceRouted::dsn_basic_single_vc(dsn.clone()));
+
     println!("Dynamic deadlock check on DSN-5-60 (60 switches, complete super nodes)");
     println!("# engine: {}", cfg.engine.name());
     println!(
@@ -41,11 +49,10 @@ fn main() {
     for gbps in [1.0f64, 4.0, 8.0] {
         let rate = cfg.packets_per_cycle_for_gbps(gbps);
         for unsafe_mode in [false, true] {
-            let d = dsn.clone();
-            let routing: Arc<dyn dsn_sim::SimRouting> = if unsafe_mode {
-                Arc::new(SourceRouted::dsn_basic_single_vc(d))
+            let routing = if unsafe_mode {
+                unsafe_routing.clone()
             } else {
-                Arc::new(SourceRouted::dsn_custom(d))
+                safe_routing.clone()
             };
             let name = if unsafe_mode {
                 "basic 1-VC (cyclic CDG)"

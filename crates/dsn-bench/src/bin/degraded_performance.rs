@@ -7,8 +7,8 @@
 //! datacenters) emphasizes.
 //!
 //! Run: `cargo run --release -p dsn-bench --bin degraded_performance \
-//!       [--quick] [--engine dense|event] [--faults N] [--json] \
-//!       [--telemetry[=WINDOW]]`
+//!       [--quick] [--engine dense|event] [--routing-tables flat|dyn] \
+//!       [--faults N] [--json] [--telemetry[=WINDOW]]`
 //!
 //! `--json` additionally writes the report to `BENCH_degraded.json`
 //! (schema pinned by `tests/degraded_schema.rs`). `--telemetry[=WINDOW]`
@@ -20,13 +20,16 @@
 use dsn_bench::degraded::{
     base_config, run_dynamic, run_dynamic_telemetry, run_static, DegradedMode, DegradedReport,
 };
-use dsn_bench::{emit_telemetry, take_engine_arg, take_telemetry_arg, trio};
+use dsn_bench::{
+    emit_telemetry, take_engine_arg, take_routing_tables_arg, take_telemetry_arg, trio,
+};
 
 fn main() {
     // Parse the CLI exactly once into one shared `SimConfig`; every trial
     // below reuses it.
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let engine = take_engine_arg(&mut args);
+    let routing_tables = take_routing_tables_arg(&mut args);
     let telemetry = take_telemetry_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
@@ -51,7 +54,8 @@ fn main() {
                 })
             })
         });
-    let cfg = base_config(engine, quick);
+    let mut cfg = base_config(engine, quick);
+    cfg.routing_tables = routing_tables;
     let gbps = 4.0;
     let specs = trio(64);
 

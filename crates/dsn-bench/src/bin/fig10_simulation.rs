@@ -8,38 +8,67 @@
 //!
 //! Run: `cargo run --release -p dsn-bench --bin fig10_simulation \
 //!       [uniform|bitrev|neighbor|all] [--quick] [--engine dense|event] \
-//!       [--telemetry[=WINDOW]]`
+//!       [--routing-tables flat|dyn] [--telemetry[=WINDOW]]`
 //!
 //! `--telemetry[=WINDOW]` adds an instrumented pass per topology at the
 //! low-load point: per-phase latency decomposition, the link-utilization
 //! heatmap, and `telemetry_fig10_<topology>.{json,csv}` exports.
 //!
 //! `--json` switches to benchmark mode: instead of the figure sweeps it
-//! times both engines on the trio at a low and a near-saturation load
-//! point and writes machine-readable rows to `BENCH_sim.json`, so CI can
-//! track the engine's perf trajectory.
+//! times both engines on the trio at 64 and 256 switches (256 and 1024
+//! hosts) at a low and a near-saturation load point and writes
+//! machine-readable rows to `BENCH_sim.json`, so CI can track the
+//! engine's perf trajectory. Routing is built through a shared
+//! [`RoutingCache`] and its (cold-build) cost is reported separately as
+//! `routing_build_s` — `wall_s` times only the simulation proper.
 
-use dsn_bench::{emit_telemetry, peak_rss_kb, take_engine_arg, take_telemetry_arg, trio};
-use dsn_sim::sweep::{format_sweep, load_sweep, paper_load_grid, SweepResult};
-use dsn_sim::{AdaptiveEscape, EngineKind, SimConfig, Simulator, TrafficPattern};
+use dsn_bench::{
+    emit_telemetry, peak_rss_kb, take_engine_arg, take_routing_tables_arg, take_telemetry_arg, trio,
+};
+use dsn_core::graph::Graph;
+use dsn_core::parallel::Parallelism;
+use dsn_sim::sweep::{format_sweep, load_sweep_cached, paper_load_grid, SweepResult};
+use dsn_sim::{
+    AdaptiveEscape, EngineKind, RoutingCache, RoutingTables, SimConfig, Simulator, TrafficPattern,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
-fn run_pattern(pattern: &TrafficPattern, cfg: &SimConfig, loads: &[f64]) -> Vec<SweepResult> {
+/// Build the trio once so every pattern/engine/load pass shares the same
+/// `Arc<Graph>` instances — the identity the [`RoutingCache`] keys on.
+fn build_topos(n: usize) -> Vec<(String, Arc<Graph>)> {
+    trio(n)
+        .into_iter()
+        .map(|spec| {
+            let built = spec.build().expect("topology");
+            (built.name, Arc::new(built.graph))
+        })
+        .collect()
+}
+
+fn run_pattern(
+    pattern: &TrafficPattern,
+    cfg: &SimConfig,
+    loads: &[f64],
+    topos: &[(String, Arc<Graph>)],
+    cache: &Arc<RoutingCache>,
+) -> Vec<SweepResult> {
+    let key = AdaptiveEscape::key_for(cfg.vcs);
     let mut results = Vec::new();
-    for spec in trio(64) {
-        let built = spec.build().expect("topology");
-        let graph = Arc::new(built.graph);
-        let vcs = cfg.vcs;
+    for (name, graph) in topos {
         let g2 = graph.clone();
-        let sweep = load_sweep(
-            built.name.clone(),
-            graph,
+        let vcs = cfg.vcs;
+        let sweep = load_sweep_cached(
+            name.clone(),
+            graph.clone(),
             cfg,
-            move || Arc::new(AdaptiveEscape::new(g2.clone(), vcs)),
+            cache,
+            &key,
+            move || Arc::new(AdaptiveEscape::new(g2, vcs)),
             pattern,
             loads,
             0x000F_1610,
+            &Parallelism::auto(),
         );
         println!("{}", format_sweep(&sweep));
         results.push(sweep);
@@ -66,22 +95,38 @@ fn summarize(results: &[SweepResult]) {
     );
 }
 
-/// Benchmark mode: time both engines on the fig10 trio at a low and a
-/// near-saturation load point and write `BENCH_sim.json` (hand-rolled —
-/// the workspace carries no JSON dependency).
+/// Benchmark mode: time both engines on the fig10 trio at 64 and 256
+/// switches, at a low and a near-saturation load point, and write
+/// `BENCH_sim.json` (hand-rolled — the workspace carries no JSON
+/// dependency). Routing comes from a shared cache: the first row of a
+/// topology pays the build (reported in `routing_build_s`), later rows
+/// fetch it for free, and `wall_s` is purely the simulation.
 fn emit_bench_json(cfg: &SimConfig) {
+    let cache = Arc::new(RoutingCache::new());
+    let key = AdaptiveEscape::key_for(cfg.vcs);
+    let topos: Vec<(String, Arc<Graph>)> = build_topos(64)
+        .into_iter()
+        .chain(build_topos(256))
+        .collect();
     let mut rows = String::new();
     for engine in [EngineKind::Dense, EngineKind::Event] {
-        for spec in trio(64) {
-            let built = spec.build().expect("topology");
-            let graph = Arc::new(built.graph);
+        for (name, graph) in &topos {
             for gbps in [1.0f64, 11.0] {
                 let cfg = SimConfig {
                     engine,
                     ..cfg.clone()
                 };
                 let rate = cfg.packets_per_cycle_for_gbps(gbps);
-                let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+                let build_start = Instant::now();
+                let routing = {
+                    let g2 = graph.clone();
+                    let vcs = cfg.vcs;
+                    cache.get_or_build(graph, &key, move || Arc::new(AdaptiveEscape::new(g2, vcs)))
+                };
+                if cfg.routing_tables == RoutingTables::Flat {
+                    routing.compiled_flat();
+                }
+                let routing_build_s = build_start.elapsed().as_secs_f64();
                 let sim = Simulator::new(
                     graph.clone(),
                     cfg.clone(),
@@ -100,21 +145,23 @@ fn emit_bench_json(cfg: &SimConfig) {
                 rows.push_str(&format!(
                     "  {{\"engine\": \"{}\", \"topology\": \"{}\", \"pattern\": \"uniform\", \
                      \"load_gbps\": {gbps}, \"cycles\": {cycles}, \"wall_s\": {wall:.6}, \
-                     \"cycles_per_sec\": {:.0}, \"delivered_packets\": {}, \
+                     \"routing_build_s\": {routing_build_s:.6}, \"cycles_per_sec\": {:.0}, \
+                     \"delivered_packets\": {}, \
                      \"peak_in_flight_packets\": {}, \"peak_rss_kb\": {}}}",
                     engine.name(),
-                    built.name,
+                    name,
                     cycles as f64 / wall,
                     stats.delivered_packets,
                     stats.peak_in_flight_packets,
                     peak_rss_kb().unwrap_or(0),
                 ));
                 println!(
-                    "  {:<6} {:<14} {:>5.1}G  {:>10.0} cycles/s",
+                    "  {:<6} {:<14} {:>5.1}G  {:>10.0} cycles/s  (routing build {:.3}s)",
                     engine.name(),
-                    built.name,
+                    name,
                     gbps,
-                    cycles as f64 / wall
+                    cycles as f64 / wall,
+                    routing_build_s,
                 );
             }
         }
@@ -126,14 +173,22 @@ fn emit_bench_json(cfg: &SimConfig) {
 
 /// Telemetry pass: one instrumented run per trio topology at the
 /// Figure 10 low-load point (1 Gbit/s/host, uniform traffic).
-fn run_telemetry_pass(cfg: &SimConfig, window: u64) {
+fn run_telemetry_pass(
+    cfg: &SimConfig,
+    window: u64,
+    topos: &[(String, Arc<Graph>)],
+    cache: &Arc<RoutingCache>,
+) {
     let rate = cfg.packets_per_cycle_for_gbps(1.0);
-    for spec in trio(64) {
-        let built = spec.build().expect("topology");
-        let graph = Arc::new(built.graph);
-        let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+    let key = AdaptiveEscape::key_for(cfg.vcs);
+    for (name, graph) in topos {
+        let routing = {
+            let g2 = graph.clone();
+            let vcs = cfg.vcs;
+            cache.get_or_build(graph, &key, move || Arc::new(AdaptiveEscape::new(g2, vcs)))
+        };
         let (stats, report) = Simulator::new(
-            graph,
+            graph.clone(),
             cfg.clone(),
             routing,
             TrafficPattern::Uniform,
@@ -143,10 +198,7 @@ fn run_telemetry_pass(cfg: &SimConfig, window: u64) {
         .with_telemetry(cfg.standard_telemetry(window))
         .run_with_telemetry();
         let report = report.expect("telemetry enabled");
-        let tag = format!(
-            "fig10_{}",
-            built.name.replace(['-', ' '], "_").to_lowercase()
-        );
+        let tag = format!("fig10_{}", name.replace(['-', ' '], "_").to_lowercase());
         emit_telemetry(&tag, &report);
         println!(
             "# RunStats cross-check: mean util {:.3} (telemetry {:.3}), delivered {}",
@@ -160,6 +212,7 @@ fn run_telemetry_pass(cfg: &SimConfig, window: u64) {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let engine = take_engine_arg(&mut args);
+    let routing_tables = take_routing_tables_arg(&mut args);
     let telemetry = take_telemetry_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
@@ -171,6 +224,7 @@ fn main() {
 
     let mut cfg = SimConfig {
         engine,
+        routing_tables,
         ..SimConfig::default()
     };
     let loads = if quick || json {
@@ -182,10 +236,13 @@ fn main() {
         paper_load_grid()
     };
 
+    let topos = build_topos(64);
+    let cache = Arc::new(RoutingCache::new());
+
     if json {
         emit_bench_json(&cfg);
         if let Some(window) = telemetry {
-            run_telemetry_pass(&cfg, window);
+            run_telemetry_pass(&cfg, window, &topos, &cache);
         }
         return;
     }
@@ -205,7 +262,11 @@ fn main() {
         }
     };
 
-    println!("# engine: {}", cfg.engine.name());
+    println!(
+        "# engine: {} / routing tables: {}",
+        cfg.engine.name(),
+        cfg.routing_tables.name()
+    );
     for pattern in &patterns {
         let fig = match pattern {
             TrafficPattern::Uniform => "10(a)",
@@ -216,12 +277,17 @@ fn main() {
             "=== Figure {fig}: latency vs accepted traffic, {} traffic ===",
             pattern.name()
         );
-        let results = run_pattern(pattern, &cfg, &loads);
+        let results = run_pattern(pattern, &cfg, &loads, &topos, &cache);
         summarize(&results);
         println!();
     }
     println!("(paper T3: DSN improves latency vs torus by 15% on uniform, 4.3% on bit reversal;\n throughput of all three topologies is similar)");
+    println!(
+        "# routing cache: {} build(s), {} hit(s)",
+        cache.misses(),
+        cache.hits()
+    );
     if let Some(window) = telemetry {
-        run_telemetry_pass(&cfg, window);
+        run_telemetry_pass(&cfg, window, &topos, &cache);
     }
 }

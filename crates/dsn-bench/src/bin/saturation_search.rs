@@ -8,27 +8,32 @@
 //!
 //! Run: `cargo run --release -p dsn-bench --bin saturation_search \
 //!       [--quick] [--threads N | --serial] [--engine dense|event] \
-//!       [--telemetry[=WINDOW]]`
+//!       [--routing-tables flat|dyn] [--telemetry[=WINDOW]]`
 //!
 //! `--telemetry[=WINDOW]` instruments the near-saturation re-run (90% of
 //! the found saturation point) and prints where the cycles go — queueing
 //! vs credit-stall decomposition and the hotspot links on the heatmap —
 //! plus `telemetry_sat_<topology>_<pattern>.{json,csv}` exports.
 
-use dsn_bench::{emit_telemetry, take_engine_arg, take_telemetry_arg, trio};
+use dsn_bench::{
+    emit_telemetry, take_engine_arg, take_routing_tables_arg, take_telemetry_arg, trio,
+};
+use dsn_core::graph::Graph;
 use dsn_core::parallel::Parallelism;
-use dsn_sim::sweep::find_saturation_with;
-use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, TrafficPattern};
+use dsn_sim::sweep::find_saturation_cached;
+use dsn_sim::{AdaptiveEscape, RoutingCache, SimConfig, Simulator, TrafficPattern};
 use std::sync::Arc;
 
 fn main() {
     let (par, mut rest) = Parallelism::from_args(std::env::args().skip(1));
     par.install();
     let engine = take_engine_arg(&mut rest);
+    let routing_tables = take_routing_tables_arg(&mut rest);
     let telemetry = take_telemetry_arg(&mut rest);
     let quick = rest.iter().any(|a| a == "--quick");
     let mut cfg = SimConfig {
         engine,
+        routing_tables,
         ..SimConfig::default()
     };
     if quick {
@@ -42,6 +47,19 @@ fn main() {
     }
     let tol = if quick { 2.0 } else { 1.0 };
 
+    // Build each topology once, outside the pattern loop: the routing cache
+    // keys on the Arc<Graph> identity, so all three patterns' searches (and
+    // the near-saturation re-runs) share one routing build per topology.
+    let topos: Vec<(String, Arc<Graph>)> = trio(64)
+        .into_iter()
+        .map(|spec| {
+            let built = spec.build().expect("topology");
+            (built.name, Arc::new(built.graph))
+        })
+        .collect();
+    let cache = Arc::new(RoutingCache::new());
+    let key = AdaptiveEscape::key_for(cfg.vcs);
+
     println!("Saturation search (beyond the paper's 12 Gbit/s/host axis)");
     println!("# parallelism: {par}; engine: {}", cfg.engine.name());
     println!(
@@ -53,18 +71,17 @@ fn main() {
         TrafficPattern::BitReversal,
         TrafficPattern::neighboring_paper(),
     ] {
-        for spec in trio(64) {
-            let built = spec.build().expect("topology");
-            let graph = Arc::new(built.graph);
+        for (name, graph) in &topos {
             let vcs = cfg.vcs;
             let g2 = graph.clone();
-            let make = move || -> Arc<dyn dsn_sim::SimRouting> {
-                Arc::new(AdaptiveEscape::new(g2.clone(), vcs))
-            };
-            let sat = find_saturation_with(
+            let make =
+                move || -> Arc<dyn dsn_sim::SimRouting> { Arc::new(AdaptiveEscape::new(g2, vcs)) };
+            let sat = find_saturation_cached(
                 graph.clone(),
                 &cfg,
-                &make,
+                &cache,
+                &key,
+                make,
                 &pattern,
                 2.0,
                 40.0,
@@ -73,12 +90,16 @@ fn main() {
                 &par,
             );
             // Re-run near saturation to report channel utilization (and,
-            // with --telemetry, where the cycles go at that load).
+            // with --telemetry, where the cycles go at that load). The
+            // routing is a guaranteed cache hit by now.
+            let g2 = graph.clone();
+            let routing =
+                cache.get_or_build(graph, &key, move || Arc::new(AdaptiveEscape::new(g2, vcs)));
             let rate = cfg.packets_per_cycle_for_gbps(sat * 0.9);
             let mut sim = Simulator::new(
                 graph.clone(),
                 cfg.clone(),
-                make(),
+                routing,
                 pattern.clone(),
                 rate,
                 0x5A7,
@@ -89,7 +110,7 @@ fn main() {
             let (stats, report) = sim.run_with_telemetry();
             println!(
                 "  {:<14} {:<14} {:>12.1} {:>10.3} {:>10.3}",
-                built.name,
+                name,
                 pattern.name(),
                 sat,
                 stats.mean_channel_utilization,
@@ -98,11 +119,16 @@ fn main() {
             if let Some(report) = report {
                 let tag = format!(
                     "sat_{}_{}",
-                    built.name.replace(['-', ' '], "_").to_lowercase(),
+                    name.replace(['-', ' '], "_").to_lowercase(),
                     pattern.name().replace(' ', "_")
                 );
                 emit_telemetry(&tag, &report);
             }
         }
     }
+    println!(
+        "# routing cache: {} build(s), {} hit(s)",
+        cache.misses(),
+        cache.hits()
+    );
 }

@@ -5,22 +5,25 @@
 //! so it saturates earlier — this quantifies why the paper picked VCT.
 //!
 //! Run: `cargo run --release -p dsn-bench --bin switching_ablation \
-//!       [--quick] [--engine dense|event]`
+//!       [--quick] [--engine dense|event] [--routing-tables flat|dyn]`
 
-use dsn_bench::take_engine_arg;
+use dsn_bench::{take_engine_arg, take_routing_tables_arg};
 use dsn_core::dsn::Dsn;
-use dsn_sim::sweep::find_saturation;
-use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, Switching, TrafficPattern};
+use dsn_core::parallel::Parallelism;
+use dsn_sim::sweep::find_saturation_cached;
+use dsn_sim::{AdaptiveEscape, RoutingCache, SimConfig, Simulator, Switching, TrafficPattern};
 use std::sync::Arc;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let engine = take_engine_arg(&mut args);
+    let routing_tables = take_routing_tables_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let dsn = Dsn::new(64, 5).expect("dsn");
     let graph = Arc::new(dsn.into_graph());
     let mut base = SimConfig {
         engine,
+        routing_tables,
         ..SimConfig::default()
     };
     if quick {
@@ -33,6 +36,12 @@ fn main() {
         base.drain_cycles = 20_000;
     }
     let tol = if quick { 2.0 } else { 1.0 };
+
+    // Routing is independent of the switching mode and buffer size, so one
+    // cached build serves all six cases (and every probe inside each
+    // saturation search).
+    let cache = Arc::new(RoutingCache::new());
+    let key = AdaptiveEscape::key_for(base.vcs);
 
     println!("Switching ablation on DSN-5-64, uniform traffic, adaptive + escape routing");
     println!("# engine: {}", base.engine.name());
@@ -56,28 +65,31 @@ fn main() {
         };
         let vcs = cfg.vcs;
         let g2 = graph.clone();
-        let make = move || -> Arc<dyn dsn_sim::SimRouting> {
-            Arc::new(AdaptiveEscape::new(g2.clone(), vcs))
-        };
+        let routing =
+            cache.get_or_build(&graph, &key, move || Arc::new(AdaptiveEscape::new(g2, vcs)));
         let rate = cfg.packets_per_cycle_for_gbps(1.0);
         let low = Simulator::new(
             graph.clone(),
             cfg.clone(),
-            make(),
+            routing,
             TrafficPattern::Uniform,
             rate,
             0x5317,
         )
         .run();
-        let sat = find_saturation(
+        let g2 = graph.clone();
+        let sat = find_saturation_cached(
             graph.clone(),
             &cfg,
-            &make,
+            &cache,
+            &key,
+            move || Arc::new(AdaptiveEscape::new(g2, vcs)),
             &TrafficPattern::Uniform,
             2.0,
             40.0,
             tol,
             0x5317,
+            &Parallelism::auto(),
         );
         let name = match mode {
             Switching::VirtualCutThrough => "virtual cut-through",
@@ -88,4 +100,9 @@ fn main() {
             name, buffer, low.avg_latency_ns, sat
         );
     }
+    println!(
+        "# routing cache: {} build(s), {} hit(s)",
+        cache.misses(),
+        cache.hits()
+    );
 }

@@ -6,8 +6,8 @@
 
 use dsn_core::topology::TopologySpec;
 use dsn_sim::{
-    AdaptiveEscape, EngineKind, FaultPlan, RetryPolicy, RunStats, SimConfig, Simulator,
-    TelemetryConfig, TelemetryReport, TrafficPattern,
+    AdaptiveEscape, EngineKind, FaultPlan, RetryPolicy, RoutingCache, RunStats, SimConfig,
+    Simulator, TelemetryConfig, TelemetryReport, TrafficPattern,
 };
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -197,6 +197,10 @@ pub fn run_dynamic(
     let rate = cfg.packets_per_cycle_for_gbps(gbps);
     let first_cycle = cfg.warmup_cycles + cfg.measure_cycles / 4;
     let spacing = (cfg.measure_cycles / (2 * faults.max(1) as u64)).max(1);
+    // One cache across every trial: pristine tables are built once per
+    // topology and mid-run fault rebuilds are memoized by survivor epoch,
+    // all without changing a single RunStats bit (rebuilds are pure).
+    let cache = Arc::new(RoutingCache::new());
     let mut rows = Vec::new();
     for spec in specs {
         let built = spec.build().expect("topology");
@@ -205,9 +209,12 @@ pub fn run_dynamic(
         cfg.fault_plan = FaultPlan::random_connected(&g, FAULT_SEED, faults, first_cycle, spacing)
             .with_retry(RetryPolicy::new(3, 500, 250));
         let scheduled = cfg.fault_plan.events.len();
-        let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
-        let stats =
-            Simulator::new(g, cfg, routing, TrafficPattern::Uniform, rate, FAULT_SEED).run();
+        let routing = cache.get_or_build(&g, &AdaptiveEscape::key_for(cfg.vcs), || {
+            Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs))
+        });
+        let stats = Simulator::new(g, cfg, routing, TrafficPattern::Uniform, rate, FAULT_SEED)
+            .with_routing_cache(cache.clone())
+            .run();
         rows.push(DegradedRow::from_stats(&built.name, scheduled, &stats));
     }
     DegradedReport {
@@ -241,10 +248,14 @@ pub fn run_dynamic_telemetry(
     let fault_cycle = cfg.fault_plan.first_fault_cycle().unwrap_or(first_cycle);
     let tc = TelemetryConfig::windowed(window)
         .with_phases(&[(0, "pre-fault"), (fault_cycle, "post-fault")]);
-    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    let cache = Arc::new(RoutingCache::new());
+    let routing = cache.get_or_build(&g, &AdaptiveEscape::key_for(cfg.vcs), || {
+        Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs))
+    });
     let (stats, report) =
         Simulator::new(g, cfg, routing, TrafficPattern::Uniform, rate, FAULT_SEED)
             .with_telemetry(tc)
+            .with_routing_cache(cache)
             .run_with_telemetry();
     (stats, report.expect("telemetry enabled"))
 }

@@ -75,6 +75,39 @@ pub fn take_engine_arg(args: &mut Vec<String>) -> dsn_sim::EngineKind {
     engine
 }
 
+/// Extract `--routing-tables flat|dyn` (or `--routing-tables=...`) from
+/// `args`, removing the consumed tokens. Defaults to flat tables; exits
+/// with a usage message on an unknown value so every simulation binary
+/// rejects typos the same way.
+pub fn take_routing_tables_arg(args: &mut Vec<String>) -> dsn_sim::RoutingTables {
+    let mut tables = dsn_sim::RoutingTables::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--routing-tables" && i + 1 < args.len() {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Some(v)
+        } else if let Some(v) = args[i].strip_prefix("--routing-tables=") {
+            let v = v.to_string();
+            args.remove(i);
+            Some(v)
+        } else {
+            i += 1;
+            None
+        };
+        if let Some(v) = value {
+            match dsn_sim::RoutingTables::parse(&v) {
+                Some(kind) => tables = kind,
+                None => {
+                    eprintln!("unknown routing tables `{v}` (expected flat | dyn)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    tables
+}
+
 /// Window width (cycles) used when `--telemetry` is given with no value.
 pub const DEFAULT_TELEMETRY_WINDOW: u64 = 1_000;
 

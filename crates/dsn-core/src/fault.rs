@@ -69,6 +69,37 @@ impl EdgeMask {
         self.alive_edges == self.alive.len() && self.node_up.iter().all(|&u| u)
     }
 
+    /// Deterministic 64-bit fingerprint of the failure state, for keying
+    /// routing caches across fault epochs. The pristine mask (nothing
+    /// failed) always fingerprints to `0`; any degraded mask maps to a
+    /// non-zero value, with identical `(edge_admin, node_up)` states —
+    /// regardless of the event history that produced them — colliding on
+    /// purpose.
+    pub fn fingerprint(&self) -> u64 {
+        if self.is_full() {
+            return 0;
+        }
+        // FNV-1a over the failed indices, domain-tagged so an edge index
+        // can never alias a node index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for (e, &up) in self.edge_admin.iter().enumerate() {
+            if !up {
+                mix((1u64 << 32) | e as u64);
+            }
+        }
+        for (v, &up) in self.node_up.iter().enumerate() {
+            if !up {
+                mix((2u64 << 32) | v as u64);
+            }
+        }
+        // 0 is reserved for the pristine mask.
+        h.max(1)
+    }
+
     /// Set edge `e`'s administrative state. Returns `true` when the edge's
     /// effective liveness changed (it may not — e.g. reviving a link whose
     /// endpoint switch is still down).
@@ -261,6 +292,29 @@ mod tests {
         assert!(labels.iter().enumerate().all(|(v, &l)| v == 3 || l != 3));
         // survivors 0,1,2,4,5 remain connected around the ring
         assert!(is_connected_masked(&g, &m));
+    }
+
+    #[test]
+    fn fingerprint_keys_failure_state_not_history() {
+        let g = ring(6);
+        let mut m = EdgeMask::fully_alive(&g);
+        assert_eq!(m.fingerprint(), 0, "pristine mask is always 0");
+        m.set_edge_admin(&g, 2, false);
+        let f1 = m.fingerprint();
+        assert_ne!(f1, 0);
+        // same end state via a different event history → same fingerprint
+        let mut m2 = EdgeMask::fully_alive(&g);
+        m2.set_edge_admin(&g, 4, false);
+        m2.set_edge_admin(&g, 4, true);
+        m2.set_edge_admin(&g, 2, false);
+        assert_eq!(m2.fingerprint(), f1);
+        // a node failure is distinct from an edge failure
+        let mut m3 = EdgeMask::fully_alive(&g);
+        m3.set_node_up(&g, 2, false);
+        assert_ne!(m3.fingerprint(), f1);
+        // full recovery returns to the pristine fingerprint
+        m.set_edge_admin(&g, 2, true);
+        assert_eq!(m.fingerprint(), 0);
     }
 
     #[test]

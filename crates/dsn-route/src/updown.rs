@@ -153,6 +153,15 @@ impl UpDown {
         self.dist[t][2 * v + phase.idx()]
     }
 
+    /// Whether a legal path from `(v, phase)` to `t` exists at all. Always
+    /// true from the Up phase on a connected unmasked instance; a Down
+    /// state can be unreachable even then — such states never occur in
+    /// legal traffic, which is what lets table compilers skip them.
+    #[inline]
+    pub fn reachable_phased(&self, v: NodeId, phase: UdPhase, t: NodeId) -> bool {
+        self.dist[t][2 * v + phase.idx()] != INF
+    }
+
     /// Minimal legal next hops from `(v, phase)` toward `t`: each entry is
     /// `(edge_id, next_phase)`. Empty only when `v == t`.
     pub fn next_hops(

@@ -45,6 +45,42 @@ impl EngineKind {
     }
 }
 
+/// Whether the engine draws routing candidates from precompiled flat
+/// tables ([`crate::routing::FlatRouting`]) or calls the `Arc<dyn
+/// SimRouting>` virtual interface on every allocation attempt. Both paths
+/// are bit-identical in their [`crate::RunStats`] output (enforced by
+/// `tests/flat_equivalence.rs`); schemes that cannot be tabulated
+/// (source-routed paths) silently stay on the dynamic path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingTables {
+    /// Compile per-`(switch, dest)` candidate rows into one CSR arena at
+    /// simulator construction and serve allocation attempts from it.
+    #[default]
+    Flat,
+    /// Call `SimRouting::candidates` / `on_hop` dynamically every time.
+    /// Kept as the equivalence oracle for the flat tables.
+    Dyn,
+}
+
+impl RoutingTables {
+    /// Parse a CLI value (`flat` | `dyn`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "flat" => Some(RoutingTables::Flat),
+            "dyn" => Some(RoutingTables::Dyn),
+            _ => None,
+        }
+    }
+
+    /// Stable display name (`flat` | `dyn`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingTables::Flat => "flat",
+            RoutingTables::Dyn => "dyn",
+        }
+    }
+}
+
 /// Switching mode of the routers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Switching {
@@ -70,6 +106,10 @@ pub struct SimConfig {
     /// Scheduling core (default: the event-driven engine; the dense scan
     /// is kept as a bit-identical reference).
     pub engine: EngineKind,
+    /// Candidate source for the allocation hot path (default: flat
+    /// precompiled tables; the dynamic trait-call path is kept as a
+    /// bit-identical reference).
+    pub routing_tables: RoutingTables,
     /// Switching mode (paper: virtual cut-through).
     pub switching: Switching,
     /// Virtual channels per physical channel (paper: 4).
@@ -112,6 +152,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             engine: EngineKind::default(),
+            routing_tables: RoutingTables::default(),
             switching: Switching::VirtualCutThrough,
             vcs: 4,
             buffer_flits: 40,
@@ -137,6 +178,7 @@ impl SimConfig {
     pub fn test_small() -> Self {
         SimConfig {
             engine: EngineKind::default(),
+            routing_tables: RoutingTables::default(),
             switching: Switching::VirtualCutThrough,
             vcs: 2,
             buffer_flits: 8,
@@ -273,6 +315,16 @@ mod tests {
         assert_eq!(EngineKind::default(), EngineKind::Event);
         assert_eq!(EngineKind::Dense.name(), "dense");
         assert_eq!(EngineKind::Event.name(), "event");
+    }
+
+    #[test]
+    fn routing_tables_parses() {
+        assert_eq!(RoutingTables::parse("flat"), Some(RoutingTables::Flat));
+        assert_eq!(RoutingTables::parse("dyn"), Some(RoutingTables::Dyn));
+        assert_eq!(RoutingTables::parse("virtual"), None);
+        assert_eq!(RoutingTables::default(), RoutingTables::Flat);
+        assert_eq!(RoutingTables::Flat.name(), "flat");
+        assert_eq!(RoutingTables::Dyn.name(), "dyn");
     }
 
     #[test]

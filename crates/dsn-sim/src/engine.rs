@@ -31,7 +31,6 @@ use crate::stats::{RunStats, StatsCollector};
 use crate::traffic::TrafficPattern;
 use crate::workload::Workload;
 use dsn_core::graph::Graph;
-use dsn_core::NodeId;
 use dsn_telemetry::{
     ChannelDesc, PacketTracer, Telemetry, TelemetryConfig, TelemetryReport, TelemetryTopo,
     TraceEvent,
@@ -126,7 +125,8 @@ impl PacketSlab {
     }
 }
 
-/// Where an allocated packet is headed.
+/// Where an allocated packet is headed (decoded view of a packed
+/// [`ALLOC_NONE`]-style id; see [`decode_alloc`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum OutRef {
     /// Network channel + VC.
@@ -135,37 +135,70 @@ pub(crate) enum OutRef {
     Eject { port: usize },
 }
 
-#[derive(Debug, Default)]
-pub(crate) struct InputVc {
-    pub buf: VecDeque<Flit>,
-    /// First cycle at which the head packet may attempt allocation
-    /// (header processing complete); `u64::MAX` = no head armed.
-    pub route_ready_at: u64,
-    pub alloc: Option<OutRef>,
-    /// Slab index of the allocated packet — only meaningful while `alloc`
-    /// is `Some`. Identifies the owner even when the buffer is transiently
-    /// empty mid-stream (needed by the fault purge).
-    pub alloc_pkt: u32,
+// ----------------------------------------------------------------------
+// Packed per-input-VC / per-output-VC ids. All per-VC state lives in
+// parallel flat arrays indexed by `iv = input * nvc + vc` and
+// `ov = channel * nvc + vc` (the same ids the event core schedules on), so
+// the allocation/arbitration hot loops are array scans with no pointer
+// chasing. `with_workload` asserts the network is small enough that the
+// packed encodings below cannot collide with their sentinels.
+// ----------------------------------------------------------------------
+
+/// `input_upstream` sentinel: injection input, no upstream channel.
+pub(crate) const NO_UPSTREAM: u32 = u32::MAX;
+/// `ivc_alloc` sentinel: no allocation held.
+pub(crate) const ALLOC_NONE: u32 = u32::MAX;
+/// `ivc_alloc` flag bit: ejection grant (low bits = host-local port).
+pub(crate) const ALLOC_EJECT_BIT: u32 = 1 << 31;
+/// `ovc_owner` sentinel: output VC unowned.
+pub(crate) const OWNER_NONE: u32 = u32::MAX;
+
+/// Pack a network allocation: `(channel << 8) | vc`.
+#[inline]
+pub(crate) fn alloc_net(ch: usize, vc: u8) -> u32 {
+    ((ch as u32) << 8) | vc as u32
 }
 
-#[derive(Debug)]
-pub(crate) struct InputUnit {
-    pub node: NodeId,
-    /// Upstream directed channel feeding this input (None for injection).
-    pub upstream: Option<usize>,
-    pub vcs: Vec<InputVc>,
+/// Pack an ejection grant.
+#[inline]
+pub(crate) fn alloc_eject(port: usize) -> u32 {
+    ALLOC_EJECT_BIT | port as u32
 }
 
-#[derive(Debug, Clone)]
-pub(crate) struct OutVc {
-    pub credits: usize,
-    pub owner: Option<(usize, u8)>,
+/// Is this packed allocation an ejection grant? (`ALLOC_NONE` has the
+/// eject bit set too, so the sentinel must be excluded first.)
+#[inline]
+pub(crate) fn alloc_is_eject(a: u32) -> bool {
+    a != ALLOC_NONE && a & ALLOC_EJECT_BIT != 0
 }
 
-#[derive(Debug)]
-pub(crate) struct OutputUnit {
-    pub vcs: Vec<OutVc>,
-    pub rr: usize,
+/// Decode a packed allocation id.
+#[inline]
+pub(crate) fn decode_alloc(a: u32) -> Option<OutRef> {
+    if a == ALLOC_NONE {
+        None
+    } else if a & ALLOC_EJECT_BIT != 0 {
+        Some(OutRef::Eject {
+            port: (a & !ALLOC_EJECT_BIT) as usize,
+        })
+    } else {
+        Some(OutRef::Net {
+            channel: (a >> 8) as usize,
+            vc: (a & 0xFF) as u8,
+        })
+    }
+}
+
+/// Pack an output-VC owner: `(input << 8) | vc`.
+#[inline]
+pub(crate) fn owner_pack(i: usize, v: u8) -> u32 {
+    ((i as u32) << 8) | v as u32
+}
+
+/// Inverse of [`owner_pack`].
+#[inline]
+pub(crate) fn owner_unpack(o: u32) -> (usize, u8) {
+    ((o >> 8) as usize, (o & 0xFF) as u8)
 }
 
 /// What [`Simulator::try_allocate_vc`] decided for one head packet.
@@ -199,8 +232,56 @@ pub struct Simulator {
     pub(crate) closed_total: Option<u64>,
 
     pub(crate) packets: PacketSlab,
-    pub(crate) inputs: Vec<InputUnit>,
-    pub(crate) outputs: Vec<OutputUnit>,
+
+    /// VC stride of the per-VC arrays below: `cfg.vcs.max(1)`. Injection
+    /// inputs use only slot 0 of their stride (their extra slots stay
+    /// empty), so `iv = input * nvc + vc` is one uniform id space shared
+    /// with the event core's scheduling keys.
+    pub(crate) nvc: usize,
+    /// Input unit count: `channels + hosts` (channel inputs first).
+    pub(crate) n_inputs: usize,
+    /// Per-input switch the unit belongs to.
+    pub(crate) input_node: Vec<u32>,
+    /// Per-input upstream directed channel ([`NO_UPSTREAM`] for injection).
+    pub(crate) input_upstream: Vec<u32>,
+    /// Per-`iv` input buffer.
+    pub(crate) ivc_buf: Vec<VecDeque<Flit>>,
+    /// Per-`iv` first cycle the head may attempt allocation (header
+    /// processing complete); `u64::MAX` = no head armed.
+    pub(crate) ivc_ready: Vec<u64>,
+    /// Per-`iv` packed allocation ([`ALLOC_NONE`] = none held).
+    pub(crate) ivc_alloc: Vec<u32>,
+    /// Per-`iv` slab index of the allocated packet — only meaningful while
+    /// `ivc_alloc` is held. Identifies the owner even when the buffer is
+    /// transiently empty mid-stream (needed by the fault purge).
+    pub(crate) ivc_alloc_pkt: Vec<u32>,
+    /// Per-`ov` downstream credit count.
+    pub(crate) ovc_credits: Vec<u32>,
+    /// Per-`ov` packed owner `(input, vc)` ([`OWNER_NONE`] = free).
+    pub(crate) ovc_owner: Vec<u32>,
+    /// Per-channel round-robin pointer for switch allocation.
+    pub(crate) out_rr: Vec<u32>,
+    /// Per-channel bitmask of output VCs that can send a flit *right now*:
+    /// bit `v` is set iff `ovc_owner[ch*nvc+v]` is held, the VC has at
+    /// least one credit, and the owner's input buffer is nonempty. Kept
+    /// exact by every owner/credit/buffer transition so [`Self::grant_channel`]
+    /// is a single load for the (at saturation, overwhelmingly common)
+    /// credit-starved channels instead of a per-VC gate scan.
+    pub(crate) ch_ready: Vec<u64>,
+    /// Per-channel bitmask of *owned* output VCs (superset of `ch_ready`):
+    /// the event engine's channel-deactivation test in O(1) instead of an
+    /// owner-slice scan.
+    pub(crate) ch_owned: Vec<u64>,
+
+    /// Compiled flat candidate tables (None = dynamic trait-call path,
+    /// either by `cfg.routing_tables` or because the scheme is not
+    /// tabulable).
+    pub(crate) flat: Option<Arc<crate::flat::FlatRouting>>,
+    /// Shared routing/rebuild cache, when the caller threads one through
+    /// ([`Simulator::with_routing_cache`]) — lets catch-up fault rebuilds
+    /// reuse tables across simulations of the same topology.
+    pub(crate) routing_cache: Option<Arc<crate::cache::RoutingCache>>,
+
     /// Per-channel in-flight flits `(arrival_cycle, flit, vc)` — dense
     /// engine only; the event engine schedules arrivals on its wheel.
     pub(crate) links: Vec<VecDeque<(u64, Flit, u8)>>,
@@ -238,6 +319,8 @@ pub struct Simulator {
     pub(crate) peak_buffered_flits: u64,
     /// Scratch for routing candidate lists.
     pub(crate) cand_scratch: Vec<(usize, u8)>,
+    /// Scratch for dynamic escape residues on the flat path.
+    pub(crate) esc_scratch: Vec<(usize, u8)>,
     /// Event-engine bookkeeping (None while running dense).
     pub(crate) ev: Option<Box<crate::event::EventState>>,
     /// Fault-injection state (None when `cfg.fault_plan` is empty).
@@ -298,35 +381,26 @@ impl Simulator {
             }
         };
 
-        let mut inputs = Vec::with_capacity(channels + hosts);
+        let nvc = cfg.vcs.max(1) as usize;
+        assert!(nvc <= 64, "ch_ready packs the per-channel VC set in a u64");
+        let n_inputs = channels + hosts;
+        assert!(
+            n_inputs < (1 << 23),
+            "network too large for the packed owner/alloc ids"
+        );
+        let mut input_node = Vec::with_capacity(n_inputs);
+        let mut input_upstream = Vec::with_capacity(n_inputs);
         for c in 0..channels {
             let (_, to) = graph.channel_endpoints(c);
-            inputs.push(InputUnit {
-                node: to,
-                upstream: Some(c),
-                vcs: (0..cfg.vcs).map(|_| InputVc::default()).collect(),
-            });
+            input_node.push(to as u32);
+            input_upstream.push(c as u32);
         }
         for h in 0..hosts {
-            inputs.push(InputUnit {
-                node: h / cfg.hosts_per_switch,
-                upstream: None,
-                vcs: vec![InputVc::default()],
-            });
+            input_node.push((h / cfg.hosts_per_switch) as u32);
+            input_upstream.push(NO_UPSTREAM);
         }
-
-        let outputs = (0..channels)
-            .map(|_| OutputUnit {
-                vcs: vec![
-                    OutVc {
-                        credits: cfg.buffer_flits,
-                        owner: None,
-                    };
-                    cfg.vcs as usize
-                ],
-                rr: 0,
-            })
-            .collect();
+        let iv_domain = n_inputs * nvc;
+        let ov_domain = channels * nvc;
 
         let stats = StatsCollector::new(&cfg);
         let telemetry = match &cfg.telemetry {
@@ -340,6 +414,10 @@ impl Simulator {
                 &graph,
                 &cfg.fault_plan,
             )))
+        };
+        let flat = match cfg.routing_tables {
+            crate::config::RoutingTables::Flat => routing.compiled_flat(),
+            crate::config::RoutingTables::Dyn => None,
         };
         Simulator {
             links: vec![VecDeque::new(); channels],
@@ -355,8 +433,21 @@ impl Simulator {
             pending_batch,
             closed_total,
             packets: PacketSlab::default(),
-            inputs,
-            outputs,
+            nvc,
+            n_inputs,
+            input_node,
+            input_upstream,
+            ivc_buf: vec![VecDeque::new(); iv_domain],
+            ivc_ready: vec![u64::MAX; iv_domain],
+            ivc_alloc: vec![ALLOC_NONE; iv_domain],
+            ivc_alloc_pkt: vec![0; iv_domain],
+            ovc_credits: vec![cfg.buffer_flits as u32; ov_domain],
+            ovc_owner: vec![OWNER_NONE; ov_domain],
+            out_rr: vec![0; channels],
+            ch_ready: vec![0; channels],
+            ch_owned: vec![0; channels],
+            flat,
+            routing_cache: None,
             credits_in_flight: VecDeque::new(),
             now: 0,
             input_used: vec![false; channels + hosts],
@@ -366,12 +457,42 @@ impl Simulator {
             buffered_flits: 0,
             peak_buffered_flits: 0,
             cand_scratch: Vec::new(),
+            esc_scratch: Vec::new(),
             ev: None,
             fault,
             cfg,
             stats,
             tracer: None,
             telemetry,
+        }
+    }
+
+    /// Thread a shared [`RoutingCache`](crate::cache::RoutingCache) through
+    /// this run so post-fault catch-up rebuilds reuse tables computed by
+    /// earlier runs on the same topology and mask; returns self for
+    /// chaining. Bit-identical to running without a cache (rebuilds are
+    /// pure in `(graph, mask, scheme)`).
+    pub fn with_routing_cache(mut self, cache: Arc<crate::cache::RoutingCache>) -> Self {
+        self.routing_cache = Some(cache);
+        self
+    }
+
+    /// Recompute `self.flat` for the current `self.routing` (after a fault
+    /// rebuild swapped the scheme).
+    pub(crate) fn refresh_flat(&mut self) {
+        self.flat = match self.cfg.routing_tables {
+            crate::config::RoutingTables::Flat => self.routing.compiled_flat(),
+            crate::config::RoutingTables::Dyn => None,
+        };
+    }
+
+    /// How many VC slots input `i` actually uses (injection inputs have 1).
+    #[inline]
+    pub(crate) fn vc_count(&self, i: usize) -> usize {
+        if i < self.links.len() {
+            self.nvc
+        } else {
+            1
         }
     }
 
@@ -570,17 +691,17 @@ impl Simulator {
     }
 
     fn allocate_dense(&mut self, now: u64) {
-        for i in 0..self.inputs.len() {
-            for v in 0..self.inputs[i].vcs.len() {
-                let ivc = &self.inputs[i].vcs[v];
-                let Some(&head) = ivc.buf.front() else {
+        for i in 0..self.n_inputs {
+            for v in 0..self.vc_count(i) {
+                let iv = i * self.nvc + v;
+                let Some(&head) = self.ivc_buf[iv].front() else {
                     continue;
                 };
-                if head.seq != 0 || ivc.alloc.is_some() {
+                if head.seq != 0 || self.ivc_alloc[iv] != ALLOC_NONE {
                     continue;
                 }
-                debug_assert_ne!(ivc.route_ready_at, u64::MAX, "head never armed");
-                if now < ivc.route_ready_at {
+                debug_assert_ne!(self.ivc_ready[iv], u64::MAX, "head never armed");
+                if now < self.ivc_ready[iv] {
                     continue;
                 }
                 if let AllocOutcome::Unroutable = self.try_allocate_vc(i, v, now) {
@@ -593,15 +714,15 @@ impl Simulator {
     fn traverse_dense(&mut self, now: u64) {
         // Network outputs: one flit per channel per cycle, round-robin over
         // the input VCs that own one of its output VCs.
-        for ch in 0..self.outputs.len() {
+        for ch in 0..self.links.len() {
             self.grant_channel(ch, now);
         }
         // Ejection: one flit per (switch, port) per cycle.
-        for i in 0..self.inputs.len() {
+        for i in 0..self.n_inputs {
             if self.input_used[i] {
                 continue;
             }
-            for v in 0..self.inputs[i].vcs.len() {
+            for v in 0..self.vc_count(i) {
                 self.try_eject_vc(i, v, now);
             }
         }
@@ -685,7 +806,7 @@ impl Simulator {
             self.buf_push(input, 0, Flit { packet: id, seq }, now);
         }
         if self.telemetry.enabled() {
-            let depth = self.inputs[input].vcs[0].buf.len() as u32;
+            let depth = self.ivc_buf[input * self.nvc].len() as u32;
             self.telemetry.on_inject_depth(depth, now);
         }
     }
@@ -694,10 +815,10 @@ impl Simulator {
     /// buffer arms the header-processing timer (the cycle at which the
     /// dense scan would first see it).
     pub(crate) fn buf_push(&mut self, i: usize, v: usize, flit: Flit, now: u64) {
-        let ivc = &mut self.inputs[i].vcs[v];
-        let was_empty = ivc.buf.is_empty();
-        ivc.buf.push_back(flit);
-        let depth = ivc.buf.len();
+        let iv = i * self.nvc + v;
+        let was_empty = self.ivc_buf[iv].is_empty();
+        self.ivc_buf[iv].push_back(flit);
+        let depth = self.ivc_buf[iv].len();
         self.buffered_flits += 1;
         self.peak_buffered_flits = self.peak_buffered_flits.max(self.buffered_flits);
         // Network inputs only (input unit i receives channel i for
@@ -713,17 +834,25 @@ impl Simulator {
                 now,
             );
         }
-        if was_empty && flit.seq == 0 {
-            debug_assert!(
-                self.inputs[i].vcs[v].alloc.is_none(),
-                "fresh head in a buffer still owned by a previous packet"
-            );
-            self.arm_header(i, v, now);
+        if was_empty {
+            if flit.seq == 0 {
+                debug_assert!(
+                    self.ivc_alloc[iv] == ALLOC_NONE,
+                    "fresh head in a buffer still owned by a previous packet"
+                );
+                self.arm_header(i, v, now);
+            } else if let Some(OutRef::Net { channel, vc }) = decode_alloc(self.ivc_alloc[iv]) {
+                // Mid-stream refill of a drained buffer: the allocated
+                // output VC may be sendable again.
+                self.refresh_ready(channel, vc as usize);
+            }
         }
     }
 
     fn buf_pop(&mut self, i: usize, v: usize) -> Flit {
-        let flit = self.inputs[i].vcs[v].buf.pop_front().expect("nonempty");
+        let flit = self.ivc_buf[i * self.nvc + v]
+            .pop_front()
+            .expect("nonempty");
         self.buffered_flits -= 1;
         flit
     }
@@ -735,7 +864,7 @@ impl Simulator {
     /// still wait one cycle).
     pub(crate) fn arm_header(&mut self, i: usize, v: usize, arm_cycle: u64) {
         let ready = arm_cycle + self.cfg.header_delay.max(1);
-        self.inputs[i].vcs[v].route_ready_at = ready;
+        self.ivc_ready[i * self.nvc + v] = ready;
         if let Some(ev) = &mut self.ev {
             ev.schedule_route(ready, i, v);
         }
@@ -744,22 +873,42 @@ impl Simulator {
     /// Release an input VC after its tail left; a revealed next-packet head
     /// is seen by the allocator no earlier than the following cycle.
     fn release_input_vc(&mut self, i: usize, v: usize, now: u64) {
-        let ivc = &mut self.inputs[i].vcs[v];
-        ivc.alloc = None;
-        ivc.route_ready_at = u64::MAX;
-        if let Some(&head) = ivc.buf.front() {
+        let iv = i * self.nvc + v;
+        self.ivc_alloc[iv] = ALLOC_NONE;
+        self.ivc_ready[iv] = u64::MAX;
+        if let Some(&head) = self.ivc_buf[iv].front() {
             debug_assert_eq!(head.seq, 0, "packets stream whole, in order");
             self.arm_header(i, v, now + 1);
         }
     }
 
     pub(crate) fn apply_credit(&mut self, ch: usize, vc: u8) {
-        let ovc = &mut self.outputs[ch].vcs[vc as usize];
-        ovc.credits += 1;
+        let ov = ch * self.nvc + vc as usize;
+        self.ovc_credits[ov] += 1;
         debug_assert!(
-            ovc.credits <= self.cfg.buffer_flits,
+            self.ovc_credits[ov] as usize <= self.cfg.buffer_flits,
             "credit overflow on channel {ch} vc {vc}"
         );
+        // A 0→1 credit transition may un-starve the owner.
+        if self.ovc_credits[ov] == 1 {
+            self.refresh_ready(ch, vc as usize);
+        }
+    }
+
+    /// Recompute the [`Self::ch_ready`] bit for output VC `(ch, vc)` from
+    /// the owner/credit/buffer state it summarizes.
+    pub(crate) fn refresh_ready(&mut self, ch: usize, vc: usize) {
+        let ov = ch * self.nvc + vc;
+        let owner = self.ovc_owner[ov];
+        let ready = owner != OWNER_NONE && self.ovc_credits[ov] > 0 && {
+            let (i, v) = owner_unpack(owner);
+            !self.ivc_buf[i * self.nvc + v as usize].is_empty()
+        };
+        if ready {
+            self.ch_ready[ch] |= 1u64 << vc;
+        } else {
+            self.ch_ready[ch] &= !(1u64 << vc);
+        }
     }
 
     /// Schedule a flit's link traversal toward the downstream input. A
@@ -820,11 +969,12 @@ impl Simulator {
     /// The caller guarantees the head is a seq-0 flit, unallocated, with
     /// `now >= route_ready_at`.
     pub(crate) fn try_allocate_vc(&mut self, i: usize, v: usize, now: u64) -> AllocOutcome {
-        let node = self.inputs[i].node;
-        let head = *self.inputs[i].vcs[v].buf.front().expect("head present");
+        let node = self.input_node[i] as usize;
+        let iv = i * self.nvc + v;
+        let head = *self.ivc_buf[iv].front().expect("head present");
         debug_assert_eq!(head.seq, 0);
-        debug_assert!(self.inputs[i].vcs[v].alloc.is_none());
-        debug_assert!(now >= self.inputs[i].vcs[v].route_ready_at);
+        debug_assert!(self.ivc_alloc[iv] == ALLOC_NONE);
+        debug_assert!(now >= self.ivc_ready[iv]);
         let pkt_idx = head.packet;
         let dest_sw = self.packets.get(pkt_idx).dest_sw as usize;
         if let Some(f) = &self.fault {
@@ -837,64 +987,126 @@ impl Simulator {
         if dest_sw == node {
             // Eject: always grantable (sink arbitrated per cycle).
             let port = self.packets.get(pkt_idx).dest_host as usize % self.cfg.hosts_per_switch;
-            self.inputs[i].vcs[v].alloc = Some(OutRef::Eject { port });
-            self.inputs[i].vcs[v].alloc_pkt = pkt_idx;
+            self.ivc_alloc[iv] = alloc_eject(port);
+            self.ivc_alloc_pkt[iv] = pkt_idx;
             self.telemetry.on_alloc_granted(pkt_idx, now);
             return AllocOutcome::Eject;
         }
-        let mut candidates = std::mem::take(&mut self.cand_scratch);
-        candidates.clear();
-        self.routing.candidates(
-            node,
-            dest_sw,
-            &self.packets.get(pkt_idx).route,
-            &mut candidates,
-        );
-        debug_assert!(
-            self.fault.is_some() || !candidates.is_empty(),
-            "no route from {node} to {dest_sw}"
-        );
         let need = match self.cfg.switching {
-            crate::config::Switching::VirtualCutThrough => self.cfg.packet_flits,
+            crate::config::Switching::VirtualCutThrough => self.cfg.packet_flits as u32,
             crate::config::Switching::Wormhole => 1,
         };
         let mut outcome = AllocOutcome::Blocked;
         let mut usable = 0usize;
-        for &(ch, vc) in &candidates {
-            debug_assert_eq!(self.graph.channel_endpoints(ch).0, node);
-            if self
-                .fault
-                .as_ref()
-                .is_some_and(|f| !f.mask.channel_alive(ch))
-            {
-                continue;
-            }
-            usable += 1;
-            let ovc = &mut self.outputs[ch].vcs[vc as usize];
-            if ovc.owner.is_none() && ovc.credits >= need {
-                ovc.owner = Some((i, v as u8));
-                self.inputs[i].vcs[v].alloc = Some(OutRef::Net { channel: ch, vc });
-                self.inputs[i].vcs[v].alloc_pkt = pkt_idx;
-                if let Some(tr) = &mut self.tracer {
-                    let uid = self.packets.get(pkt_idx).uid;
-                    tr.record(
-                        now,
-                        uid,
-                        TraceEvent::VcAllocated {
-                            at: node,
-                            channel: ch,
-                            vc,
-                        },
-                    );
+        // Take the table out for the scan instead of cloning the Arc: a
+        // per-attempt refcount bump on an Arc shared across sweep threads
+        // would contend on its cache line.
+        let flat_opt = self.flat.take();
+        match &flat_opt {
+            Some(flat) => {
+                // Hot path: candidates from the compiled table, preference
+                // order identical to the dynamic scan by construction.
+                let ctx = flat.ctx(&self.packets.get(pkt_idx).route);
+                let row = flat.row(ctx, node, dest_sw);
+                debug_assert!(
+                    self.fault.is_some() || flat.needs_dyn_escape() || !row.is_empty(),
+                    "no route from {node} to {dest_sw}"
+                );
+                for &packed in row {
+                    let (ch, vc) = crate::flat::unpack(packed);
+                    debug_assert_eq!(self.graph.channel_endpoints(ch).0, node);
+                    if self
+                        .fault
+                        .as_ref()
+                        .is_some_and(|f| !f.mask.channel_alive(ch))
+                    {
+                        continue;
+                    }
+                    usable += 1;
+                    if self.try_grant(i, v, pkt_idx, node, ch, vc, need, now) {
+                        match flat.hop_phase(ch, vc) {
+                            Some(phase) => {
+                                self.packets.get_mut(pkt_idx).route.ud_phase = phase;
+                            }
+                            None => {
+                                let route = &mut self.packets.get_mut(pkt_idx).route;
+                                self.routing.on_hop(node, dest_sw, route, ch, vc);
+                            }
+                        }
+                        self.telemetry.on_alloc_granted(pkt_idx, now);
+                        outcome = AllocOutcome::Net(ch);
+                        break;
+                    }
                 }
-                let route = &mut self.packets.get_mut(pkt_idx).route;
-                self.routing.on_hop(node, dest_sw, route, ch, vc);
-                self.telemetry.on_alloc_granted(pkt_idx, now);
-                outcome = AllocOutcome::Net(ch);
-                break;
+                if matches!(outcome, AllocOutcome::Blocked) && flat.needs_dyn_escape() {
+                    // Escape residue: scanned only after every tabulated
+                    // candidate blocked — the same concatenated preference
+                    // list the dynamic path walks.
+                    let mut esc = std::mem::take(&mut self.esc_scratch);
+                    esc.clear();
+                    self.routing.escape_candidates(
+                        node,
+                        dest_sw,
+                        &self.packets.get(pkt_idx).route,
+                        &mut esc,
+                    );
+                    for &(ch, vc) in &esc {
+                        debug_assert_eq!(self.graph.channel_endpoints(ch).0, node);
+                        if self
+                            .fault
+                            .as_ref()
+                            .is_some_and(|f| !f.mask.channel_alive(ch))
+                        {
+                            continue;
+                        }
+                        usable += 1;
+                        if self.try_grant(i, v, pkt_idx, node, ch, vc, need, now) {
+                            let route = &mut self.packets.get_mut(pkt_idx).route;
+                            self.routing.on_hop(node, dest_sw, route, ch, vc);
+                            self.telemetry.on_alloc_granted(pkt_idx, now);
+                            outcome = AllocOutcome::Net(ch);
+                            break;
+                        }
+                    }
+                    self.esc_scratch = esc;
+                }
+            }
+            None => {
+                // Reference path: dynamic trait calls per attempt.
+                let mut candidates = std::mem::take(&mut self.cand_scratch);
+                candidates.clear();
+                self.routing.candidates(
+                    node,
+                    dest_sw,
+                    &self.packets.get(pkt_idx).route,
+                    &mut candidates,
+                );
+                debug_assert!(
+                    self.fault.is_some() || !candidates.is_empty(),
+                    "no route from {node} to {dest_sw}"
+                );
+                for &(ch, vc) in &candidates {
+                    debug_assert_eq!(self.graph.channel_endpoints(ch).0, node);
+                    if self
+                        .fault
+                        .as_ref()
+                        .is_some_and(|f| !f.mask.channel_alive(ch))
+                    {
+                        continue;
+                    }
+                    usable += 1;
+                    if self.try_grant(i, v, pkt_idx, node, ch, vc, need, now) {
+                        let route = &mut self.packets.get_mut(pkt_idx).route;
+                        self.routing.on_hop(node, dest_sw, route, ch, vc);
+                        self.telemetry.on_alloc_granted(pkt_idx, now);
+                        outcome = AllocOutcome::Net(ch);
+                        break;
+                    }
+                }
+                self.cand_scratch = candidates;
             }
         }
-        self.cand_scratch = candidates;
+        self.flat = flat_opt;
         if matches!(outcome, AllocOutcome::Blocked) && usable == 0 && self.fault.is_some() {
             // Every candidate is structurally dead on the survivor graph
             // (not merely busy): the packet cannot make progress here.
@@ -909,53 +1121,107 @@ impl Simulator {
         outcome
     }
 
+    /// Attempt to grant output VC `(ch, vc)` to head `(i, v)`: checks the
+    /// owner and credit gates, and on success records the ownership, the
+    /// input allocation and the trace event (the caller commits the hop and
+    /// telemetry, preserving the exact historical effect order).
+    #[allow(clippy::too_many_arguments)]
+    fn try_grant(
+        &mut self,
+        i: usize,
+        v: usize,
+        pkt_idx: u32,
+        node: usize,
+        ch: usize,
+        vc: u8,
+        need: u32,
+        now: u64,
+    ) -> bool {
+        let ov = ch * self.nvc + vc as usize;
+        if self.ovc_owner[ov] != OWNER_NONE || self.ovc_credits[ov] < need {
+            return false;
+        }
+        self.ovc_owner[ov] = owner_pack(i, v as u8);
+        self.ch_owned[ch] |= 1u64 << vc;
+        // Freshly granted: credits >= need >= 1 and the head flit is
+        // buffered, so the VC is sendable right away.
+        self.ch_ready[ch] |= 1u64 << vc;
+        self.ivc_alloc[i * self.nvc + v] = alloc_net(ch, vc);
+        self.ivc_alloc_pkt[i * self.nvc + v] = pkt_idx;
+        if let Some(tr) = &mut self.tracer {
+            let uid = self.packets.get(pkt_idx).uid;
+            tr.record(
+                now,
+                uid,
+                TraceEvent::VcAllocated {
+                    at: node,
+                    channel: ch,
+                    vc,
+                },
+            );
+        }
+        true
+    }
+
     /// Switch allocation + flit send for one output channel this cycle:
-    /// round-robin over the output VCs with owners, send at most one flit.
+    /// round-robin over the sendable output VCs ([`Self::ch_ready`] —
+    /// owned, credited, flit buffered), send at most one flit.
     pub(crate) fn grant_channel(&mut self, ch: usize, now: u64) {
-        let nvc = self.outputs[ch].vcs.len();
-        let start = self.outputs[ch].rr;
+        let ready = self.ch_ready[ch];
+        if ready == 0 {
+            return;
+        }
+        let nvc = self.nvc;
+        let base = ch * nvc;
+        let start = self.out_rr[ch] as usize;
         let mut granted: Option<(usize, u8, u8)> = None; // (input, ivc, ovc)
-        for k in 0..nvc {
-            let ovc = (start + k) % nvc;
-            let Some((i, v)) = self.outputs[ch].vcs[ovc].owner else {
-                continue;
-            };
-            if self.input_used[i] {
-                continue;
+                                                         // Round-robin order from `start`: the ready bits at or above the
+                                                         // pointer (low-to-high), then the wrapped bits below it.
+        'scan: for (mut m, off) in [(ready >> start, start), (ready & ((1u64 << start) - 1), 0)] {
+            while m != 0 {
+                let ovc = off + m.trailing_zeros() as usize;
+                let owner = self.ovc_owner[base + ovc];
+                debug_assert_ne!(owner, OWNER_NONE, "ready bit without owner");
+                let (i, v) = owner_unpack(owner);
+                if !self.input_used[i] {
+                    granted = Some((i, v, ovc as u8));
+                    break 'scan;
+                }
+                m &= m - 1;
             }
-            if self.outputs[ch].vcs[ovc].credits == 0 {
-                continue;
-            }
-            if self.inputs[i].vcs[v as usize].buf.is_empty() {
-                continue;
-            }
-            granted = Some((i, v, ovc as u8));
-            break;
         }
         let Some((i, v, ovc)) = granted else {
             return;
         };
         self.last_progress = now;
         self.mark_input_used(i);
-        self.outputs[ch].rr = (ovc as usize + 1) % nvc;
+        self.out_rr[ch] = ((ovc as usize + 1) % nvc) as u32;
         let flit = self.buf_pop(i, v as usize);
-        self.outputs[ch].vcs[ovc as usize].credits -= 1;
+        self.ovc_credits[base + ovc as usize] -= 1;
         self.send_flit_on_link(ch, flit, ovc, now);
         if now >= self.cfg.warmup_cycles && now < self.cfg.warmup_cycles + self.cfg.measure_cycles {
             self.channel_flits[ch] += 1;
         }
         // Return a credit upstream for the flit leaving this buffer.
-        if let Some(up) = self.inputs[i].upstream {
-            self.return_credit(up, v, now);
+        let up = self.input_upstream[i];
+        if up != NO_UPSTREAM {
+            self.return_credit(up as usize, v, now);
         }
         let tail = flit.seq as usize + 1 == self.cfg.packet_flits;
+        if tail
+            || self.ovc_credits[base + ovc as usize] == 0
+            || self.ivc_buf[i * nvc + v as usize].is_empty()
+        {
+            self.ch_ready[ch] &= !(1u64 << ovc);
+        }
         self.telemetry
             .on_flit_sent(ch as u32, flit.packet, tail, now);
         if tail {
             // tail: release ownership and input state
-            self.outputs[ch].vcs[ovc as usize].owner = None;
+            self.ovc_owner[base + ovc as usize] = OWNER_NONE;
+            self.ch_owned[ch] &= !(1u64 << ovc);
             if let Some(tr) = &mut self.tracer {
-                let at = self.inputs[i].node;
+                let at = self.input_node[i] as usize;
                 let uid = self.packets.get(flit.packet).uid;
                 tr.record(now, uid, TraceEvent::TailSent { at, channel: ch });
             }
@@ -970,13 +1236,16 @@ impl Simulator {
         if self.input_used[i] {
             return false;
         }
-        let Some(OutRef::Eject { port }) = self.inputs[i].vcs[v].alloc else {
-            return false;
-        };
-        if self.inputs[i].vcs[v].buf.is_empty() {
+        let iv = i * self.nvc + v;
+        let a = self.ivc_alloc[iv];
+        if !alloc_is_eject(a) {
             return false;
         }
-        let node = self.inputs[i].node;
+        let port = (a & !ALLOC_EJECT_BIT) as usize;
+        if self.ivc_buf[iv].is_empty() {
+            return false;
+        }
+        let node = self.input_node[i] as usize;
         let slot = node * self.cfg.hosts_per_switch + port;
         if self.eject_used[slot] {
             return false;
@@ -986,8 +1255,9 @@ impl Simulator {
         self.mark_input_used(i);
         self.last_progress = now;
         let flit = self.buf_pop(i, v);
-        if let Some(up) = self.inputs[i].upstream {
-            self.return_credit(up, v as u8, now);
+        let up = self.input_upstream[i];
+        if up != NO_UPSTREAM {
+            self.return_credit(up as usize, v as u8, now);
         }
         let tail = flit.seq as usize + 1 == self.cfg.packet_flits;
         self.telemetry.on_ejected(flit.packet, tail, now);

@@ -30,19 +30,35 @@
 //! harmless because every telemetry accumulator is commutative within a
 //! cycle and at most one flit per (channel, VC) moves per cycle.
 
-use crate::engine::{AllocOutcome, Flit, OutRef, Simulator};
+use crate::engine::{alloc_is_eject, AllocOutcome, Flit, Simulator, ALLOC_NONE};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// One timed event on the wheel.
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// A credit arrives back at output VC `(ch, vc)`.
-    Credit { ch: u32, vc: u8 },
-    /// A flit arrives at the downstream input of `ch` on `vc`.
-    Link { ch: u32, vc: u8, flit: Flit },
-    /// Header delay expired for input VC `iv`: eligible for allocation.
-    Route { iv: u32 },
+/// One wheel slot, split by event kind so each per-cycle phase drains only
+/// its own events — credits land before link arrivals before route
+/// expiries (the dense phase order) without dispatching over a mixed list
+/// three times. Within a kind, push order is preserved, which is all the
+/// phase passes ever relied on.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Credits arriving back at output VC `(ch, vc)`.
+    credits: Vec<(u32, u8)>,
+    /// Flits arriving at the downstream input of `ch` on `vc`.
+    links: Vec<(u32, u8, Flit)>,
+    /// Input VCs whose header delay expired: eligible for allocation.
+    routes: Vec<u32>,
+}
+
+impl Slot {
+    fn len(&self) -> usize {
+        self.credits.len() + self.links.len() + self.routes.len()
+    }
+
+    fn clear(&mut self) {
+        self.credits.clear();
+        self.links.clear();
+        self.routes.clear();
+    }
 }
 
 /// Timing wheel: a power-of-two ring of slots indexed by `cycle & mask`.
@@ -50,19 +66,19 @@ enum Ev {
 /// wraps onto a pending slot.
 #[derive(Debug)]
 struct Wheel {
-    slots: Vec<Vec<Ev>>,
+    slots: Vec<Slot>,
     mask: u64,
     /// Total events currently scheduled (for the idle-skip check).
     pending: usize,
-    /// Recycled slot vectors (avoids reallocating every cycle).
-    pool: Vec<Vec<Ev>>,
+    /// Recycled slots (avoids reallocating the vectors every cycle).
+    pool: Vec<Slot>,
 }
 
 impl Wheel {
     fn new(max_delay: u64) -> Self {
         let size = (max_delay + 1).next_power_of_two().max(2);
         Wheel {
-            slots: (0..size).map(|_| Vec::new()).collect(),
+            slots: (0..size).map(|_| Slot::default()).collect(),
             mask: size - 1,
             pending: 0,
             pool: Vec::new(),
@@ -70,58 +86,60 @@ impl Wheel {
     }
 
     #[inline]
-    fn push(&mut self, t: u64, ev: Ev) {
-        self.slots[(t & self.mask) as usize].push(ev);
+    fn slot_mut(&mut self, t: u64) -> &mut Slot {
         self.pending += 1;
+        &mut self.slots[(t & self.mask) as usize]
     }
 
-    /// Take all events due at `now` (the slot is emptied; recycle the
-    /// vector back with [`Self::recycle`]).
-    fn take_slot(&mut self, now: u64) -> Vec<Ev> {
+    /// Take all events due at `now` (the slot is emptied; recycle it back
+    /// with [`Self::recycle`]).
+    fn take_slot(&mut self, now: u64) -> Slot {
         let fresh = self.pool.pop().unwrap_or_default();
         let slot = std::mem::replace(&mut self.slots[(now & self.mask) as usize], fresh);
         self.pending -= slot.len();
         slot
     }
 
-    fn recycle(&mut self, mut v: Vec<Ev>) {
-        v.clear();
-        self.pool.push(v);
+    fn recycle(&mut self, mut s: Slot) {
+        s.clear();
+        self.pool.push(s);
     }
 }
 
 /// A set of active unit indices iterated in sorted order once per phase.
-/// Removal is lazy (a bitmap marks membership); the live count keeps the
-/// emptiness check O(1) for the idle skip.
+/// Stored as a bitmap over the (small, fixed) unit domain: membership ops
+/// are single-word bit twiddles, the live count keeps the emptiness check
+/// O(1) for the idle skip, and a snapshot walks the words with
+/// `trailing_zeros`, yielding ascending order for free — no per-cycle
+/// sort/dedup pass.
 #[derive(Debug)]
 struct ActiveSet {
-    in_set: Vec<bool>,
-    items: Vec<u32>,
+    words: Vec<u64>,
     live: usize,
 }
 
 impl ActiveSet {
     fn new(domain: usize) -> Self {
         ActiveSet {
-            in_set: vec![false; domain],
-            items: Vec::new(),
+            words: vec![0; domain.div_ceil(64)],
             live: 0,
         }
     }
 
     #[inline]
     fn insert(&mut self, id: u32) {
-        if !self.in_set[id as usize] {
-            self.in_set[id as usize] = true;
-            self.items.push(id);
+        let (w, bit) = ((id >> 6) as usize, 1u64 << (id & 63));
+        if self.words[w] & bit == 0 {
+            self.words[w] |= bit;
             self.live += 1;
         }
     }
 
     #[inline]
     fn remove(&mut self, id: u32) {
-        if self.in_set[id as usize] {
-            self.in_set[id as usize] = false;
+        let (w, bit) = ((id >> 6) as usize, 1u64 << (id & 63));
+        if self.words[w] & bit != 0 {
+            self.words[w] &= !bit;
             self.live -= 1;
         }
     }
@@ -131,17 +149,19 @@ impl ActiveSet {
         self.live == 0
     }
 
-    /// Copy the live members, sorted ascending, into `out` (cleared
-    /// first). Compacts lazily-removed entries as a side effect. A member
-    /// re-inserted after a lazy removal exists twice in `items` until this
-    /// pass dedups it — without that, a phase would visit it twice.
-    fn snapshot_sorted(&mut self, out: &mut Vec<u32>) {
-        let in_set = &self.in_set;
-        self.items.retain(|&id| in_set[id as usize]);
-        self.items.sort_unstable();
-        self.items.dedup();
+    /// Copy the live members, sorted ascending, into `out` (cleared first).
+    fn snapshot_sorted(&self, out: &mut Vec<u32>) {
         out.clear();
-        out.extend_from_slice(&self.items);
+        if self.live == 0 {
+            return;
+        }
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut m = word;
+            while m != 0 {
+                out.push(((wi as u32) << 6) | m.trailing_zeros());
+                m &= m - 1;
+            }
+        }
     }
 }
 
@@ -178,22 +198,15 @@ impl EventState {
 
     pub(crate) fn schedule_route(&mut self, t: u64, i: usize, v: usize) {
         let iv = self.iv(i, v);
-        self.wheel.push(t, Ev::Route { iv });
+        self.wheel.slot_mut(t).routes.push(iv);
     }
 
     pub(crate) fn schedule_link(&mut self, t: u64, ch: usize, flit: Flit, vc: u8) {
-        self.wheel.push(
-            t,
-            Ev::Link {
-                ch: ch as u32,
-                vc,
-                flit,
-            },
-        );
+        self.wheel.slot_mut(t).links.push((ch as u32, vc, flit));
     }
 
     pub(crate) fn schedule_credit(&mut self, t: u64, ch: usize, vc: u8) {
-        self.wheel.push(t, Ev::Credit { ch: ch as u32, vc });
+        self.wheel.slot_mut(t).credits.push((ch as u32, vc));
     }
 
     pub(crate) fn schedule_injection(&mut self, t: u64, host: usize) {
@@ -205,11 +218,9 @@ impl EventState {
     pub(crate) fn wire_packets_on(&self, ch: usize) -> Vec<u32> {
         let mut out = Vec::new();
         for slot in &self.wheel.slots {
-            for ev in slot {
-                if let Ev::Link { ch: c, flit, .. } = *ev {
-                    if c as usize == ch {
-                        out.push(flit.packet);
-                    }
+            for &(c, _, flit) in &slot.links {
+                if c as usize == ch {
+                    out.push(flit.packet);
                 }
             }
         }
@@ -222,15 +233,16 @@ impl EventState {
     pub(crate) fn purge_link_flits(&mut self, pkt: u32) -> Vec<(usize, u8)> {
         let mut out = Vec::new();
         for slot in &mut self.wheel.slots {
-            let before = slot.len();
-            slot.retain(|ev| match *ev {
-                Ev::Link { ch, vc, flit } if flit.packet == pkt => {
+            let before = slot.links.len();
+            slot.links.retain(|&(ch, vc, flit)| {
+                if flit.packet == pkt {
                     out.push((ch as usize, vc));
                     false
+                } else {
+                    true
                 }
-                _ => true,
             });
-            self.wheel.pending -= before - slot.len();
+            self.wheel.pending -= before - slot.links.len();
         }
         out
     }
@@ -240,8 +252,8 @@ impl EventState {
 /// flight yet): empty wheel and sets, plus the injection calendar.
 pub(crate) fn prepare(sim: &mut Simulator) {
     debug_assert!(sim.ev.is_none() && sim.now == 0);
-    let nvc = sim.cfg.vcs.max(1) as u32;
-    let iv_domain = sim.inputs.len() * nvc as usize;
+    let nvc = sim.nvc as u32;
+    let iv_domain = sim.n_inputs * nvc as usize;
     // Largest delay ever pushed: a revealed head arms at `now + 1` and
     // expires `max(header_delay, 1)` later.
     let max_delay = sim
@@ -253,7 +265,7 @@ pub(crate) fn prepare(sim: &mut Simulator) {
     let mut ev = Box::new(EventState {
         wheel: Wheel::new(max_delay),
         alloc_pending: ActiveSet::new(iv_domain),
-        out_active: ActiveSet::new(sim.outputs.len()),
+        out_active: ActiveSet::new(sim.links.len()),
         eject_active: ActiveSet::new(iv_domain),
         inj_heap: BinaryHeap::new(),
         scratch: Vec::new(),
@@ -284,42 +296,36 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
     // the dense phase order. At most one credit and one arrival exist per
     // (channel, VC) per cycle, so ordering within a pass is immaterial.
     let slot = sim.ev.as_mut().expect("event state").wheel.take_slot(now);
-    for ev in &slot {
-        if let Ev::Credit { ch, vc } = *ev {
-            sim.apply_credit(ch as usize, vc);
-        }
+    for &(ch, vc) in &slot.credits {
+        sim.apply_credit(ch as usize, vc);
     }
-    for ev in &slot {
-        if let Ev::Link { ch, vc, flit } = *ev {
-            sim.buf_push(ch as usize, vc as usize, flit, now);
-        }
+    for &(ch, vc, flit) in &slot.links {
+        sim.buf_push(ch as usize, vc as usize, flit, now);
     }
-    for ev in &slot {
-        if let Ev::Route { iv } = *ev {
-            let es = sim.ev.as_ref().expect("event state");
-            let (i, v) = es.iv_decode(iv);
-            let ivc = &sim.inputs[i].vcs[v];
-            // Without faults a route expiry always finds the armed head
-            // still waiting: allocation cannot have happened before the
-            // timer ran out, and re-arming implies the previous packet
-            // already left. A fault purge can orphan an expiry; a stale
-            // event can never collide with a fresh arm's ready cycle
-            // (old ready = T + hd with T < now < now + hd = new ready),
-            // so `route_ready_at == now` is a precise validity test.
-            let valid = ivc.route_ready_at == now
-                && ivc.alloc.is_none()
-                && ivc.buf.front().is_some_and(|f| f.seq == 0);
-            debug_assert!(
-                valid || sim.fault.is_some(),
-                "stale route expiry without faults"
-            );
-            if valid {
-                sim.ev
-                    .as_mut()
-                    .expect("event state")
-                    .alloc_pending
-                    .insert(iv);
-            }
+    for &iv in &slot.routes {
+        // The wheel's iv ids index the simulator's SoA arrays directly
+        // (same `input * nvc + vc` stride).
+        let unit = iv as usize;
+        // Without faults a route expiry always finds the armed head
+        // still waiting: allocation cannot have happened before the
+        // timer ran out, and re-arming implies the previous packet
+        // already left. A fault purge can orphan an expiry; a stale
+        // event can never collide with a fresh arm's ready cycle
+        // (old ready = T + hd with T < now < now + hd = new ready),
+        // so `ivc_ready == now` is a precise validity test.
+        let valid = sim.ivc_ready[unit] == now
+            && sim.ivc_alloc[unit] == ALLOC_NONE
+            && sim.ivc_buf[unit].front().is_some_and(|f| f.seq == 0);
+        debug_assert!(
+            valid || sim.fault.is_some(),
+            "stale route expiry without faults"
+        );
+        if valid {
+            sim.ev
+                .as_mut()
+                .expect("event state")
+                .alloc_pending
+                .insert(iv);
         }
     }
     sim.ev.as_mut().expect("event state").wheel.recycle(slot);
@@ -360,10 +366,10 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
         let (i, v) = sim.ev.as_ref().expect("event state").iv_decode(iv);
         // Re-check eligibility fresh: an earlier iteration's unroutable
         // drop may have purged this entry's head or re-armed it.
-        let ivc = &sim.inputs[i].vcs[v];
-        let eligible = ivc.alloc.is_none()
-            && ivc.route_ready_at <= now
-            && ivc.buf.front().is_some_and(|f| f.seq == 0);
+        let slot = iv as usize;
+        let eligible = sim.ivc_alloc[slot] == ALLOC_NONE
+            && sim.ivc_ready[slot] <= now
+            && sim.ivc_buf[slot].front().is_some_and(|f| f.seq == 0);
         if !eligible {
             debug_assert!(sim.fault.is_some(), "stale alloc entry without faults");
             sim.ev
@@ -408,11 +414,7 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
         sim.grant_channel(ch as usize, now);
         // Deactivate whenever no owner remains — not only after a tail
         // send, since a fault drop can strip ownership mid-stream.
-        if sim.outputs[ch as usize]
-            .vcs
-            .iter()
-            .all(|o| o.owner.is_none())
-        {
+        if sim.ch_owned[ch as usize] == 0 {
             sim.ev.as_mut().expect("event state").out_active.remove(ch);
         }
     }
@@ -428,7 +430,7 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
     for &iv in &scratch {
         let (i, v) = sim.ev.as_ref().expect("event state").iv_decode(iv);
         // A fault drop may have stripped the grant since the snapshot.
-        if !matches!(sim.inputs[i].vcs[v].alloc, Some(OutRef::Eject { .. })) {
+        if !alloc_is_eject(sim.ivc_alloc[iv as usize]) {
             sim.ev
                 .as_mut()
                 .expect("event state")

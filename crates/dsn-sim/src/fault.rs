@@ -23,7 +23,9 @@
 //! [`crate::RunStats`] stay bit-identical between the two engines under any
 //! fault schedule (`tests/fault_equivalence.rs`).
 
-use crate::engine::{OutRef, Simulator};
+use crate::engine::{
+    decode_alloc, owner_pack, owner_unpack, OutRef, Simulator, ALLOC_NONE, NO_UPSTREAM, OWNER_NONE,
+};
 use dsn_core::fault::{is_connected_masked, EdgeMask};
 use dsn_core::graph::Graph;
 use dsn_core::{EdgeId, NodeId};
@@ -453,15 +455,16 @@ impl Simulator {
         // zero-sent owners (their seq-0 flit still heads the buffer).
         type Victim = (u32, u32, Option<(usize, usize)>);
         let mut victims: Vec<Victim> = Vec::new();
-        for w in 0..self.outputs[ch].vcs.len() {
-            let Some((i, v)) = self.outputs[ch].vcs[w].owner else {
+        for w in 0..self.nvc {
+            let owner = self.ovc_owner[ch * self.nvc + w];
+            if owner == OWNER_NONE {
                 continue;
-            };
-            let ivc = &self.inputs[i].vcs[v as usize];
-            debug_assert!(ivc.alloc.is_some());
-            let pkt = ivc.alloc_pkt;
-            let zero_sent = ivc
-                .buf
+            }
+            let (i, v) = owner_unpack(owner);
+            let iv = i * self.nvc + v as usize;
+            debug_assert_ne!(self.ivc_alloc[iv], ALLOC_NONE);
+            let pkt = self.ivc_alloc_pkt[iv];
+            let zero_sent = self.ivc_buf[iv]
                 .front()
                 .is_some_and(|f| f.packet == pkt && f.seq == 0);
             victims.push((
@@ -496,15 +499,16 @@ impl Simulator {
     /// the dead allocation and re-arm the header so the (rebuilt) routing
     /// is consulted afresh on the survivor graph.
     fn salvage_packet(&mut self, i: usize, v: usize, now: u64) {
-        let alloc = self.inputs[i].vcs[v].alloc.take();
-        let Some(OutRef::Net { channel, vc }) = alloc else {
+        let iv = i * self.nvc + v;
+        let alloc = std::mem::replace(&mut self.ivc_alloc[iv], ALLOC_NONE);
+        let Some(OutRef::Net { channel, vc }) = decode_alloc(alloc) else {
             panic!("salvage victim must hold a network allocation");
         };
-        debug_assert_eq!(
-            self.outputs[channel].vcs[vc as usize].owner,
-            Some((i, v as u8))
-        );
-        self.outputs[channel].vcs[vc as usize].owner = None;
+        let ov = channel * self.nvc + vc as usize;
+        debug_assert_eq!(self.ovc_owner[ov], owner_pack(i, v as u8));
+        self.ovc_owner[ov] = OWNER_NONE;
+        self.ch_owned[channel] &= !(1u64 << vc);
+        self.ch_ready[channel] &= !(1u64 << vc);
         self.arm_header(i, v, now);
         self.fault.as_mut().expect("fault runtime").salvaged += 1;
     }
@@ -543,8 +547,7 @@ impl Simulator {
     /// The head packet of `(i, v)` has no usable route on the survivor
     /// graph: drop it (phase-4 outcome [`crate::engine::AllocOutcome::Unroutable`]).
     pub(crate) fn unroutable_drop(&mut self, i: usize, v: usize, now: u64) {
-        let pkt = self.inputs[i].vcs[v]
-            .buf
+        let pkt = self.ivc_buf[i * self.nvc + v]
             .front()
             .expect("unroutable head")
             .packet;
@@ -557,40 +560,42 @@ impl Simulator {
     /// conservation exact at all times), re-arm any revealed next head, and
     /// retire the slab slot.
     pub(crate) fn drop_packet_everywhere(&mut self, pkt: u32, now: u64) {
-        for i in 0..self.inputs.len() {
-            for v in 0..self.inputs[i].vcs.len() {
-                let (removed, cleared_alloc, reveal) = {
-                    let ivc = &mut self.inputs[i].vcs[v];
-                    let had_alloc = ivc.alloc.is_some() && ivc.alloc_pkt == pkt;
-                    let front_was = ivc.buf.front().is_some_and(|f| f.packet == pkt);
-                    if !had_alloc && !front_was && !ivc.buf.iter().any(|f| f.packet == pkt) {
-                        continue;
-                    }
-                    let before = ivc.buf.len();
-                    ivc.buf.retain(|f| f.packet != pkt);
-                    let removed = before - ivc.buf.len();
-                    let cleared = if had_alloc { ivc.alloc.take() } else { None };
-                    let reveal = had_alloc || front_was;
-                    if reveal {
-                        ivc.route_ready_at = u64::MAX;
-                    }
-                    (removed, cleared, reveal)
+        for i in 0..self.n_inputs {
+            for v in 0..self.vc_count(i) {
+                let iv = i * self.nvc + v;
+                let had_alloc = self.ivc_alloc[iv] != ALLOC_NONE && self.ivc_alloc_pkt[iv] == pkt;
+                let front_was = self.ivc_buf[iv].front().is_some_and(|f| f.packet == pkt);
+                if !had_alloc && !front_was && !self.ivc_buf[iv].iter().any(|f| f.packet == pkt) {
+                    continue;
+                }
+                let before = self.ivc_buf[iv].len();
+                self.ivc_buf[iv].retain(|f| f.packet != pkt);
+                let removed = before - self.ivc_buf[iv].len();
+                let cleared_alloc = if had_alloc {
+                    decode_alloc(std::mem::replace(&mut self.ivc_alloc[iv], ALLOC_NONE))
+                } else {
+                    None
                 };
+                let reveal = had_alloc || front_was;
+                if reveal {
+                    self.ivc_ready[iv] = u64::MAX;
+                }
                 self.buffered_flits -= removed as u64;
                 if let Some(OutRef::Net { channel, vc }) = cleared_alloc {
-                    debug_assert_eq!(
-                        self.outputs[channel].vcs[vc as usize].owner,
-                        Some((i, v as u8))
-                    );
-                    self.outputs[channel].vcs[vc as usize].owner = None;
+                    let ov = channel * self.nvc + vc as usize;
+                    debug_assert_eq!(self.ovc_owner[ov], owner_pack(i, v as u8));
+                    self.ovc_owner[ov] = OWNER_NONE;
+                    self.ch_owned[channel] &= !(1u64 << vc);
+                    self.ch_ready[channel] &= !(1u64 << vc);
                 }
-                if let Some(up) = self.inputs[i].upstream {
+                let up = self.input_upstream[i];
+                if up != NO_UPSTREAM {
                     for _ in 0..removed {
-                        self.apply_credit(up, v as u8);
+                        self.apply_credit(up as usize, v as u8);
                     }
                 }
                 if reveal {
-                    if let Some(&head) = self.inputs[i].vcs[v].buf.front() {
+                    if let Some(&head) = self.ivc_buf[iv].front() {
                         debug_assert_eq!(head.seq, 0, "packets stream whole, in order");
                         self.arm_header(i, v, now);
                     }
@@ -639,12 +644,13 @@ impl Simulator {
         }
         let mut victims: Vec<(u32, u32)> = Vec::new();
         for &i in &units {
-            for v in 0..self.inputs[i].vcs.len() {
-                let ivc = &self.inputs[i].vcs[v];
-                if ivc.alloc.is_some() {
-                    victims.push((self.packets.get(ivc.alloc_pkt).uid, ivc.alloc_pkt));
+            for v in 0..self.vc_count(i) {
+                let iv = i * self.nvc + v;
+                if self.ivc_alloc[iv] != ALLOC_NONE {
+                    let pkt = self.ivc_alloc_pkt[iv];
+                    victims.push((self.packets.get(pkt).uid, pkt));
                 }
-                for f in &ivc.buf {
+                for f in &self.ivc_buf[iv] {
                     victims.push((self.packets.get(f.packet).uid, f.packet));
                 }
             }
@@ -681,13 +687,18 @@ impl Simulator {
     /// engines).
     fn rebuild_routing(&mut self) {
         let mask = self.fault.as_ref().expect("fault runtime").mask.clone();
-        let rebuilt = self.routing.rebuild(&self.graph, &mask).unwrap_or_else(|| {
+        let rebuilt = match &self.routing_cache {
+            Some(cache) => cache.rebuild(&self.graph, &self.routing, &mask),
+            None => self.routing.rebuild(&self.graph, &mask),
+        };
+        let rebuilt = rebuilt.unwrap_or_else(|| {
             panic!(
                 "routing scheme '{}' does not support online reroute under faults",
                 self.routing.name()
             )
         });
         self.routing = rebuilt;
+        self.refresh_flat();
         let routing = self.routing.clone();
         self.packets
             .for_each_live_mut(|p| routing.reset_state(&mut p.route));

@@ -35,10 +35,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod config;
 pub mod engine;
 mod event;
 pub mod fault;
+mod flat;
 mod inject;
 pub mod routing;
 pub mod stats;
@@ -47,17 +49,20 @@ pub mod trace;
 pub mod traffic;
 pub mod workload;
 
-pub use config::{EngineKind, SimConfig, Switching};
+pub use cache::RoutingCache;
+pub use config::{EngineKind, RoutingTables, SimConfig, Switching};
 pub use dsn_telemetry::{
     PacketTracer, Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord,
 };
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, SalvagePolicy};
-pub use routing::{AdaptiveEscape, MinimalAdaptiveDsn, SimRouting, SourceRouted, UpDownRouting};
+pub use routing::{
+    AdaptiveEscape, FlatRouting, MinimalAdaptiveDsn, SimRouting, SourceRouted, UpDownRouting,
+};
 pub use stats::RunStats;
 pub use sweep::{
-    find_saturation, find_saturation_with, load_sweep, load_sweep_with, paper_load_grid,
-    SweepResult,
+    find_saturation, find_saturation_cached, find_saturation_with, load_sweep, load_sweep_cached,
+    load_sweep_with, paper_load_grid, SweepResult,
 };
 pub use traffic::TrafficPattern;
 pub use workload::Workload;

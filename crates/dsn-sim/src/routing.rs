@@ -9,11 +9,14 @@
 //! routing for tori), so the simulator can compare custom vs agnostic
 //! routing the way Section VII.B discusses.
 
+use crate::flat::{compile_phase_table, HopRule};
 use dsn_core::fault::EdgeMask;
 use dsn_core::graph::{Graph, LinkKind};
 use dsn_core::NodeId;
 use dsn_route::updown::{UdPhase, UpDown};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+pub use crate::flat::FlatRouting;
 
 /// Per-packet routing state carried between hops.
 #[derive(Debug, Clone)]
@@ -72,6 +75,38 @@ pub trait SimRouting: Send + Sync {
     /// phase; cached source routes are translated by the scheme itself.
     fn reset_state(&self, state: &mut RouteState) {
         state.ud_phase = UdPhase::Up;
+    }
+
+    /// Stable identity of this scheme *configuration* (name + parameters
+    /// that change candidate tables), used as the
+    /// [`RoutingCache`](crate::cache::RoutingCache) key component. Two
+    /// instances with the same key on the same graph must produce identical
+    /// candidates. Defaults to [`Self::name`].
+    fn scheme_key(&self) -> String {
+        self.name()
+    }
+
+    /// The flattened candidate table for this scheme, compiled lazily on
+    /// first call and memoized per instance. `None` (the default) means the
+    /// scheme cannot be tabulated per `(switch, dest, phase)` — the engine
+    /// stays on the dynamic `candidates` path.
+    fn compiled_flat(&self) -> Option<Arc<FlatRouting>> {
+        None
+    }
+
+    /// Dynamic escape residue for schemes whose flat table covers only the
+    /// adaptive candidates (`FlatRouting::needs_dyn_escape`). Called by
+    /// the engine only after every tabulated candidate was blocked; must
+    /// emit exactly the candidates `candidates` would have appended after
+    /// the adaptive ones.
+    fn escape_candidates(
+        &self,
+        cur: NodeId,
+        dest: NodeId,
+        state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
+        let _ = (cur, dest, state, out);
     }
 }
 
@@ -136,6 +171,7 @@ pub struct AdaptiveEscape {
     vcs: u8,
     /// Survivor mask when this instance is a post-fault rebuild.
     mask: Option<EdgeMask>,
+    flat: OnceLock<Arc<FlatRouting>>,
 }
 
 impl AdaptiveEscape {
@@ -154,13 +190,39 @@ impl AdaptiveEscape {
             updown,
             vcs,
             mask: None,
+            flat: OnceLock::new(),
         }
     }
+
+    /// Per-channel "taking this directed channel is an up move" table for
+    /// the flat hop rule.
+    fn up_move_table(&self) -> Vec<bool> {
+        up_move_table(&self.graph, &self.updown)
+    }
+
+    /// The [`SimRouting::scheme_key`] an instance built with `vcs` virtual
+    /// channels will report, computable without building the scheme. Lets
+    /// benchmark drivers address a [`crate::RoutingCache`] entry up front.
+    pub fn key_for(vcs: u8) -> String {
+        format!("adaptive+ud-escape({vcs}vc)")
+    }
+}
+
+/// Shared helper: `up_move[ch]` for every directed channel of `g` under
+/// the given up*/down* forest (dead channels get a value too — harmless,
+/// they never appear in a compiled row).
+fn up_move_table(g: &Graph, updown: &UpDown) -> Vec<bool> {
+    (0..2 * g.edge_count())
+        .map(|ch| {
+            let (from, _) = g.channel_endpoints(ch);
+            updown.is_up_move(g, ch / 2, from)
+        })
+        .collect()
 }
 
 impl SimRouting for AdaptiveEscape {
     fn name(&self) -> String {
-        format!("adaptive+ud-escape({}vc)", self.vcs)
+        AdaptiveEscape::key_for(self.vcs)
     }
 
     fn init(&self, _src: NodeId, _dest: NodeId) -> RouteState {
@@ -209,7 +271,33 @@ impl SimRouting for AdaptiveEscape {
             updown: UpDown::new_masked(graph, self.updown.root(), mask),
             vcs: self.vcs,
             mask: Some(mask.clone()),
+            flat: OnceLock::new(),
         }))
+    }
+
+    fn compiled_flat(&self) -> Option<Arc<FlatRouting>> {
+        Some(
+            self.flat
+                .get_or_init(|| {
+                    compile_phase_table(
+                        self.graph.node_count(),
+                        1,
+                        self.up_move_table(),
+                        |ctx, cur, dest, out| {
+                            let state = FlatRouting::synthetic_state(ctx);
+                            // A Down state that cannot reach `dest` never
+                            // occurs in legal traffic; its row is never
+                            // queried, so leave it empty instead of asking
+                            // the strict-mode escape for hops it lacks.
+                            if !self.updown.reachable_phased(cur, state.ud_phase, dest) {
+                                return;
+                            }
+                            self.candidates(cur, dest, &state, out)
+                        },
+                    )
+                })
+                .clone(),
+        )
     }
 }
 
@@ -219,6 +307,7 @@ pub struct UpDownRouting {
     graph: Arc<Graph>,
     updown: UpDown,
     vcs: u8,
+    flat: OnceLock<Arc<FlatRouting>>,
 }
 
 impl UpDownRouting {
@@ -226,7 +315,12 @@ impl UpDownRouting {
     pub fn new(graph: Arc<Graph>, vcs: u8) -> Self {
         assert!(vcs >= 1);
         let updown = UpDown::new(&graph, 0);
-        UpDownRouting { graph, updown, vcs }
+        UpDownRouting {
+            graph,
+            updown,
+            vcs,
+            flat: OnceLock::new(),
+        }
     }
 }
 
@@ -262,7 +356,33 @@ impl SimRouting for UpDownRouting {
             graph: graph.clone(),
             updown: UpDown::new_masked(graph, self.updown.root(), mask),
             vcs: self.vcs,
+            flat: OnceLock::new(),
         }))
+    }
+
+    fn compiled_flat(&self) -> Option<Arc<FlatRouting>> {
+        Some(
+            self.flat
+                .get_or_init(|| {
+                    // Every VC is an escape lane: the phase rule applies to
+                    // all hops, exactly like the dynamic `on_hop`.
+                    compile_phase_table(
+                        self.graph.node_count(),
+                        self.vcs,
+                        up_move_table(&self.graph, &self.updown),
+                        |ctx, cur, dest, out| {
+                            let state = FlatRouting::synthetic_state(ctx);
+                            // Unreachable Down states never occur in legal
+                            // traffic; leave their rows empty.
+                            if !self.updown.reachable_phased(cur, state.ud_phase, dest) {
+                                return;
+                            }
+                            self.candidates(cur, dest, &state, out)
+                        },
+                    )
+                })
+                .clone(),
+        )
     }
 }
 
@@ -281,6 +401,7 @@ pub struct MinimalAdaptiveDsn {
     graph: Arc<Graph>,
     dist: DistanceTable,
     vcs: u8,
+    flat: OnceLock<Arc<FlatRouting>>,
 }
 
 impl MinimalAdaptiveDsn {
@@ -298,6 +419,21 @@ impl MinimalAdaptiveDsn {
             graph,
             dist,
             vcs,
+            flat: OnceLock::new(),
+        }
+    }
+
+    /// Adaptive minimal candidates on VCs `4..vcs` — the tabulable part of
+    /// the preference list.
+    fn adaptive_candidates(&self, cur: NodeId, dest: NodeId, out: &mut Vec<Candidate>) {
+        let dcur = self.dist.get(cur, dest);
+        for (u, e) in self.graph.neighbors(cur) {
+            if self.dist.get(u, dest) < dcur {
+                let ch = self.graph.channel_id(e, cur);
+                for vc in 4..self.vcs {
+                    out.push((ch, vc));
+                }
+            }
         }
     }
 }
@@ -316,16 +452,17 @@ impl SimRouting for MinimalAdaptiveDsn {
     }
 
     fn candidates(&self, cur: NodeId, dest: NodeId, state: &RouteState, out: &mut Vec<Candidate>) {
-        // Adaptive minimal candidates on VCs 4..vcs.
-        let dcur = self.dist.get(cur, dest);
-        for (u, e) in self.graph.neighbors(cur) {
-            if self.dist.get(u, dest) < dcur {
-                let ch = self.graph.channel_id(e, cur);
-                for vc in 4..self.vcs {
-                    out.push((ch, vc));
-                }
-            }
-        }
+        self.adaptive_candidates(cur, dest, out);
+        self.escape_candidates(cur, dest, state, out);
+    }
+
+    fn escape_candidates(
+        &self,
+        cur: NodeId,
+        dest: NodeId,
+        state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
         // Escape: continue the cached per-sojourn custom route when one is
         // active at this node; otherwise the first hop of a fresh
         // three-phase route from here. Either way the hop belongs to some
@@ -372,6 +509,26 @@ impl SimRouting for MinimalAdaptiveDsn {
             state.path = Some(fresh);
             state.idx = 1;
         }
+    }
+
+    fn compiled_flat(&self) -> Option<Arc<FlatRouting>> {
+        Some(
+            self.flat
+                .get_or_init(|| {
+                    // Only the adaptive candidates are a pure function of
+                    // (cur, dest); the DSN-V escape depends on the packet's
+                    // sojourn cache and stays dynamic (`escape_candidates`,
+                    // consulted after the table blocks), as does `on_hop`.
+                    Arc::new(FlatRouting::compile(
+                        self.graph.node_count(),
+                        1,
+                        HopRule::Dyn,
+                        true,
+                        |_, cur, dest, out| self.adaptive_candidates(cur, dest, out),
+                    ))
+                })
+                .clone(),
+        )
     }
 }
 
@@ -498,12 +655,18 @@ impl SimRouting for SourceRouted {
     fn rebuild(&self, graph: &Arc<Graph>, mask: &EdgeMask) -> Option<Arc<dyn SimRouting>> {
         Some(Arc::new(DetourSourceRouted {
             name: format!("{}+detour", self.name),
+            base_key: self.scheme_key(),
             provider: self.provider.clone(),
             lanes: self.lanes,
             graph: graph.clone(),
             dist: DistanceTable::new_masked(graph, mask),
             mask: mask.clone(),
         }))
+    }
+
+    fn scheme_key(&self) -> String {
+        // Lanes change the emitted VCs, so they are part of the identity.
+        format!("{}[lanes={}]", self.name, self.lanes)
     }
 }
 
@@ -520,6 +683,9 @@ impl SimRouting for SourceRouted {
 /// bit-identical agreement either way).
 struct DetourSourceRouted {
     name: String,
+    /// The pre-fault scheme's key, kept stable across epochs so the
+    /// per-(scheme, mask) rebuild cache hits on catch-up rebuild chains.
+    base_key: String,
     provider: PathProvider,
     lanes: u8,
     graph: Arc<Graph>,
@@ -595,12 +761,17 @@ impl SimRouting for DetourSourceRouted {
     fn rebuild(&self, graph: &Arc<Graph>, mask: &EdgeMask) -> Option<Arc<dyn SimRouting>> {
         Some(Arc::new(DetourSourceRouted {
             name: self.name.clone(),
+            base_key: self.base_key.clone(),
             provider: self.provider.clone(),
             lanes: self.lanes,
             graph: graph.clone(),
             dist: DistanceTable::new_masked(graph, mask),
             mask: mask.clone(),
         }))
+    }
+
+    fn scheme_key(&self) -> String {
+        self.base_key.clone()
     }
 }
 

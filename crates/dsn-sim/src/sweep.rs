@@ -1,8 +1,19 @@
 //! Load-sweep harness: run the simulator across a range of offered loads
 //! (in parallel with rayon) and produce the latency-vs-accepted-traffic
 //! curves of the paper's Figure 10.
+//!
+//! Every sweep point of one invocation shares a single routing instance:
+//! `make_routing` is called **exactly once** per sweep (the schemes are
+//! immutable during a run, and fault rebuilds replace the `Arc` per
+//! simulation), and with [`crate::config::RoutingTables::Flat`] the
+//! flattened candidate table is compiled once before the fan-out so no
+//! rayon worker pays the compile. The `_cached` variants additionally pull
+//! the scheme from a shared [`RoutingCache`], which deduplicates builds
+//! across *separate* sweeps of the same topology — and across the fault
+//! rebuilds inside degraded sweeps.
 
-use crate::config::SimConfig;
+use crate::cache::RoutingCache;
+use crate::config::{RoutingTables, SimConfig};
 use crate::engine::Simulator;
 use crate::routing::SimRouting;
 use crate::stats::RunStats;
@@ -63,14 +74,33 @@ impl SweepResult {
     }
 }
 
+/// Prepare one shared routing instance for a sweep: build (or fetch from
+/// the cache) once, then precompile the flat table once — *before* the
+/// parallel fan-out, so workers share it instead of racing to build it.
+fn sweep_routing(
+    graph: &Arc<Graph>,
+    cfg: &SimConfig,
+    cache: Option<(&Arc<RoutingCache>, &str)>,
+    make_routing: impl FnOnce() -> Arc<dyn SimRouting>,
+) -> Arc<dyn SimRouting> {
+    let routing = match cache {
+        Some((cache, key)) => cache.get_or_build(graph, key, make_routing),
+        None => make_routing(),
+    };
+    if cfg.routing_tables == RoutingTables::Flat {
+        routing.compiled_flat(); // memoized per instance; warm it here once
+    }
+    routing
+}
+
 /// Run a load sweep: one simulation per offered load (Gbit/s/host), fanned
-/// out over the rayon pool. `make_routing` is called once per run so each
-/// simulation owns its routing tables.
+/// out over the rayon pool. `make_routing` is called exactly once — every
+/// point shares the immutable routing tables.
 pub fn load_sweep(
     label: impl Into<String>,
     graph: Arc<Graph>,
     cfg: &SimConfig,
-    make_routing: impl Fn() -> Arc<dyn SimRouting> + Sync,
+    make_routing: impl FnOnce() -> Arc<dyn SimRouting>,
     pattern: &TrafficPattern,
     offered_gbps: &[f64],
     seed: u64,
@@ -95,23 +125,83 @@ pub fn load_sweep_with(
     label: impl Into<String>,
     graph: Arc<Graph>,
     cfg: &SimConfig,
-    make_routing: impl Fn() -> Arc<dyn SimRouting> + Sync,
+    make_routing: impl FnOnce() -> Arc<dyn SimRouting>,
     pattern: &TrafficPattern,
     offered_gbps: &[f64],
     seed: u64,
     par: &Parallelism,
 ) -> SweepResult {
-    let label = label.into();
+    let routing = sweep_routing(&graph, cfg, None, make_routing);
+    run_sweep_points(
+        label.into(),
+        graph,
+        cfg,
+        routing,
+        None,
+        pattern,
+        offered_gbps,
+        seed,
+        par,
+    )
+}
+
+/// [`load_sweep_with`] against a shared [`RoutingCache`]: the scheme for
+/// `(graph, scheme_key)` is fetched from (or built into) `cache`, and the
+/// cache is threaded into every simulation so fault rebuilds reaching the
+/// same survivor state are also built only once across the sweep. Produces
+/// bit-identical [`RunStats`] to the uncached sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn load_sweep_cached(
+    label: impl Into<String>,
+    graph: Arc<Graph>,
+    cfg: &SimConfig,
+    cache: &Arc<RoutingCache>,
+    scheme_key: &str,
+    make_routing: impl FnOnce() -> Arc<dyn SimRouting>,
+    pattern: &TrafficPattern,
+    offered_gbps: &[f64],
+    seed: u64,
+    par: &Parallelism,
+) -> SweepResult {
+    let routing = sweep_routing(&graph, cfg, Some((cache, scheme_key)), make_routing);
+    run_sweep_points(
+        label.into(),
+        graph,
+        cfg,
+        routing,
+        Some(cache),
+        pattern,
+        offered_gbps,
+        seed,
+        par,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_points(
+    label: String,
+    graph: Arc<Graph>,
+    cfg: &SimConfig,
+    routing: Arc<dyn SimRouting>,
+    cache: Option<&Arc<RoutingCache>>,
+    pattern: &TrafficPattern,
+    offered_gbps: &[f64],
+    seed: u64,
+    par: &Parallelism,
+) -> SweepResult {
     let run_point = |gbps: f64| -> SweepPoint {
         let rate = cfg.packets_per_cycle_for_gbps(gbps);
-        let sim = Simulator::new(
+        let mut sim = Simulator::new(
             graph.clone(),
             cfg.clone(),
-            make_routing(),
+            routing.clone(),
             pattern.clone(),
             rate,
             seed ^ gbps.to_bits(),
         );
+        if let Some(cache) = cache {
+            sim = sim.with_routing_cache(cache.clone());
+        }
         SweepPoint {
             offered_gbps: gbps,
             stats: sim.run(),
@@ -146,7 +236,7 @@ const SECTION_PROBES: usize = 4;
 pub fn find_saturation(
     graph: Arc<Graph>,
     cfg: &SimConfig,
-    make_routing: impl Fn() -> Arc<dyn SimRouting> + Sync,
+    make_routing: impl FnOnce() -> Arc<dyn SimRouting>,
     pattern: &TrafficPattern,
     lo: f64,
     hi: f64,
@@ -168,9 +258,12 @@ pub fn find_saturation(
 
 /// [`find_saturation`] under an explicit [`Parallelism`] policy.
 ///
-/// Each refinement round places `SECTION_PROBES` evenly spaced loads
+/// The initial `probe(hi)` / `probe(lo)` bracket runs both probes
+/// concurrently under a parallel policy (both verdicts are needed unless
+/// the top of the range is absorbed — the common case when searching);
+/// each refinement round then places `SECTION_PROBES` evenly spaced loads
 /// inside the bracket and simulates them (concurrently unless the policy
-/// is serial), then narrows to the gap around the lowest saturated probe.
+/// is serial), narrowing to the gap around the lowest saturated probe.
 /// Every probe is seeded as `seed ^ load.to_bits()`, and the bracketing
 /// decision depends only on the probe verdicts, so the result is
 /// identical for every worker count.
@@ -178,7 +271,55 @@ pub fn find_saturation(
 pub fn find_saturation_with(
     graph: Arc<Graph>,
     cfg: &SimConfig,
-    make_routing: impl Fn() -> Arc<dyn SimRouting> + Sync,
+    make_routing: impl FnOnce() -> Arc<dyn SimRouting>,
+    pattern: &TrafficPattern,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    seed: u64,
+    par: &Parallelism,
+) -> f64 {
+    let routing = sweep_routing(&graph, cfg, None, make_routing);
+    saturation_search(graph, cfg, routing, None, pattern, lo, hi, tol, seed, par)
+}
+
+/// [`find_saturation_with`] against a shared [`RoutingCache`]; see
+/// [`load_sweep_cached`] for the caching contract.
+#[allow(clippy::too_many_arguments)]
+pub fn find_saturation_cached(
+    graph: Arc<Graph>,
+    cfg: &SimConfig,
+    cache: &Arc<RoutingCache>,
+    scheme_key: &str,
+    make_routing: impl FnOnce() -> Arc<dyn SimRouting>,
+    pattern: &TrafficPattern,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    seed: u64,
+    par: &Parallelism,
+) -> f64 {
+    let routing = sweep_routing(&graph, cfg, Some((cache, scheme_key)), make_routing);
+    saturation_search(
+        graph,
+        cfg,
+        routing,
+        Some(cache),
+        pattern,
+        lo,
+        hi,
+        tol,
+        seed,
+        par,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn saturation_search(
+    graph: Arc<Graph>,
+    cfg: &SimConfig,
+    routing: Arc<dyn SimRouting>,
+    cache: Option<&Arc<RoutingCache>>,
     pattern: &TrafficPattern,
     mut lo: f64,
     mut hi: f64,
@@ -189,20 +330,35 @@ pub fn find_saturation_with(
     assert!(lo > 0.0 && hi > lo && tol > 0.0, "invalid search range");
     let probe = |gbps: f64| -> bool {
         let rate = cfg.packets_per_cycle_for_gbps(gbps);
-        let sim = Simulator::new(
+        let mut sim = Simulator::new(
             graph.clone(),
             cfg.clone(),
-            make_routing(),
+            routing.clone(),
             pattern.clone(),
             rate,
             seed ^ gbps.to_bits(),
         );
+        if let Some(cache) = cache {
+            sim = sim.with_routing_cache(cache.clone());
+        }
         sim.run().saturated()
     };
-    if !probe(hi) {
+    // Establish the bracket. Serially the lo probe is skipped when the top
+    // of the range is absorbed; in parallel both verdicts launch together
+    // (the lo verdict is needed in every case that continues) and are
+    // reused rather than re-probed.
+    let (hi_sat, lo_sat) = if par.is_serial() {
+        if !probe(hi) {
+            return hi;
+        }
+        (true, probe(lo))
+    } else {
+        rayon::join(|| probe(hi), || probe(lo))
+    };
+    if !hi_sat {
         return hi;
     }
-    if probe(lo) {
+    if lo_sat {
         return lo; // saturated everywhere in range; report the floor
     }
     // Invariant: probe(lo) is absorbed, probe(hi) saturated.
@@ -328,6 +484,58 @@ mod tests {
         assert!(s.mean_channel_utilization > 0.0);
         assert!(s.max_channel_utilization >= s.mean_channel_utilization);
         assert!(s.max_channel_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_and_builds_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = Arc::new(Ring::new(8).unwrap().into_graph());
+        let cfg = SimConfig::test_small();
+        let vcs = cfg.vcs;
+        let grid = [0.5, 2.0, 8.0];
+        let baseline = load_sweep(
+            "ring-8",
+            g.clone(),
+            &cfg,
+            || Arc::new(AdaptiveEscape::new(g.clone(), vcs)),
+            &TrafficPattern::Uniform,
+            &grid,
+            1,
+        );
+        let cache = Arc::new(RoutingCache::new());
+        let builds = AtomicUsize::new(0);
+        let key = AdaptiveEscape::key_for(vcs);
+        for round in 0..2 {
+            let cached = load_sweep_cached(
+                "ring-8",
+                g.clone(),
+                &cfg,
+                &cache,
+                &key,
+                || {
+                    builds.fetch_add(1, Ordering::Relaxed);
+                    Arc::new(AdaptiveEscape::new(g.clone(), vcs))
+                },
+                &TrafficPattern::Uniform,
+                &grid,
+                1,
+                &Parallelism::auto(),
+            );
+            for (a, b) in baseline.points.iter().zip(&cached.points) {
+                assert_eq!(
+                    a.stats, b.stats,
+                    "cached sweep diverged at {} Gbps (round {round})",
+                    a.offered_gbps
+                );
+            }
+        }
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            1,
+            "routing must be built exactly once per (topology, scheme)"
+        );
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.hits() >= 1, "second sweep must hit the cache");
     }
 
     #[test]
