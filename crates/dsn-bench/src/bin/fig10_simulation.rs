@@ -7,23 +7,33 @@
 //! the T3 summary row (DSN latency improvement vs torus).
 //!
 //! Run: `cargo run --release -p dsn-bench --bin fig10_simulation \
-//!       [uniform|bitrev|neighbor|all] [--quick] [--engine dense|event] \
+//!       [uniform|bitrev|neighbor|all] [--quick] \
+//!       [--engine dense|event|sharded] [--workers N] \
 //!       [--routing-tables flat|dyn] [--telemetry[=WINDOW]]`
+//!
+//! `--workers N` selects the sharded parallel engine with `N` shards
+//! (0 = one per rayon worker); it is bit-identical to `--engine event`
+//! at every worker count.
 //!
 //! `--telemetry[=WINDOW]` adds an instrumented pass per topology at the
 //! low-load point: per-phase latency decomposition, the link-utilization
 //! heatmap, and `telemetry_fig10_<topology>.{json,csv}` exports.
 //!
 //! `--json` switches to benchmark mode: instead of the figure sweeps it
-//! times both engines on the trio at 64 and 256 switches (256 and 1024
-//! hosts) at a low and a near-saturation load point and writes
-//! machine-readable rows to `BENCH_sim.json`, so CI can track the
-//! engine's perf trajectory. Routing is built through a shared
-//! [`RoutingCache`] and its (cold-build) cost is reported separately as
-//! `routing_build_s` — `wall_s` times only the simulation proper.
+//! times the engines (dense, event, and sharded at 2 and 4 workers) on
+//! the trio at 64 and 256 switches (256 and 1024 hosts) at a low and a
+//! near-saturation load point and writes machine-readable rows to
+//! `BENCH_sim.json`, so CI can track the engine's perf trajectory.
+//! Routing is built through a shared [`RoutingCache`] and its
+//! (cold-build) cost is reported separately as `routing_build_s` —
+//! `wall_s` times only the simulation proper. The kernel's peak-RSS
+//! high-water mark is reset before every measured run so each row's
+//! `peak_rss_kb` covers that run alone; where the reset is impossible
+//! the row carries `"rss_is_cumulative": true` instead of a stale figure.
 
 use dsn_bench::{
-    emit_telemetry, peak_rss_kb, take_engine_arg, take_routing_tables_arg, take_telemetry_arg, trio,
+    emit_telemetry, peak_rss_kb, reset_peak_rss, take_engine_arg, take_routing_tables_arg,
+    take_telemetry_arg, take_workers_arg, trio,
 };
 use dsn_core::graph::Graph;
 use dsn_core::parallel::Parallelism;
@@ -109,11 +119,17 @@ fn emit_bench_json(cfg: &SimConfig) {
         .chain(build_topos(256))
         .collect();
     let mut rows = String::new();
-    for engine in [EngineKind::Dense, EngineKind::Event] {
+    for (engine, workers) in [
+        (EngineKind::Dense, 1usize),
+        (EngineKind::Event, 1),
+        (EngineKind::Sharded, 2),
+        (EngineKind::Sharded, 4),
+    ] {
         for (name, graph) in &topos {
             for gbps in [1.0f64, 11.0] {
                 let cfg = SimConfig {
                     engine,
+                    workers,
                     ..cfg.clone()
                 };
                 let rate = cfg.packets_per_cycle_for_gbps(gbps);
@@ -135,6 +151,9 @@ fn emit_bench_json(cfg: &SimConfig) {
                     rate,
                     0x000F_1610,
                 );
+                // VmHWM is a process-lifetime high-water mark; reset it so
+                // this row's reading covers only the run below.
+                let rss_fresh = reset_peak_rss();
                 let start = Instant::now();
                 let stats = sim.run();
                 let wall = start.elapsed().as_secs_f64();
@@ -143,20 +162,26 @@ fn emit_bench_json(cfg: &SimConfig) {
                     rows.push_str(",\n");
                 }
                 rows.push_str(&format!(
-                    "  {{\"engine\": \"{}\", \"topology\": \"{}\", \"pattern\": \"uniform\", \
+                    "  {{\"engine\": \"{}\", \"workers\": {workers}, \"topology\": \"{}\", \
+                     \"pattern\": \"uniform\", \
                      \"load_gbps\": {gbps}, \"cycles\": {cycles}, \"wall_s\": {wall:.6}, \
                      \"routing_build_s\": {routing_build_s:.6}, \"cycles_per_sec\": {:.0}, \
                      \"delivered_packets\": {}, \
-                     \"peak_in_flight_packets\": {}, \"peak_rss_kb\": {}}}",
+                     \"peak_in_flight_packets\": {}, \"peak_rss_kb\": {}{}}}",
                     engine.name(),
                     name,
                     cycles as f64 / wall,
                     stats.delivered_packets,
                     stats.peak_in_flight_packets,
                     peak_rss_kb().unwrap_or(0),
+                    if rss_fresh {
+                        ""
+                    } else {
+                        ", \"rss_is_cumulative\": true"
+                    },
                 ));
                 println!(
-                    "  {:<6} {:<14} {:>5.1}G  {:>10.0} cycles/s  (routing build {:.3}s)",
+                    "  {:<7} w{workers} {:<14} {:>5.1}G  {:>10.0} cycles/s  (routing build {:.3}s)",
                     engine.name(),
                     name,
                     gbps,
@@ -211,7 +236,12 @@ fn run_telemetry_pass(
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = take_engine_arg(&mut args);
+    let mut engine = take_engine_arg(&mut args);
+    let mut workers = 0;
+    if let Some(w) = take_workers_arg(&mut args) {
+        engine = EngineKind::Sharded;
+        workers = w;
+    }
     let routing_tables = take_routing_tables_arg(&mut args);
     let telemetry = take_telemetry_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
@@ -224,6 +254,7 @@ fn main() {
 
     let mut cfg = SimConfig {
         engine,
+        workers,
         routing_tables,
         ..SimConfig::default()
     };

@@ -7,7 +7,8 @@
 //! utilization per topology and traffic pattern.
 //!
 //! Run: `cargo run --release -p dsn-bench --bin saturation_search \
-//!       [--quick] [--threads N | --serial] [--engine dense|event] \
+//!       [--quick] [--threads N | --serial] \
+//!       [--engine dense|event|sharded] [--workers N] \
 //!       [--routing-tables flat|dyn] [--telemetry[=WINDOW]]`
 //!
 //! `--telemetry[=WINDOW]` instruments the near-saturation re-run (90% of
@@ -16,7 +17,8 @@
 //! plus `telemetry_sat_<topology>_<pattern>.{json,csv}` exports.
 
 use dsn_bench::{
-    emit_telemetry, take_engine_arg, take_routing_tables_arg, take_telemetry_arg, trio,
+    emit_telemetry, take_engine_arg, take_routing_tables_arg, take_telemetry_arg, take_workers_arg,
+    trio,
 };
 use dsn_core::graph::Graph;
 use dsn_core::parallel::Parallelism;
@@ -27,12 +29,18 @@ use std::sync::Arc;
 fn main() {
     let (par, mut rest) = Parallelism::from_args(std::env::args().skip(1));
     par.install();
-    let engine = take_engine_arg(&mut rest);
+    let mut engine = take_engine_arg(&mut rest);
+    let mut workers = 0;
+    if let Some(w) = take_workers_arg(&mut rest) {
+        engine = dsn_sim::EngineKind::Sharded;
+        workers = w;
+    }
     let routing_tables = take_routing_tables_arg(&mut rest);
     let telemetry = take_telemetry_arg(&mut rest);
     let quick = rest.iter().any(|a| a == "--quick");
     let mut cfg = SimConfig {
         engine,
+        workers,
         routing_tables,
         ..SimConfig::default()
     };

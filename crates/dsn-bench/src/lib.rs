@@ -42,70 +42,77 @@ pub fn block_header(title: &str, columns: &[&str]) -> String {
     s
 }
 
-/// Extract `--engine dense|event` (or `--engine=...`) from `args`,
-/// removing the consumed tokens. Defaults to the event engine; exits with
-/// a usage message on an unknown value so every simulation binary rejects
-/// typos the same way.
-pub fn take_engine_arg(args: &mut Vec<String>) -> dsn_sim::EngineKind {
-    let mut engine = dsn_sim::EngineKind::default();
+/// Extract the last `--NAME VALUE` / `--NAME=VALUE` occurrence from
+/// `args`, removing every consumed token. A trailing `--NAME` with no
+/// value following is an error (previously it was silently swallowed),
+/// reported through the `usage` message and `exit(2)` like every other
+/// malformed flag.
+fn take_value_arg(args: &mut Vec<String>, name: &str, usage: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let eq_prefix = format!("--{name}=");
+    let mut value = None;
     let mut i = 0;
     while i < args.len() {
-        let value = if args[i] == "--engine" && i + 1 < args.len() {
-            let v = args.remove(i + 1);
+        if args[i] == flag {
+            if i + 1 >= args.len() {
+                eprintln!("{flag} needs a value (expected {usage})");
+                std::process::exit(2);
+            }
+            value = Some(args.remove(i + 1));
             args.remove(i);
-            Some(v)
-        } else if let Some(v) = args[i].strip_prefix("--engine=") {
-            let v = v.to_string();
+        } else if let Some(v) = args[i].strip_prefix(&eq_prefix) {
+            value = Some(v.to_string());
             args.remove(i);
-            Some(v)
         } else {
             i += 1;
-            None
-        };
-        if let Some(v) = value {
-            match dsn_sim::EngineKind::parse(&v) {
-                Some(kind) => engine = kind,
-                None => {
-                    eprintln!("unknown engine `{v}` (expected dense | event)");
-                    std::process::exit(2);
-                }
-            }
         }
     }
-    engine
+    value
+}
+
+/// Extract `--engine dense|event|sharded` (or `--engine=...`) from `args`,
+/// removing the consumed tokens. Defaults to the event engine; exits with
+/// a usage message on an unknown or missing value so every simulation
+/// binary rejects typos the same way.
+pub fn take_engine_arg(args: &mut Vec<String>) -> dsn_sim::EngineKind {
+    const USAGE: &str = "dense | event | sharded";
+    match take_value_arg(args, "engine", USAGE) {
+        None => dsn_sim::EngineKind::default(),
+        Some(v) => dsn_sim::EngineKind::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown engine `{v}` (expected {USAGE})");
+            std::process::exit(2);
+        }),
+    }
 }
 
 /// Extract `--routing-tables flat|dyn` (or `--routing-tables=...`) from
 /// `args`, removing the consumed tokens. Defaults to flat tables; exits
-/// with a usage message on an unknown value so every simulation binary
-/// rejects typos the same way.
+/// with a usage message on an unknown or missing value so every simulation
+/// binary rejects typos the same way.
 pub fn take_routing_tables_arg(args: &mut Vec<String>) -> dsn_sim::RoutingTables {
-    let mut tables = dsn_sim::RoutingTables::default();
-    let mut i = 0;
-    while i < args.len() {
-        let value = if args[i] == "--routing-tables" && i + 1 < args.len() {
-            let v = args.remove(i + 1);
-            args.remove(i);
-            Some(v)
-        } else if let Some(v) = args[i].strip_prefix("--routing-tables=") {
-            let v = v.to_string();
-            args.remove(i);
-            Some(v)
-        } else {
-            i += 1;
-            None
-        };
-        if let Some(v) = value {
-            match dsn_sim::RoutingTables::parse(&v) {
-                Some(kind) => tables = kind,
-                None => {
-                    eprintln!("unknown routing tables `{v}` (expected flat | dyn)");
-                    std::process::exit(2);
-                }
-            }
-        }
+    const USAGE: &str = "flat | dyn";
+    match take_value_arg(args, "routing-tables", USAGE) {
+        None => dsn_sim::RoutingTables::default(),
+        Some(v) => dsn_sim::RoutingTables::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown routing tables `{v}` (expected {USAGE})");
+            std::process::exit(2);
+        }),
     }
-    tables
+}
+
+/// Extract `--workers N` (or `--workers=N`) from `args`, removing the
+/// consumed tokens. Returns the shard count for the sharded engine
+/// (`0` = one shard per rayon worker), or `None` when the flag is absent.
+/// Exits with a usage message on a malformed or missing value so every
+/// simulation binary rejects typos the same way.
+pub fn take_workers_arg(args: &mut Vec<String>) -> Option<usize> {
+    const USAGE: &str = "a shard count (0 = one per rayon worker)";
+    take_value_arg(args, "workers", USAGE).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--workers needs {USAGE}, got `{v}`");
+            std::process::exit(2);
+        })
+    })
 }
 
 /// Window width (cycles) used when `--telemetry` is given with no value.
@@ -208,8 +215,131 @@ pub fn emit_telemetry(tag: &str, report: &dsn_sim::TelemetryReport) {
 
 /// Peak resident set size of this process in kilobytes (`VmHWM` from
 /// `/proc/self/status`); `None` on platforms without procfs.
+///
+/// `VmHWM` is a process-lifetime high-water mark: without a
+/// [`reset_peak_rss`] call before each measured region, every reading is
+/// the max over *all* work the process has done so far, and per-row
+/// figures come out monotonically inherited from earlier rows.
 pub fn peak_rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Reset the kernel's peak-RSS high-water mark (`VmHWM`) to the current
+/// RSS by writing `5` to `/proc/self/clear_refs`, so the next
+/// [`peak_rss_kb`] reading covers only the work done after this call.
+/// Returns `false` where that isn't possible (no procfs, insufficient
+/// privilege) — callers should then flag the figure as cumulative rather
+/// than report a stale per-row number as fresh.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn engine_arg_defaults_and_parses_both_forms() {
+        let mut args = argv(&["--load", "1.0"]);
+        assert_eq!(take_engine_arg(&mut args), dsn_sim::EngineKind::Event);
+        assert_eq!(args, argv(&["--load", "1.0"]), "unrelated args untouched");
+
+        let mut args = argv(&["--engine", "dense", "--load", "1.0"]);
+        assert_eq!(take_engine_arg(&mut args), dsn_sim::EngineKind::Dense);
+        assert_eq!(args, argv(&["--load", "1.0"]), "consumed tokens removed");
+
+        let mut args = argv(&["--engine=sharded"]);
+        assert_eq!(take_engine_arg(&mut args), dsn_sim::EngineKind::Sharded);
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn engine_arg_last_occurrence_wins() {
+        let mut args = argv(&["--engine=dense", "--engine", "sharded"]);
+        assert_eq!(take_engine_arg(&mut args), dsn_sim::EngineKind::Sharded);
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn routing_tables_arg_defaults_and_parses() {
+        let mut args = argv(&[]);
+        assert_eq!(
+            take_routing_tables_arg(&mut args),
+            dsn_sim::RoutingTables::Flat
+        );
+        let mut args = argv(&["--routing-tables", "dyn", "-n", "64"]);
+        assert_eq!(
+            take_routing_tables_arg(&mut args),
+            dsn_sim::RoutingTables::Dyn
+        );
+        assert_eq!(args, argv(&["-n", "64"]));
+        let mut args = argv(&["--routing-tables=flat"]);
+        assert_eq!(
+            take_routing_tables_arg(&mut args),
+            dsn_sim::RoutingTables::Flat
+        );
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn workers_arg_absent_space_and_eq_forms() {
+        let mut args = argv(&["--load", "1.0"]);
+        assert_eq!(take_workers_arg(&mut args), None);
+
+        let mut args = argv(&["--workers", "4", "--load", "1.0"]);
+        assert_eq!(take_workers_arg(&mut args), Some(4));
+        assert_eq!(args, argv(&["--load", "1.0"]));
+
+        let mut args = argv(&["--workers=0"]);
+        assert_eq!(take_workers_arg(&mut args), Some(0));
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn telemetry_arg_bare_and_windowed() {
+        let mut args = argv(&["--telemetry", "-n", "64"]);
+        assert_eq!(
+            take_telemetry_arg(&mut args),
+            Some(DEFAULT_TELEMETRY_WINDOW)
+        );
+        assert_eq!(args, argv(&["-n", "64"]));
+
+        let mut args = argv(&["--telemetry=250"]);
+        assert_eq!(take_telemetry_arg(&mut args), Some(250));
+        assert!(args.is_empty());
+
+        let mut args = argv(&[]);
+        assert_eq!(take_telemetry_arg(&mut args), None);
+    }
+
+    #[test]
+    fn peak_rss_resets_between_regions() {
+        // Only meaningful where clear_refs is writable (Linux, enough
+        // privilege) — the reset contract is "high-water mark restarts
+        // from the current RSS", which a fresh big allocation must exceed.
+        if !reset_peak_rss() {
+            return;
+        }
+        let before = peak_rss_kb().expect("procfs available if clear_refs is");
+        let ballast = vec![1u8; 64 << 20];
+        std::hint::black_box(&ballast);
+        let inflated = peak_rss_kb().expect("procfs available");
+        assert!(
+            inflated >= before,
+            "high-water mark moved backwards: {inflated} < {before}"
+        );
+        drop(ballast);
+        assert!(reset_peak_rss());
+        let after_reset = peak_rss_kb().expect("procfs available");
+        assert!(
+            after_reset < inflated,
+            "reset did not drop the high-water mark: {after_reset} >= {inflated}"
+        );
+    }
 }

@@ -47,7 +47,7 @@ pub(crate) struct Flit {
     pub seq: u16,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Packet {
     /// Stable creation-order id (what the tracer reports); slab indices
     /// are recycled and so unfit for identity.
@@ -92,6 +92,24 @@ impl PacketSlab {
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
         self.total_created += 1;
+        id
+    }
+
+    /// Store a copy of a packet migrating in from another shard: like
+    /// [`Self::alloc`] but without touching `total_created` or `peak_live`
+    /// — the packet was created (and counted) by its source shard, and
+    /// global peaks are reconstructed by the sharded driver's replay.
+    pub fn import(&mut self, p: Packet) -> u32 {
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        debug_assert!(self.slots[id as usize].is_none());
+        self.slots[id as usize] = Some(p);
+        self.live += 1;
         id
     }
 
@@ -325,6 +343,16 @@ pub struct Simulator {
     pub(crate) ev: Option<Box<crate::event::EventState>>,
     /// Fault-injection state (None when `cfg.fault_plan` is empty).
     pub(crate) fault: Option<Box<crate::fault::FaultRuntime>>,
+    /// Shard-membership context when this simulator is one shard of a
+    /// sharded run (None otherwise): cross-shard sends and credit returns
+    /// divert into mailboxes here instead of the local wheel.
+    pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
+    /// The workload RNG seed (kept so the sharded driver can rebuild
+    /// identically-seeded per-shard injectors).
+    pub(crate) seed: u64,
+    /// Open-loop injection rate (packets/cycle/host; 0.0 for closed
+    /// batches), kept for the same reason.
+    pub(crate) open_rate: f64,
 }
 
 impl Simulator {
@@ -365,7 +393,7 @@ impl Simulator {
         let channels = graph.channel_count();
         let hosts = n * cfg.hosts_per_switch;
 
-        let (pattern, injector, pending_batch, closed_total) = match workload {
+        let (pattern, injector, pending_batch, closed_total, open_rate) = match workload {
             Workload::Open {
                 pattern,
                 packets_per_cycle_per_host,
@@ -374,10 +402,17 @@ impl Simulator {
                 Injector::new(seed, hosts, packets_per_cycle_per_host),
                 Vec::new(),
                 None,
+                packets_per_cycle_per_host,
             ),
             Workload::Closed { packets } => {
                 let total = packets.len() as u64;
-                (None, Injector::new(seed, hosts, 0.0), packets, Some(total))
+                (
+                    None,
+                    Injector::new(seed, hosts, 0.0),
+                    packets,
+                    Some(total),
+                    0.0,
+                )
             }
         };
 
@@ -460,6 +495,9 @@ impl Simulator {
             esc_scratch: Vec::new(),
             ev: None,
             fault,
+            shard: None,
+            seed,
+            open_rate,
             cfg,
             stats,
             tracer: None,
@@ -571,10 +609,13 @@ impl Simulator {
                     }
                 }
             }
+            crate::config::EngineKind::Sharded => {
+                crate::shard::run(self, total);
+            }
         }
     }
 
-    fn batch_done(&self) -> bool {
+    pub(crate) fn batch_done(&self) -> bool {
         let retries_empty = self.fault.as_ref().is_none_or(|f| f.retries.is_empty());
         self.closed_total.is_some_and(|t| {
             self.packets.total_created >= t && self.packets.live() == 0 && retries_empty
@@ -821,6 +862,9 @@ impl Simulator {
         let depth = self.ivc_buf[iv].len();
         self.buffered_flits += 1;
         self.peak_buffered_flits = self.peak_buffered_flits.max(self.buffered_flits);
+        if let Some(sc) = &mut self.shard {
+            sc.pushes += 1;
+        }
         // Network inputs only (input unit i receives channel i for
         // i < channels); injection pushes are covered by `on_inject_depth`.
         if i < self.links.len() {
@@ -916,6 +960,40 @@ impl Simulator {
     /// arrivals before sends, so a same-cycle send is seen one cycle later).
     fn send_flit_on_link(&mut self, ch: usize, flit: Flit, vc: u8, now: u64) {
         let t = now + self.cfg.link_delay.max(1);
+        if let Some(sc) = &mut self.shard {
+            if sc.remote_link[ch] {
+                // Cross-shard hop: divert into the outbound mailbox. A
+                // head flit also mails a copy of the packet via the payload
+                // sidecar (route state is final for this hop — `on_hop`
+                // already ran at allocation); the local copy is retired
+                // when the tail crosses.
+                let head = flit.seq == 0;
+                if head {
+                    sc.out_packets.push(self.packets.get(flit.packet).clone());
+                }
+                sc.out_links.push(crate::shard::LinkMsg {
+                    t,
+                    ch: ch as u32,
+                    vc,
+                    head,
+                    flit,
+                });
+                if head {
+                    // Log the slab handoff so telemetry replay can bind the
+                    // destination shard's slot to the same replay identity.
+                    self.telemetry.push_event(dsn_telemetry::HookEvent {
+                        now,
+                        kind: dsn_telemetry::hook_kind::EXPORT,
+                        a: ch as u32,
+                        b: vc as u32,
+                        c: 0,
+                        d: flit.packet,
+                        flag: false,
+                    });
+                }
+                return;
+            }
+        }
         match &mut self.ev {
             Some(ev) => ev.schedule_link(t, ch, flit, vc),
             None => self.links[ch].push_back((t, flit, vc)),
@@ -926,6 +1004,16 @@ impl Simulator {
     /// credits likewise land next cycle).
     fn return_credit(&mut self, ch: usize, vc: u8, now: u64) {
         let t = now + self.cfg.credit_delay.max(1);
+        if let Some(sc) = &mut self.shard {
+            if sc.remote_credit[ch] {
+                sc.out_credits.push(crate::shard::CreditMsg {
+                    t,
+                    ch: ch as u32,
+                    vc,
+                });
+                return;
+            }
+        }
         match &mut self.ev {
             Some(ev) => ev.schedule_credit(t, ch, vc),
             None => self.credits_in_flight.push_back((t, ch, vc)),
@@ -1226,6 +1314,12 @@ impl Simulator {
                 tr.record(now, uid, TraceEvent::TailSent { at, channel: ch });
             }
             self.release_input_vc(i, v as usize, now);
+            // Tail crossed a shard boundary: the packet now lives in the
+            // destination shard's slab (imported from the head payload), so
+            // the local copy can be retired.
+            if self.shard.as_ref().is_some_and(|sc| sc.remote_link[ch]) {
+                self.packets.retire(flit.packet);
+            }
         }
     }
 

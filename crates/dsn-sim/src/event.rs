@@ -213,6 +213,21 @@ impl EventState {
         self.inj_heap.push(Reverse((t, host as u32)));
     }
 
+    /// Earliest scheduled injection cycle, if any (sharded driver's global
+    /// idle fast-forward).
+    pub(crate) fn next_injection_cycle(&self) -> Option<u64> {
+        self.inj_heap.peek().map(|&Reverse((t, _))| t)
+    }
+
+    /// No scheduled event and no active unit: nothing can happen on this
+    /// shard before its next injection or a cross-shard arrival.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.wheel.pending == 0
+            && self.alloc_pending.is_empty()
+            && self.out_active.is_empty()
+            && self.eject_active.is_empty()
+    }
+
     /// Packets with a flit currently in flight on channel `ch` (scans the
     /// whole wheel; fault-path only, so the cost is fine).
     pub(crate) fn wire_packets_on(&self, ch: usize) -> Vec<u32> {
@@ -272,6 +287,13 @@ pub(crate) fn prepare(sim: &mut Simulator) {
         nvc,
     });
     for h in 0..sim.hosts() {
+        // A shard only injects from the hosts it owns; the other hosts'
+        // RNG streams exist (identical seeding) but are never drawn from.
+        if let Some(sc) = &sim.shard {
+            if !sc.local_host[h] {
+                continue;
+            }
+        }
         let t = sim.injector.next_cycle(h);
         if t != crate::inject::NEVER {
             ev.inj_heap.push(Reverse((t, h as u32)));

@@ -43,9 +43,9 @@ pub mod fault;
 mod flat;
 mod inject;
 pub mod routing;
+mod shard;
 pub mod stats;
 pub mod sweep;
-pub mod trace;
 pub mod traffic;
 pub mod workload;
 

@@ -1,0 +1,690 @@
+//! Sharded parallel driver over the event core: bounded-lag conservative
+//! synchronization ([`crate::config::EngineKind::Sharded`]).
+//!
+//! Switches are partitioned into `workers` contiguous blocks, each owned by
+//! one shard. A shard is a complete [`Simulator`] running the event core
+//! over the whole graph, but it only ever touches the state it owns:
+//!
+//! * an *input unit* (channel input buffer or injection queue) belongs to
+//!   the shard owning the switch it sits at (`input_node`);
+//! * a directed channel's *output* state (credits, owner, round-robin
+//!   pointer) belongs to the shard owning its source switch — the only
+//!   shard that ever runs `grant_channel` for it;
+//! * a host belongs to the shard owning its switch; every shard builds the
+//!   same per-host RNG streams (identical seed), but only draws from the
+//!   hosts it owns, so each host's injection sequence is bit-identical to
+//!   the single-thread run.
+//!
+//! The only coupling between shards is a flit crossing a *cut channel*
+//! (endpoints owned by different shards) and the matching credit return.
+//! Both have a hard lower bound on their latency — `link_delay.max(1)`
+//! cycles for flits, `credit_delay.max(1)` for credits — which is the
+//! classic conservative-PDES *lookahead*. Shards therefore advance in
+//! lockstep windows of
+//! `W = min(link_delay.max(1), credit_delay.max(1))` cycles: any
+//! cross-shard event produced inside window `k` (send at `now <= win_end-1`,
+//! arrival at `now + delay >= win_end`) lands at or after the window
+//! boundary, so exchanging mailboxes *between* windows can never deliver an
+//! event into a shard's past. With the paper's 20 ns link latency
+//! (8 cycles) the default window is 8 cycles of fully independent parallel
+//! execution per synchronization.
+//!
+//! Determinism and bit-identity with the single-thread event engine
+//! (`tests/shard_equivalence.rs`) rest on three mechanisms:
+//!
+//! 1. **Deterministic mailbox drain.** At each boundary the coordinator
+//!    drains each shard's outbound mailbox in shard-index order, messages
+//!    in send order — a fixed order independent of thread scheduling — and
+//!    schedules them into the destination shards' timing wheels. No sort is
+//!    needed for bit-identity: within one arrival cycle the drain order is
+//!    unobservable, because the engine applies *all* of a cycle's credits
+//!    before anything reads a credit counter (phase 1 before phase 4),
+//!    lands each arrival in its own `(channel, vc)` input buffer (a channel
+//!    serializes at most one flit per cycle), and collects allocation
+//!    eligibility in an order-free bitset. Per-channel FIFO order — the one
+//!    order that *is* observable, because body flits reuse their head's
+//!    slab binding — is preserved, since a single source shard emits each
+//!    channel's messages in cycle order.
+//! 2. **Integer-exact stats replay.** Every per-shard
+//!    [`crate::stats::StatsCollector`] holds only integer sums, extrema and
+//!    histograms, merged exactly at the end (floats appear once, in
+//!    `finish`). Whole-network quantities that are *not* per-shard sums —
+//!    peak in-flight packets, peak buffered flits, the stall watchdog and
+//!    `last_progress` — are reconstructed exactly from tiny per-cycle
+//!    deltas ([`CycleLog`]) each shard records: within one cycle the engine
+//!    creates packets (phase 3) strictly before it delivers them (phase 5b)
+//!    and pushes flits (phases 2–3) strictly before it pops them (phase 5),
+//!    so `peak = max(peak, level + inflow)` per cycle reproduces the
+//!    single-thread high-water marks bit for bit.
+//! 3. **Telemetry replay.** When telemetry is on, shards log raw hook
+//!    calls ([`dsn_telemetry::HookEvent`]) instead of aggregating. The
+//!    coordinator merges the logs each window, sorts by
+//!    `(cycle, kind, args)` — kind ranks encode the engine's phase order —
+//!    and replays into one recorder. Packet slab slots are shard-local, so
+//!    a replay-id table (fed by `EXPORT`/`IMPORT` binder records spliced in
+//!    at cross-shard handoffs) rebinds every event to a stable identity;
+//!    the report carries no packet ids, so the result is byte-identical.
+//!
+//! A packet migrates between slabs when its head flit crosses a cut
+//! channel: the head's [`Packet`] clone travels in a sidecar vector (its
+//! route state is final for the hop — `on_hop` ran at allocation), keeping
+//! the per-flit [`LinkMsg`] small; the receiver imports it (without
+//! touching the created/peak counters) and remaps the body flits' slab
+//! indices as they arrive; the sender retires its local copy when the tail
+//! crosses.
+//!
+//! Runs with a fault plan use instantaneous global operations (zero-lag
+//! credit refunds on drops) that have no lookahead, and the per-packet
+//! tracer wants globally stable uids — both fall back to the single-thread
+//! event path, as does a resolved worker count of 1. The partition depends
+//! only on `cfg.workers` (0 = one shard per rayon worker), never on thread
+//! scheduling, so a fixed worker count gives bit-identical results on any
+//! machine.
+
+use crate::engine::{Flit, Packet, Simulator};
+use crate::workload::Workload;
+use dsn_telemetry::{hook_kind, HookEvent, Telemetry};
+use rayon::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+/// A flit crossing a cut channel, mailed at the next window boundary.
+/// Kept payload-free (head packets travel in [`ShardCtx::out_packets`], in
+/// the same order) so the per-flit mailbox traffic stays small.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkMsg {
+    /// Arrival cycle at the downstream input (`send + link_delay.max(1)`).
+    pub t: u64,
+    pub ch: u32,
+    pub vc: u8,
+    /// Head flit: the next unconsumed [`ShardCtx::out_packets`] entry is
+    /// this packet; body flits reuse the binding their head established.
+    pub head: bool,
+    /// The flit, with its *source-shard* slab index (remapped on import).
+    pub flit: Flit,
+}
+
+/// A credit return crossing a cut channel (flows opposite to the flits:
+/// from the shard owning the channel's sink back to the one owning its
+/// source, where the output-VC credit counter lives).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CreditMsg {
+    pub t: u64,
+    pub ch: u32,
+    pub vc: u8,
+}
+
+/// Per-cycle deltas a shard records so the coordinator can reconstruct the
+/// whole-network peaks and the stall watchdog exactly (see module docs).
+/// Cycles where every field would be zero are not recorded.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CycleLog {
+    pub cycle: u64,
+    /// Packets created (phase 3 — strictly before this cycle's deliveries).
+    pub created: u32,
+    /// Packets delivered (phase 5b).
+    pub delivered: u32,
+    /// Flits pushed into input buffers (phases 2–3, before any pop).
+    pub pushes: u32,
+    /// Flits popped from input buffers (phase 5).
+    pub pops: u32,
+    /// A flit moved on this shard this cycle (`last_progress == cycle`).
+    pub progress: bool,
+}
+
+/// Sentinel for [`ShardCtx::incoming`]: no packet mid-stream on this VC.
+const NO_INCOMING: u32 = u32::MAX;
+
+/// Shard-membership context installed on each shard simulator
+/// (`Simulator::shard`). The engine's shared mutation helpers consult it to
+/// divert cross-shard sends and credits into the mailboxes.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    /// Per channel: flit arrivals belong to another shard (cut channel).
+    pub remote_link: Vec<bool>,
+    /// Per channel: credit returns belong to another shard. Identical to
+    /// `remote_link` today (both mark cut channels); kept separate so the
+    /// two call sites stay self-describing.
+    pub remote_credit: Vec<bool>,
+    /// Per host: this shard owns it (only owned hosts inject).
+    pub local_host: Vec<bool>,
+    /// Outbound flits accumulated during the current window.
+    pub out_links: Vec<LinkMsg>,
+    /// Packets for this window's head flits, in [`ShardCtx::out_links`]
+    /// order (the payload sidecar).
+    pub out_packets: Vec<Packet>,
+    /// Outbound credits accumulated during the current window.
+    pub out_credits: Vec<CreditMsg>,
+    /// Running count of input-buffer pushes (pops are derived from the
+    /// buffered-flits level around each step).
+    pub pushes: u64,
+    /// This window's per-cycle deltas, cycle-ascending.
+    pub log: Vec<CycleLog>,
+    /// Per `(channel * nvc + vc)`: local slab index of the packet currently
+    /// streaming in from another shard (binds body flits to the imported
+    /// head).
+    pub incoming: Vec<u32>,
+}
+
+/// Whole-network quantities reconstructed from the merged [`CycleLog`]s.
+#[derive(Debug, Default)]
+struct Replay {
+    live: u64,
+    peak_live: u64,
+    buffered: u64,
+    peak_buffered: u64,
+    created: u64,
+    delivered: u64,
+    cur_stall: u64,
+    longest_stall: u64,
+    last_progress: u64,
+}
+
+impl Replay {
+    /// Fold one cycle's merged deltas, mirroring the engine's intra-cycle
+    /// order (creates before deliveries, pushes before pops) and its
+    /// watchdog rule.
+    fn cycle(
+        &mut self,
+        c: u64,
+        created: u64,
+        delivered: u64,
+        pushes: u64,
+        pops: u64,
+        progress: bool,
+    ) {
+        self.peak_live = self.peak_live.max(self.live + created);
+        self.live = self.live + created - delivered;
+        self.peak_buffered = self.peak_buffered.max(self.buffered + pushes);
+        self.buffered = self.buffered + pushes - pops;
+        self.created += created;
+        self.delivered += delivered;
+        if progress {
+            self.last_progress = c;
+        }
+        if progress || self.live == 0 {
+            self.cur_stall = 0;
+        } else {
+            self.cur_stall += 1;
+            self.longest_stall = self.longest_stall.max(self.cur_stall);
+        }
+    }
+}
+
+/// Replay-id allocator + per-shard slot bindings for telemetry replay.
+/// Shard slab slots are local and recycled; replay ids are a parallel
+/// recycled namespace kept consistent across shard boundaries by the
+/// `EXPORT`/`IMPORT` binder records.
+struct TelReplay {
+    /// Per shard: local slab slot -> replay id.
+    maps: Vec<HashMap<u32, u32>>,
+    /// Replay ids of packets mid-flight between shards, keyed by
+    /// `(channel << 8) | vc`, in export order (FIFO — a channel VC streams
+    /// one packet at a time, and the replay sorts all events by cycle, so
+    /// exports and imports on one channel VC interleave in wire order).
+    transit: HashMap<u32, VecDeque<u32>>,
+    free: Vec<u32>,
+    next: u32,
+}
+
+impl TelReplay {
+    fn new(shards: usize) -> Self {
+        TelReplay {
+            maps: (0..shards).map(|_| HashMap::new()).collect(),
+            transit: HashMap::new(),
+            free: Vec::new(),
+            next: 0,
+        }
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        self.free.pop().unwrap_or_else(|| {
+            let id = self.next;
+            self.next += 1;
+            id
+        })
+    }
+
+    /// Replay one logged hook into the coordinator's recorder. `s` is the
+    /// shard the event came from (selects the slot-binding map).
+    fn replay(&mut self, e: &HookEvent, s: usize, sink: &mut Telemetry) {
+        match e.kind {
+            hook_kind::IMPORT => {
+                let rid = self
+                    .transit
+                    .get_mut(&((e.a << 8) | e.b))
+                    .and_then(|q| q.pop_front())
+                    .expect("IMPORT without a matching EXPORT");
+                self.maps[s].insert(e.d, rid);
+            }
+            hook_kind::EXPORT => {
+                let rid = self.maps[s][&e.d];
+                self.transit
+                    .entry((e.a << 8) | e.b)
+                    .or_default()
+                    .push_back(rid);
+            }
+            hook_kind::CREATED => {
+                let rid = self.fresh_id();
+                self.maps[s].insert(e.a, rid);
+                sink.on_created(rid, e.b, e.c, e.now);
+            }
+            hook_kind::LINK_ARRIVAL => {
+                sink.on_link_arrival(e.a, e.b, e.c, self.maps[s][&e.d], e.flag, e.now);
+            }
+            hook_kind::INJECT_DEPTH => sink.on_inject_depth(e.a, e.now),
+            hook_kind::ALLOC_GRANTED => sink.on_alloc_granted(self.maps[s][&e.a], e.now),
+            hook_kind::ALLOC_BLOCKED => sink.on_alloc_blocked(e.a, e.now),
+            hook_kind::FLIT_SENT => sink.on_flit_sent(e.a, self.maps[s][&e.b], e.flag, e.now),
+            hook_kind::EJECTED => {
+                let rid = self.maps[s][&e.a];
+                sink.on_ejected(rid, e.flag, e.now);
+                if e.flag {
+                    // Delivered: the id may be reused by a later creation
+                    // (which always sorts after this event — creations of a
+                    // cycle replay before its ejections, and the freeing
+                    // slab slot cannot be re-allocated until the next one).
+                    self.free.push(rid);
+                }
+            }
+            hook_kind::DROPPED => {
+                let rid = self.maps[s][&e.a];
+                sink.on_dropped(rid, e.now);
+                self.free.push(rid);
+            }
+            k => unreachable!("unknown hook kind {k}"),
+        }
+    }
+}
+
+/// Contiguous-block partition: switch -> owning shard. The first `n % p`
+/// shards take one extra switch.
+fn partition(n: usize, p: usize) -> Vec<u32> {
+    let (base, rem) = (n / p, n % p);
+    let mut owner = Vec::with_capacity(n);
+    for s in 0..p {
+        let len = base + usize::from(s < rem);
+        owner.extend(std::iter::repeat_n(s as u32, len));
+    }
+    owner
+}
+
+/// Resolve the configured worker count: 0 = one shard per rayon worker;
+/// always clamped to the switch count.
+fn resolve_workers(sim: &Simulator) -> usize {
+    let req = match sim.cfg.workers {
+        0 => rayon::current_num_threads(),
+        w => w,
+    };
+    req.clamp(1, sim.graph.node_count())
+}
+
+/// Advance one shard to the window boundary, recording per-cycle deltas.
+fn run_window(sim: &mut Simulator, win_end: u64) {
+    while sim.now < win_end {
+        let c = sim.now;
+        let buf0 = sim.buffered_flits;
+        let created0 = sim.packets.total_created;
+        let delivered0 = sim.delivered_all_time;
+        let pushes0 = sim.shard.as_ref().expect("shard ctx").pushes;
+        crate::event::step(sim, win_end);
+        let pushes = sim.shard.as_ref().expect("shard ctx").pushes - pushes0;
+        // No pop hook needed: pops = level + inflow - new level.
+        let pops = buf0 + pushes - sim.buffered_flits;
+        let created = sim.packets.total_created - created0;
+        let delivered = sim.delivered_all_time - delivered0;
+        let progress = sim.last_progress == c;
+        if created != 0 || delivered != 0 || pushes != 0 || pops != 0 || progress {
+            sim.shard.as_mut().expect("shard ctx").log.push(CycleLog {
+                cycle: c,
+                created: created as u32,
+                delivered: delivered as u32,
+                pushes: pushes as u32,
+                pops: pops as u32,
+                progress,
+            });
+        }
+    }
+}
+
+/// Run `sim` to `total` cycles under the sharded driver. Falls back to the
+/// single-thread event path for worker count 1, fault plans (their global
+/// zero-lag drop refunds have no lookahead) and attached tracers (their
+/// uids are global creation-order).
+pub(crate) fn run(sim: &mut Simulator, total: u64) {
+    let workers = resolve_workers(sim);
+    if workers <= 1 || !sim.cfg.fault_plan.is_empty() || sim.tracer.is_some() {
+        crate::event::prepare(sim);
+        while sim.now < total {
+            crate::event::step(sim, total);
+            if sim.batch_done() {
+                break;
+            }
+        }
+        return;
+    }
+
+    let n = sim.graph.node_count();
+    let channels = sim.graph.channel_count();
+    let nvc = sim.nvc;
+    let hosts = sim.hosts();
+    let hps = sim.cfg.hosts_per_switch;
+    let owner = partition(n, workers);
+    let window = sim.cfg.link_delay.max(1).min(sim.cfg.credit_delay.max(1));
+    let telemetry_on = sim.telemetry.enabled();
+
+    let cut: Vec<bool> = (0..channels)
+        .map(|c| {
+            let (src, dst) = sim.graph.channel_endpoints(c);
+            owner[src] != owner[dst]
+        })
+        .collect();
+
+    let mut shard_cfg = sim.cfg.clone();
+    shard_cfg.engine = crate::config::EngineKind::Event;
+    shard_cfg.telemetry = None;
+
+    let mut shards: Vec<Simulator> = (0..workers)
+        .map(|s| {
+            let workload = match sim.closed_total {
+                None => Workload::Open {
+                    pattern: sim
+                        .pattern
+                        .clone()
+                        .expect("open workload has a traffic pattern"),
+                    packets_per_cycle_per_host: sim.open_rate,
+                },
+                Some(_) => Workload::Closed {
+                    packets: sim
+                        .pending_batch
+                        .iter()
+                        .copied()
+                        .filter(|&(src, _)| owner[src / hps] == s as u32)
+                        .collect(),
+                },
+            };
+            let mut sh = Simulator::with_workload(
+                sim.graph.clone(),
+                shard_cfg.clone(),
+                sim.routing.clone(),
+                workload,
+                sim.seed,
+            );
+            sh.routing_cache = sim.routing_cache.clone();
+            if telemetry_on {
+                sh.telemetry = Telemetry::log();
+            }
+            sh.shard = Some(Box::new(ShardCtx {
+                remote_link: cut.clone(),
+                remote_credit: cut.clone(),
+                local_host: (0..hosts).map(|h| owner[h / hps] == s as u32).collect(),
+                out_links: Vec::new(),
+                out_packets: Vec::new(),
+                out_credits: Vec::new(),
+                pushes: 0,
+                log: Vec::new(),
+                incoming: vec![NO_INCOMING; channels * nvc],
+            }));
+            crate::event::prepare(&mut sh);
+            sh
+        })
+        .collect();
+
+    let mut rp = Replay::default();
+    let mut tel = telemetry_on.then(|| TelReplay::new(workers));
+    let mut events: Vec<(HookEvent, usize)> = Vec::new();
+    let mut logs: Vec<Vec<CycleLog>> = vec![Vec::new(); workers];
+    let mut cursors = vec![0usize; workers];
+    // Scratch buffers swapped with each shard's mailboxes during the
+    // exchange (always empty outside it; the swap preserves capacity).
+    let mut links: Vec<LinkMsg> = Vec::new();
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut credits: Vec<CreditMsg> = Vec::new();
+    // Final `now` when a closed batch drains before the horizon (the
+    // single-thread loop breaks right after the delivering cycle).
+    let mut done_now = None;
+
+    let timing = std::env::var_os("DSN_SHARD_TIMING").is_some();
+    let (mut t_run, mut t_exch, mut t_stats) = (
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+    );
+    let mut win_start = 0u64;
+    while win_start < total {
+        let win_end = (win_start + window).min(total);
+        let t0 = std::time::Instant::now();
+        shards.par_iter_mut().for_each(|sh| run_window(sh, win_end));
+        if timing {
+            t_run += t0.elapsed();
+        }
+
+        // Telemetry replay: merge this window's logs, sort into the
+        // single-thread hook order, replay into the coordinator's recorder.
+        if let Some(tel) = &mut tel {
+            events.clear();
+            for (s, sh) in shards.iter_mut().enumerate() {
+                events.extend(sh.telemetry.drain_log().into_iter().map(|e| (e, s)));
+            }
+            events.sort_unstable();
+            for (e, s) in &events {
+                tel.replay(e, *s, &mut sim.telemetry);
+            }
+        }
+
+        // Mailbox exchange, shard by shard in send order — deterministic
+        // (fixed shard iteration, per-shard FIFO) and order-insensitive
+        // within an arrival cycle (see module docs), so no sorting pass.
+        // Every message arrives at t in [win_end, win_end + delay), i.e. in
+        // the destination's future and within its wheel horizon. The
+        // buffers are taken out whole and handed back so their capacity
+        // survives across windows.
+        let t0 = std::time::Instant::now();
+        for src_shard in 0..workers {
+            {
+                let sc = shards[src_shard].shard.as_mut().expect("shard ctx");
+                std::mem::swap(&mut links, &mut sc.out_links);
+                std::mem::swap(&mut packets, &mut sc.out_packets);
+                std::mem::swap(&mut credits, &mut sc.out_credits);
+            }
+            let mut next_packet = packets.drain(..);
+            for msg in links.drain(..) {
+                let (_, dst) = sim.graph.channel_endpoints(msg.ch as usize);
+                let sh = &mut shards[owner[dst] as usize];
+                let key = msg.ch as usize * nvc + msg.vc as usize;
+                let mut flit = msg.flit;
+                if msg.head {
+                    let p = next_packet.next().expect("head flit without payload");
+                    let local = sh.packets.import(p);
+                    sh.shard.as_mut().expect("shard ctx").incoming[key] = local;
+                    flit.packet = local;
+                    if telemetry_on {
+                        // Binder for the replay-id table, stamped with the
+                        // arrival cycle (sorts before the arrival hook).
+                        sh.telemetry.push_event(HookEvent {
+                            now: msg.t,
+                            kind: hook_kind::IMPORT,
+                            a: msg.ch,
+                            b: msg.vc as u32,
+                            c: 0,
+                            d: local,
+                            flag: false,
+                        });
+                    }
+                } else {
+                    flit.packet = sh.shard.as_ref().expect("shard ctx").incoming[key];
+                    debug_assert_ne!(flit.packet, NO_INCOMING, "body flit before its head");
+                }
+                sh.ev.as_mut().expect("event state").schedule_link(
+                    msg.t,
+                    msg.ch as usize,
+                    flit,
+                    msg.vc,
+                );
+            }
+            debug_assert!(next_packet.next().is_none(), "payload without a head flit");
+            drop(next_packet);
+            for msg in credits.drain(..) {
+                let (src, _) = sim.graph.channel_endpoints(msg.ch as usize);
+                shards[owner[src] as usize]
+                    .ev
+                    .as_mut()
+                    .expect("event state")
+                    .schedule_credit(msg.t, msg.ch as usize, msg.vc);
+            }
+            let sc = shards[src_shard].shard.as_mut().expect("shard ctx");
+            std::mem::swap(&mut links, &mut sc.out_links);
+            std::mem::swap(&mut packets, &mut sc.out_packets);
+            std::mem::swap(&mut credits, &mut sc.out_credits);
+        }
+
+        if timing {
+            t_exch += t0.elapsed();
+        }
+        let t0 = std::time::Instant::now();
+        // Stats replay: fold this window's per-cycle deltas.
+        for (s, sh) in shards.iter_mut().enumerate() {
+            let sc = sh.shard.as_mut().expect("shard ctx");
+            logs[s].clear();
+            logs[s].append(&mut sc.log);
+            cursors[s] = 0;
+        }
+        for c in win_start..win_end {
+            let (mut created, mut delivered, mut pushes, mut pops) = (0u64, 0u64, 0u64, 0u64);
+            let mut progress = false;
+            for (s, log) in logs.iter().enumerate() {
+                if let Some(e) = log.get(cursors[s]) {
+                    if e.cycle == c {
+                        cursors[s] += 1;
+                        created += e.created as u64;
+                        delivered += e.delivered as u64;
+                        pushes += e.pushes as u64;
+                        pops += e.pops as u64;
+                        progress |= e.progress;
+                    }
+                }
+            }
+            rp.cycle(c, created, delivered, pushes, pops, progress);
+        }
+        if timing {
+            t_stats += t0.elapsed();
+        }
+
+        // Closed-batch termination, exactly where the single-thread loop
+        // breaks: right after the cycle that delivered the last packet
+        // (cycles past it are event-free, so the replay state is final).
+        if sim.closed_total.is_some_and(|t| rp.created >= t) && rp.live == 0 {
+            done_now = Some(rp.last_progress + 1);
+            break;
+        }
+
+        win_start = win_end;
+
+        // Global idle fast-forward: every shard quiescent (which implies
+        // the exchange above queued nothing) means nothing can happen
+        // before the earliest scheduled injection — jump all clocks there.
+        // Mirrors the single-thread idle skip, which never records stalls
+        // (an empty network has none) nor telemetry across the gap.
+        if shards
+            .iter()
+            .all(|sh| sh.ev.as_ref().expect("event state").is_quiescent())
+        {
+            debug_assert_eq!(rp.live, 0);
+            let jump = shards
+                .iter()
+                .filter_map(|sh| sh.ev.as_ref().expect("event state").next_injection_cycle())
+                .min()
+                .unwrap_or(total)
+                .min(total)
+                .max(win_start);
+            for sh in shards.iter_mut() {
+                sh.now = jump;
+            }
+            win_start = jump;
+        }
+    }
+
+    if timing {
+        eprintln!("shard timing: run {t_run:?} exchange {t_exch:?} stats {t_stats:?}");
+    }
+    // Fold the shards into the coordinator: integer-exact stat merges plus
+    // the replay-reconstructed whole-network quantities.
+    sim.now = done_now.unwrap_or(total);
+    for sh in shards {
+        for (dst, src) in sim.channel_flits.iter_mut().zip(&sh.channel_flits) {
+            *dst += *src;
+        }
+        sim.delivered_all_time += sh.delivered_all_time;
+        sim.packets.total_created += sh.packets.total_created;
+        sim.stats.merge(sh.stats);
+    }
+    debug_assert_eq!(rp.created, sim.packets.total_created);
+    debug_assert_eq!(rp.delivered, sim.delivered_all_time);
+    sim.packets.peak_live = rp.peak_live;
+    sim.peak_buffered_flits = rp.peak_buffered;
+    sim.longest_stall = rp.longest_stall;
+    sim.last_progress = rp.last_progress;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let owner = partition(10, 3);
+        assert_eq!(owner, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        let owner = partition(4, 8);
+        assert_eq!(owner, vec![0, 1, 2, 3]);
+        assert_eq!(partition(5, 1), vec![0; 5]);
+    }
+
+    #[test]
+    fn replay_tracks_intra_cycle_peaks() {
+        let mut rp = Replay::default();
+        // Cycle 0: 3 created, 1 delivered -> peak sees all 3 live first.
+        rp.cycle(0, 3, 1, 12, 4, true);
+        assert_eq!(rp.peak_live, 3);
+        assert_eq!(rp.live, 2);
+        assert_eq!(rp.peak_buffered, 12);
+        assert_eq!(rp.buffered, 8);
+        // Two silent cycles with packets live -> the watchdog counts.
+        rp.cycle(1, 0, 0, 0, 0, false);
+        rp.cycle(2, 0, 0, 0, 0, false);
+        assert_eq!(rp.longest_stall, 2);
+        // Progress resets it and advances last_progress.
+        rp.cycle(3, 0, 2, 0, 8, true);
+        assert_eq!(rp.cur_stall, 0);
+        assert_eq!(rp.last_progress, 3);
+        assert_eq!(rp.live, 0);
+        assert_eq!(rp.buffered, 0);
+        // Empty network: no stall even without progress.
+        rp.cycle(4, 0, 0, 0, 0, false);
+        assert_eq!(rp.longest_stall, 2);
+    }
+
+    #[test]
+    fn replay_ids_recycle_across_shards() {
+        let mut t = TelReplay::new(2);
+        let mut sink = Telemetry::Off;
+        let ev = |kind, now, a, b, c, d, flag| HookEvent {
+            now,
+            kind,
+            a,
+            b,
+            c,
+            d,
+            flag,
+        };
+        // Shard 0 creates local slot 5, exports it on channel 3 vc 1;
+        // shard 1 imports it as local slot 0.
+        t.replay(&ev(hook_kind::CREATED, 0, 5, 0, 1, 0, false), 0, &mut sink);
+        assert_eq!(t.maps[0][&5], 0);
+        t.replay(&ev(hook_kind::EXPORT, 2, 3, 1, 0, 5, false), 0, &mut sink);
+        t.replay(&ev(hook_kind::IMPORT, 4, 3, 1, 0, 0, false), 1, &mut sink);
+        assert_eq!(t.maps[1][&0], 0, "identity survives the hop");
+        // Delivery frees the id; the next creation reuses it.
+        t.replay(&ev(hook_kind::EJECTED, 9, 0, 0, 0, 0, true), 1, &mut sink);
+        t.replay(&ev(hook_kind::CREATED, 10, 7, 0, 1, 0, false), 0, &mut sink);
+        assert_eq!(t.maps[0][&7], 0, "freed replay id is recycled");
+    }
+}

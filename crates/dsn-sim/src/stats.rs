@@ -87,6 +87,29 @@ impl StatsCollector {
         }
     }
 
+    /// Fold another collector (from a shard running the same config) into
+    /// this one. Every field is an integer count, sum, extremum or
+    /// histogram, so the merge is exact and order-independent — the float
+    /// math all happens once, in [`Self::finish`]. This is what makes the
+    /// sharded engine's `RunStats` bit-identical to the single-thread run.
+    pub(crate) fn merge(&mut self, other: StatsCollector) {
+        debug_assert_eq!(self.window_start, other.window_start);
+        debug_assert_eq!(self.window_end, other.window_end);
+        debug_assert_eq!(self.post_fault_from, other.post_fault_from);
+        self.offered_packets_window += other.offered_packets_window;
+        self.accepted_flits_window += other.accepted_flits_window;
+        self.measured_created += other.measured_created;
+        self.measured_delivered += other.measured_delivered;
+        self.latency_sum_cycles += other.latency_sum_cycles;
+        self.latency_max_cycles = self.latency_max_cycles.max(other.latency_max_cycles);
+        self.latency_min_cycles = self.latency_min_cycles.min(other.latency_min_cycles);
+        merge_hist(&mut self.latency_hist, &other.latency_hist);
+        self.delivered_total += other.delivered_total;
+        self.pf_delivered += other.pf_delivered;
+        self.pf_latency_sum += other.pf_latency_sum;
+        merge_hist(&mut self.pf_hist, &other.pf_hist);
+    }
+
     /// Finalize into a [`RunStats`].
     pub fn finish(self, cfg: &SimConfig, hosts: usize, total_packets: usize) -> RunStats {
         let window = (self.window_end - self.window_start) as f64;
@@ -142,6 +165,15 @@ impl StatsCollector {
             post_fault_avg_latency_cycles: pf_avg,
             post_fault_p99_latency_cycles: pf_p99,
         }
+    }
+}
+
+fn merge_hist(into: &mut Vec<u64>, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (dst, &src) in into.iter_mut().zip(from) {
+        *dst += src;
     }
 }
 
@@ -334,5 +366,41 @@ mod tests {
         let r = s.finish(&c, 8, 100);
         assert!(r.p99_latency_cycles >= 96, "p99 {}", r.p99_latency_cycles);
         assert!((r.avg_latency_cycles - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_split_streams_is_bit_identical_to_whole() {
+        // The sharded engine's contract: feeding a stream of events into
+        // one collector, or splitting it across shards and merging, must
+        // produce the same RunStats down to the float bit patterns.
+        let c = cfg();
+        let mut whole = StatsCollector::new(&c);
+        let mut a = StatsCollector::new(&c);
+        let mut b = StatsCollector::new(&c);
+        for i in 0..97u64 {
+            let t0 = c.warmup_cycles + i;
+            let part = if i % 3 == 0 { &mut a } else { &mut b };
+            whole.on_offered(t0, c.packet_flits);
+            part.on_offered(t0, c.packet_flits);
+            // Uneven latencies spread deliveries over several histogram
+            // bins; every third packet is unmeasured (warmup-style).
+            let measured = i % 5 != 0;
+            whole.on_delivered(t0 + 7 * i, t0, measured, c.packet_flits);
+            part.on_delivered(t0 + 7 * i, t0, measured, c.packet_flits);
+        }
+        // Merge in shard order, as the coordinator does.
+        a.merge(b);
+        let merged = a.finish(&c, 8, 97);
+        let direct = whole.finish(&c, 8, 97);
+        assert_eq!(format!("{merged:?}"), format!("{direct:?}"));
+        assert_eq!(
+            merged.avg_latency_cycles.to_bits(),
+            direct.avg_latency_cycles.to_bits()
+        );
+        assert_eq!(
+            merged.accepted_gbps_per_host.to_bits(),
+            direct.accepted_gbps_per_host.to_bits()
+        );
+        assert_eq!(merged.p99_latency_cycles, direct.p99_latency_cycles);
     }
 }

@@ -11,6 +11,14 @@
 //! the scheme from a shared [`RoutingCache`], which deduplicates builds
 //! across *separate* sweeps of the same topology — and across the fault
 //! rebuilds inside degraded sweeps.
+//!
+//! Sweeps parallelize *across* points; the sharded engine
+//! ([`crate::config::EngineKind::Sharded`]) parallelizes *inside* one
+//! simulation. Both draw from the same rayon pool, so combining them
+//! oversubscribes it — prefer point-level parallelism for sweeps (many
+//! independent runs saturate the pool already) and reserve the sharded
+//! engine for single long runs, like the saturated Figure-10 rows or a
+//! bisection probe at one load.
 
 use crate::cache::RoutingCache;
 use crate::config::{RoutingTables, SimConfig};

@@ -23,8 +23,8 @@
 //! calls hooks. When disabled ([`Telemetry::Off`]) every hook is an inlined
 //! variant check — zero measurable overhead (pinned by a Criterion row).
 //!
-//! The older per-packet [`trace::PacketTracer`] lives here too, folded in
-//! from `dsn_sim::trace` (which remains as a deprecated shim).
+//! The older per-packet [`trace::PacketTracer`] lives here too (folded in
+//! from the simulator crate, which re-exports it at its root).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +35,8 @@ pub mod report;
 pub mod trace;
 
 pub use hist::{bucket_of, bucket_upper_bound, LogHistogram};
-pub use recorder::{ChannelDesc, Recorder, Telemetry, TelemetryConfig, TelemetryTopo};
+pub use recorder::{
+    hook_kind, ChannelDesc, HookEvent, Recorder, Telemetry, TelemetryConfig, TelemetryTopo,
+};
 pub use report::{ClassReport, LinkReport, PhaseReport, Series, TelemetryReport, SCHEMA};
 pub use trace::{PacketTracer, TraceEvent, TraceRecord};

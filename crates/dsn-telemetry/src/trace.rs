@@ -4,10 +4,9 @@
 //! by default (zero overhead beyond an `Option` check) and meant for small
 //! diagnostic runs, not full sweeps.
 //!
-//! This module was folded in from `dsn_sim::trace` so the workspace has a
-//! single tracing/telemetry entry point; `dsn_sim::trace` remains as a
-//! deprecated re-export shim. Switch ids are plain `usize`, matching
-//! `dsn_core::NodeId`.
+//! This module was folded in from the simulator crate so the workspace has
+//! a single tracing/telemetry entry point; `dsn_sim` re-exports the types
+//! at its root. Switch ids are plain `usize`, matching `dsn_core::NodeId`.
 
 /// One recorded event in a packet's life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -121,10 +121,73 @@ pub trait IntoParallelRefIterator<'a> {
     fn par_iter(&'a self) -> Self::Iter;
 }
 
-/// `.par_iter_mut()` is not supported by this vendored subset; the trait
-/// exists so `use rayon::prelude::*` keeps compiling if upstream code
-/// imports it.
-pub trait IntoParallelRefMutIterator<'a> {}
+/// `.par_iter_mut()` on collections, yielding `&mut T`.
+///
+/// The mutable side does not go through [`ParallelIterator`] (whose
+/// `pi_get` hands out items from `&self`); it yields disjoint `&mut`
+/// chunks to scoped workers directly, so it stays safe code.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Resulting iterator.
+    type Iter;
+    /// Item type (a mutable reference).
+    type Item: Send + 'a;
+
+    /// Iterate by mutable reference.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+/// Parallel iterator over a mutable slice, yielding `&mut T`.
+#[derive(Debug)]
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceIterMut<'a, T> {
+    /// Run `f` on every item (order of side effects unspecified; each item
+    /// is visited exactly once, by exactly one worker).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let len = self.slice.len();
+        let threads = crate::current_num_threads().min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            for item in self.slice {
+                f(item);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|s| {
+            for part in self.slice.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
 
 /// Collections buildable from an ordered item vector.
 pub trait FromParallelIterator<T> {

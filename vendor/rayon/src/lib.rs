@@ -180,6 +180,13 @@ mod tests {
     }
 
     #[test]
+    fn par_iter_mut_mutates_every_item_once() {
+        let mut data: Vec<u64> = (0..257).collect();
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(data, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn for_each_visits_everything() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let hits = AtomicUsize::new(0);
