@@ -1,0 +1,122 @@
+//! Targeted single-row perf probe: run exactly one (topology, engine,
+//! load) cell of the BENCH_sim matrix and print cycles/s — the quickest
+//! way to iterate on hot-path changes or read a `--phase-timing`
+//! breakdown without sweeping the whole `fig10_simulation --json` matrix.
+//!
+//! Run: `cargo run --release -p dsn-bench --example perf_probe -- \
+//!       [--n 64|256] [--topo dsn|torus|random] [--gbps F] \
+//!       [--engine dense|event|sharded] [--workers N] [--phase-timing]`
+
+use dsn_bench::{take_engine_arg, take_workers_arg, trio};
+use dsn_sim::{AdaptiveEscape, SimConfig, SimRouting, Simulator, TrafficPattern};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn take_val(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    Some(args.remove(pos))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--phase-timing") {
+        args.retain(|a| a != "--phase-timing");
+        // Safe: single-threaded startup, before any sim work begins.
+        std::env::set_var("DSN_PHASE_TIMING", "1");
+    }
+    let n: usize = take_val(&mut args, "--n")
+        .map(|v| v.parse().expect("--n"))
+        .unwrap_or(256);
+    let topo = take_val(&mut args, "--topo").unwrap_or_else(|| "dsn".into());
+    let gbps: f64 = take_val(&mut args, "--gbps")
+        .map(|v| v.parse().expect("--gbps"))
+        .unwrap_or(11.0);
+    let mut engine = take_engine_arg(&mut args);
+    let mut workers = 0;
+    if let Some(w) = take_workers_arg(&mut args) {
+        engine = dsn_sim::EngineKind::Sharded;
+        workers = w;
+    }
+
+    let pre = take_val(&mut args, "--pre");
+    let idx = match topo.as_str() {
+        "dsn" => 0,
+        "torus" => 1,
+        "random" => 2,
+        other => panic!("unknown --topo {other} (dsn|torus|random)"),
+    };
+    let built = trio(n)
+        .into_iter()
+        .nth(idx)
+        .unwrap()
+        .build()
+        .expect("topology");
+    let graph = Arc::new(built.graph);
+    let cfg = SimConfig {
+        engine,
+        workers,
+        warmup_cycles: 5_000,
+        measure_cycles: 15_000,
+        drain_cycles: 15_000,
+        ..SimConfig::default()
+    };
+    let rate = cfg.packets_per_cycle_for_gbps(gbps);
+    let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+    routing.compiled_flat();
+    if let Some(pre_engine) = pre {
+        // Warm (dirty) the process heap with a full run of another engine
+        // first, reproducing the allocator state a row sees mid-way
+        // through the `fig10_simulation --json` matrix.
+        let pre_cfg = SimConfig {
+            engine: match pre_engine.as_str() {
+                "dense" => dsn_sim::EngineKind::Dense,
+                "event" => dsn_sim::EngineKind::Event,
+                other => panic!("unknown --pre {other}"),
+            },
+            workers: 0,
+            ..cfg.clone()
+        };
+        let pre_start = Instant::now();
+        let s = Simulator::new(
+            graph.clone(),
+            pre_cfg,
+            Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs)),
+            TrafficPattern::Uniform,
+            rate,
+            0x000F_1610,
+        )
+        .run();
+        println!(
+            "  (pre {pre_engine} run: {:.3}s, delivered {})",
+            pre_start.elapsed().as_secs_f64(),
+            s.delivered_packets
+        );
+    }
+    let sim = Simulator::new(
+        graph.clone(),
+        cfg.clone(),
+        routing,
+        TrafficPattern::Uniform,
+        rate,
+        0x000F_1610,
+    );
+    let start = Instant::now();
+    let stats = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    let cycles = cfg.total_cycles();
+    println!(
+        "{} n={n} {} w{workers} {gbps}G: {:.0} cycles/s ({cycles} cycles, {wall:.3}s, delivered {})",
+        built.name,
+        engine.name(),
+        cycles as f64 / wall,
+        stats.delivered_packets,
+    );
+    println!(
+        "  mean/max util {:.3}/{:.3}, peak in-flight {}, peak buffered {}",
+        stats.mean_channel_utilization,
+        stats.max_channel_utilization,
+        stats.peak_in_flight_packets,
+        stats.peak_buffered_flits,
+    );
+}

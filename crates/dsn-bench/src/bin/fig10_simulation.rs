@@ -24,12 +24,21 @@
 //! the trio at 64 and 256 switches (256 and 1024 hosts) at a low and a
 //! near-saturation load point and writes machine-readable rows to
 //! `BENCH_sim.json`, so CI can track the engine's perf trajectory.
-//! Routing is built through a shared [`RoutingCache`] and its
-//! (cold-build) cost is reported separately as `routing_build_s` —
-//! `wall_s` times only the simulation proper. The kernel's peak-RSS
-//! high-water mark is reset before every measured run so each row's
-//! `peak_rss_kb` covers that run alone; where the reset is impossible
-//! the row carries `"rss_is_cumulative": true` instead of a stale figure.
+//! Every row runs in its own child process (`--bench-row N` re-exec):
+//! a fresh heap per row keeps allocator state from one row from skewing
+//! the next (in-process, late rows measurably degrade), and the child's
+//! peak-RSS high-water mark covers that row alone — including sharded
+//! rows, whose worker pools previously shared one cumulative figure.
+//! Routing is (re)built inside each child and its cost is reported
+//! separately as `routing_build_s` — `wall_s` times only the simulation
+//! proper. Inside the child the RSS mark is additionally reset after
+//! construction; where the reset is impossible the row carries
+//! `"rss_is_cumulative": true` instead of a stale figure.
+//!
+//! `--phase-timing` (with `--json` or the figure sweeps) turns on the
+//! engine's per-phase wall-clock breakdown (wheel-drain / inject / route
+//! / arbitrate / eject, reported to stderr at the end of each run), the
+//! same diagnostic as the `DSN_PHASE_TIMING=1` environment variable.
 
 use dsn_bench::{
     emit_telemetry, peak_rss_kb, reset_peak_rss, take_engine_arg, take_routing_tables_arg,
@@ -39,7 +48,8 @@ use dsn_core::graph::Graph;
 use dsn_core::parallel::Parallelism;
 use dsn_sim::sweep::{format_sweep, load_sweep_cached, paper_load_grid, SweepResult};
 use dsn_sim::{
-    AdaptiveEscape, EngineKind, RoutingCache, RoutingTables, SimConfig, Simulator, TrafficPattern,
+    AdaptiveEscape, EngineKind, RoutingCache, RoutingTables, SimConfig, SimRouting, Simulator,
+    TrafficPattern,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -105,91 +115,151 @@ fn summarize(results: &[SweepResult]) {
     );
 }
 
-/// Benchmark mode: time both engines on the fig10 trio at 64 and 256
-/// switches, at a low and a near-saturation load point, and write
-/// `BENCH_sim.json` (hand-rolled — the workspace carries no JSON
-/// dependency). Routing comes from a shared cache: the first row of a
-/// topology pays the build (reported in `routing_build_s`), later rows
-/// fetch it for free, and `wall_s` is purely the simulation.
-fn emit_bench_json(cfg: &SimConfig) {
-    let cache = Arc::new(RoutingCache::new());
-    let key = AdaptiveEscape::key_for(cfg.vcs);
-    let topos: Vec<(String, Arc<Graph>)> = build_topos(64)
-        .into_iter()
-        .chain(build_topos(256))
-        .collect();
-    let mut rows = String::new();
+/// One cell of the benchmark matrix, identified by its index in
+/// [`bench_rows`] so a re-exec'd child resolves the same cell.
+struct BenchRow {
+    engine: EngineKind,
+    workers: usize,
+    /// 0..3 = 64-switch trio, 3..6 = 256-switch trio (trio order).
+    topo_idx: usize,
+    gbps: f64,
+}
+
+/// The full matrix in emission order: engines × (trio @ 64, trio @ 256)
+/// × (low load, near-saturation load).
+fn bench_rows() -> Vec<BenchRow> {
+    let mut rows = Vec::new();
     for (engine, workers) in [
         (EngineKind::Dense, 1usize),
         (EngineKind::Event, 1),
         (EngineKind::Sharded, 2),
         (EngineKind::Sharded, 4),
     ] {
-        for (name, graph) in &topos {
+        for topo_idx in 0..6 {
             for gbps in [1.0f64, 11.0] {
-                let cfg = SimConfig {
+                rows.push(BenchRow {
                     engine,
                     workers,
-                    ..cfg.clone()
-                };
-                let rate = cfg.packets_per_cycle_for_gbps(gbps);
-                let build_start = Instant::now();
-                let routing = {
-                    let g2 = graph.clone();
-                    let vcs = cfg.vcs;
-                    cache.get_or_build(graph, &key, move || Arc::new(AdaptiveEscape::new(g2, vcs)))
-                };
-                if cfg.routing_tables == RoutingTables::Flat {
-                    routing.compiled_flat();
-                }
-                let routing_build_s = build_start.elapsed().as_secs_f64();
-                let sim = Simulator::new(
-                    graph.clone(),
-                    cfg.clone(),
-                    routing,
-                    TrafficPattern::Uniform,
-                    rate,
-                    0x000F_1610,
-                );
-                // VmHWM is a process-lifetime high-water mark; reset it so
-                // this row's reading covers only the run below.
-                let rss_fresh = reset_peak_rss();
-                let start = Instant::now();
-                let stats = sim.run();
-                let wall = start.elapsed().as_secs_f64();
-                let cycles = cfg.total_cycles();
-                if !rows.is_empty() {
-                    rows.push_str(",\n");
-                }
-                rows.push_str(&format!(
-                    "  {{\"engine\": \"{}\", \"workers\": {workers}, \"topology\": \"{}\", \
-                     \"pattern\": \"uniform\", \
-                     \"load_gbps\": {gbps}, \"cycles\": {cycles}, \"wall_s\": {wall:.6}, \
-                     \"routing_build_s\": {routing_build_s:.6}, \"cycles_per_sec\": {:.0}, \
-                     \"delivered_packets\": {}, \
-                     \"peak_in_flight_packets\": {}, \"peak_rss_kb\": {}{}}}",
-                    engine.name(),
-                    name,
-                    cycles as f64 / wall,
-                    stats.delivered_packets,
-                    stats.peak_in_flight_packets,
-                    peak_rss_kb().unwrap_or(0),
-                    if rss_fresh {
-                        ""
-                    } else {
-                        ", \"rss_is_cumulative\": true"
-                    },
-                ));
-                println!(
-                    "  {:<7} w{workers} {:<14} {:>5.1}G  {:>10.0} cycles/s  (routing build {:.3}s)",
-                    engine.name(),
-                    name,
+                    topo_idx,
                     gbps,
-                    cycles as f64 / wall,
-                    routing_build_s,
-                );
+                });
             }
         }
+    }
+    rows
+}
+
+/// Run one matrix cell in this process and return its JSON object (no
+/// trailing separator). The human-readable progress line goes to stderr
+/// so a parent process can pass it through.
+fn run_bench_row(cfg: &SimConfig, row: &BenchRow) -> String {
+    let n = if row.topo_idx < 3 { 64 } else { 256 };
+    let built = trio(n)
+        .into_iter()
+        .nth(row.topo_idx % 3)
+        .unwrap()
+        .build()
+        .expect("topology");
+    let graph = Arc::new(built.graph);
+    let cfg = SimConfig {
+        engine: row.engine,
+        workers: row.workers,
+        ..cfg.clone()
+    };
+    let rate = cfg.packets_per_cycle_for_gbps(row.gbps);
+    let build_start = Instant::now();
+    let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+    if cfg.routing_tables == RoutingTables::Flat {
+        routing.compiled_flat();
+    }
+    let routing_build_s = build_start.elapsed().as_secs_f64();
+    let sim = Simulator::new(
+        graph.clone(),
+        cfg.clone(),
+        routing,
+        TrafficPattern::Uniform,
+        rate,
+        0x000F_1610,
+    );
+    // VmHWM is a process-lifetime high-water mark; reset it so this row's
+    // reading covers only the run below (not topology/routing build).
+    let rss_fresh = reset_peak_rss();
+    let start = Instant::now();
+    let stats = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    let cycles = cfg.total_cycles();
+    eprintln!(
+        "  {:<7} w{} {:<14} {:>5.1}G  {:>10.0} cycles/s  (routing build {:.3}s)",
+        row.engine.name(),
+        row.workers,
+        built.name,
+        row.gbps,
+        cycles as f64 / wall,
+        routing_build_s,
+    );
+    format!(
+        "  {{\"engine\": \"{}\", \"workers\": {}, \"topology\": \"{}\", \
+         \"pattern\": \"uniform\", \
+         \"load_gbps\": {}, \"cycles\": {cycles}, \"wall_s\": {wall:.6}, \
+         \"routing_build_s\": {routing_build_s:.6}, \"cycles_per_sec\": {:.0}, \
+         \"delivered_packets\": {}, \
+         \"peak_in_flight_packets\": {}, \"peak_rss_kb\": {}{}}}",
+        row.engine.name(),
+        row.workers,
+        built.name,
+        row.gbps,
+        cycles as f64 / wall,
+        stats.delivered_packets,
+        stats.peak_in_flight_packets,
+        peak_rss_kb().unwrap_or(0),
+        if rss_fresh {
+            ""
+        } else {
+            ", \"rss_is_cumulative\": true"
+        },
+    )
+}
+
+/// Benchmark mode: run every [`bench_rows`] cell in its own child process
+/// (`--bench-row N` re-exec of this binary) and write `BENCH_sim.json`
+/// (hand-rolled — the workspace carries no JSON dependency). Process
+/// isolation keeps one row's allocator state from skewing the next and
+/// gives every row — sharded ones included — its own peak-RSS reading.
+/// Falls back to in-process rows if the binary cannot re-exec itself.
+fn emit_bench_json(cfg: &SimConfig) {
+    let exe = std::env::current_exe().ok();
+    let mut rows = String::new();
+    for (i, row) in bench_rows().iter().enumerate() {
+        let json = exe
+            .as_deref()
+            .and_then(|exe| {
+                let out = std::process::Command::new(exe)
+                    .args([
+                        "--json",
+                        "--bench-row",
+                        &i.to_string(),
+                        "--routing-tables",
+                        cfg.routing_tables.name(),
+                    ])
+                    .stderr(std::process::Stdio::inherit())
+                    .output()
+                    .ok()?;
+                if !out.status.success() {
+                    return None;
+                }
+                let line = String::from_utf8(out.stdout).ok()?;
+                let line = line.trim_end().to_string();
+                if line.is_empty() {
+                    None
+                } else {
+                    Some(line)
+                }
+            })
+            .unwrap_or_else(|| run_bench_row(cfg, row));
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&json);
     }
     let json = format!("[\n{rows}\n]\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
@@ -236,6 +306,16 @@ fn run_telemetry_pass(
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--phase-timing") {
+        args.retain(|a| a != "--phase-timing");
+        // Safe: single-threaded startup, before any sim work begins. The
+        // variable also propagates into `--bench-row` children.
+        std::env::set_var("DSN_PHASE_TIMING", "1");
+    }
+    let bench_row = args.iter().position(|a| a == "--bench-row").map(|pos| {
+        args.remove(pos);
+        args.remove(pos).parse::<usize>().expect("--bench-row N")
+    });
     let mut engine = take_engine_arg(&mut args);
     let mut workers = 0;
     if let Some(w) = take_workers_arg(&mut args) {
@@ -266,6 +346,15 @@ fn main() {
     } else {
         paper_load_grid()
     };
+
+    // Child of a `--json` parent: run exactly one matrix cell, print its
+    // JSON object to stdout and exit.
+    if let Some(i) = bench_row {
+        let rows = bench_rows();
+        let row = rows.get(i).expect("--bench-row index out of range");
+        println!("{}", run_bench_row(&cfg, row));
+        return;
+    }
 
     let topos = build_topos(64);
     let cache = Arc::new(RoutingCache::new());

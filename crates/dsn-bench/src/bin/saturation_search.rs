@@ -9,7 +9,12 @@
 //! Run: `cargo run --release -p dsn-bench --bin saturation_search \
 //!       [--quick] [--threads N | --serial] \
 //!       [--engine dense|event|sharded] [--workers N] \
-//!       [--routing-tables flat|dyn] [--telemetry[=WINDOW]]`
+//!       [--routing-tables flat|dyn] [--telemetry[=WINDOW]] \
+//!       [--phase-timing]`
+//!
+//! `--phase-timing` turns on the engine's per-phase wall-clock breakdown
+//! (wheel-drain / inject / route / arbitrate / eject, reported to stderr
+//! at the end of each run), the same diagnostic as `DSN_PHASE_TIMING=1`.
 //!
 //! `--telemetry[=WINDOW]` instruments the near-saturation re-run (90% of
 //! the found saturation point) and prints where the cycles go — queueing
@@ -29,6 +34,11 @@ use std::sync::Arc;
 fn main() {
     let (par, mut rest) = Parallelism::from_args(std::env::args().skip(1));
     par.install();
+    if rest.iter().any(|a| a == "--phase-timing") {
+        rest.retain(|a| a != "--phase-timing");
+        // Safe: single-threaded startup, before any sim work begins.
+        std::env::set_var("DSN_PHASE_TIMING", "1");
+    }
     let mut engine = take_engine_arg(&mut rest);
     let mut workers = 0;
     if let Some(w) = take_workers_arg(&mut rest) {

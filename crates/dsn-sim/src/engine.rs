@@ -84,6 +84,9 @@ impl PacketSlab {
             Some(id) => id,
             None => {
                 self.slots.push(None);
+                // Keep the free list able to hold every slot so `retire`
+                // never reallocates (zero-alloc steady-state invariant).
+                self.free.reserve(self.slots.len() - self.free.len());
                 (self.slots.len() - 1) as u32
             }
         };
@@ -104,6 +107,7 @@ impl PacketSlab {
             Some(id) => id,
             None => {
                 self.slots.push(None);
+                self.free.reserve(self.slots.len() - self.free.len());
                 (self.slots.len() - 1) as u32
             }
         };
@@ -111,6 +115,23 @@ impl PacketSlab {
         self.slots[id as usize] = Some(p);
         self.live += 1;
         id
+    }
+
+    /// Pre-reserve storage for `want` total slots (and a matching free
+    /// list) so `alloc`/`import`/`retire` stay allocation-free until the
+    /// all-time slot count exceeds `want`.
+    pub fn reserve_slots(&mut self, want: usize) {
+        if self.slots.capacity() < want {
+            self.slots.reserve(want - self.slots.len());
+        }
+        if self.free.capacity() < want {
+            self.free.reserve(want - self.free.len());
+        }
+    }
+
+    /// Number of slots ever allocated (live + free).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Retire a delivered packet, releasing its slot for reuse.
@@ -155,20 +176,21 @@ pub(crate) enum OutRef {
 
 // ----------------------------------------------------------------------
 // Packed per-input-VC / per-output-VC ids. All per-VC state lives in
-// parallel flat arrays indexed by `iv = input * nvc + vc` and
-// `ov = channel * nvc + vc` (the same ids the event core schedules on), so
-// the allocation/arbitration hot loops are array scans with no pointer
-// chasing. `with_workload` asserts the network is small enough that the
-// packed encodings below cannot collide with their sentinels.
+// flat arrays indexed by `iv = input * nvc + vc` (the same ids the event
+// core schedules on) and `ov = ch_slot[channel] * nvc + vc` (slot-permuted
+// storage, see `ch_slot`), so the allocation/arbitration hot loops are
+// array scans with no pointer chasing. `with_workload` asserts the network
+// is small enough that the packed encodings below cannot collide with
+// their sentinels.
 // ----------------------------------------------------------------------
 
 /// `input_upstream` sentinel: injection input, no upstream channel.
 pub(crate) const NO_UPSTREAM: u32 = u32::MAX;
-/// `ivc_alloc` sentinel: no allocation held.
+/// `IvcHot::alloc` sentinel: no allocation held.
 pub(crate) const ALLOC_NONE: u32 = u32::MAX;
-/// `ivc_alloc` flag bit: ejection grant (low bits = host-local port).
+/// `IvcHot::alloc` flag bit: ejection grant (low bits = host-local port).
 pub(crate) const ALLOC_EJECT_BIT: u32 = 1 << 31;
-/// `ovc_owner` sentinel: output VC unowned.
+/// Owner half of `ovc_state` sentinel: output VC unowned.
 pub(crate) const OWNER_NONE: u32 = u32::MAX;
 
 /// Pack a network allocation: `(channel << 8) | vc`.
@@ -219,6 +241,94 @@ pub(crate) fn owner_unpack(o: u32) -> (usize, u8) {
     ((o >> 8) as usize, (o & 0xFF) as u8)
 }
 
+// ----------------------------------------------------------------------
+// Packed hot per-VC state. The fields the saturated allocation and
+// arbitration loops touch together are fused so each gate is one load:
+//
+// * per output VC, owner and credit count share a u64 (`ovc_state`,
+//   owner in the high half) — and because `OWNER_NONE` is `u32::MAX`,
+//   "free with at least `need` credits" is a single unsigned compare
+//   against `OVC_FREE + need`;
+// * per input VC, the header-ready cycle, the packed allocation and the
+//   allocated packet form one 16-byte [`IvcHot`] record, so a cache line
+//   covers four input VCs instead of striding three parallel arrays.
+// ----------------------------------------------------------------------
+
+/// `ovc_state` value of a free output VC with zero credits; the owner
+/// field (high 32 bits) holds [`OWNER_NONE`], the maximum owner value.
+pub(crate) const OVC_FREE: u64 = (OWNER_NONE as u64) << 32;
+
+/// Pack an output-VC state word from owner and credit count.
+#[inline]
+pub(crate) fn ovc_pack(owner: u32, credits: u32) -> u64 {
+    ((owner as u64) << 32) | credits as u64
+}
+
+/// Owner half of an `ovc_state` word.
+#[inline]
+pub(crate) fn ovc_owner_of(s: u64) -> u32 {
+    (s >> 32) as u32
+}
+
+/// Credit half of an `ovc_state` word.
+#[inline]
+pub(crate) fn ovc_credits_of(s: u64) -> u32 {
+    s as u32
+}
+
+/// Hot per-input-VC record: everything the allocation/ejection gates read
+/// besides the buffer itself. 16 bytes, four per cache line.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+pub(crate) struct IvcHot {
+    /// First cycle the head may attempt allocation (header processing
+    /// complete); `u64::MAX` = no head armed.
+    pub ready: u64,
+    /// Packed allocation ([`ALLOC_NONE`] = none held).
+    pub alloc: u32,
+    /// Slab index of the allocated packet — only meaningful while `alloc`
+    /// is held. Identifies the owner even when the buffer is transiently
+    /// empty mid-stream (needed by the fault purge).
+    pub alloc_pkt: u32,
+}
+
+impl IvcHot {
+    const IDLE: IvcHot = IvcHot {
+        ready: u64::MAX,
+        alloc: ALLOC_NONE,
+        alloc_pkt: 0,
+    };
+}
+
+/// Hot per-channel arbitration record (indexed by storage *slot*, see
+/// [`Simulator::ch_slot`]): the sendable/owned VC masks and the
+/// round-robin pointer that [`Simulator::grant_channel`] reads together.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+pub(crate) struct ChHot {
+    /// Bitmask of output VCs that can send a flit *right now*: bit `v` is
+    /// set iff the VC is owned, has at least one credit, and the owner's
+    /// input buffer is nonempty. Kept exact by every owner/credit/buffer
+    /// transition so [`Simulator::grant_channel`] is a single load for the
+    /// (at saturation, overwhelmingly common) credit-starved channels.
+    pub ready: u64,
+    /// Bitmask of *owned* output VCs (superset of `ready`): the event
+    /// engine's channel-deactivation test in O(1).
+    pub owned: u64,
+    /// Round-robin pointer for switch allocation.
+    pub rr: u32,
+    _pad: u32,
+}
+
+impl ChHot {
+    const IDLE: ChHot = ChHot {
+        ready: 0,
+        owned: 0,
+        rr: 0,
+        _pad: 0,
+    };
+}
+
 /// What [`Simulator::try_allocate_vc`] decided for one head packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum AllocOutcome {
@@ -262,34 +372,58 @@ pub struct Simulator {
     pub(crate) input_node: Vec<u32>,
     /// Per-input upstream directed channel ([`NO_UPSTREAM`] for injection).
     pub(crate) input_upstream: Vec<u32>,
-    /// Per-`iv` input buffer.
-    pub(crate) ivc_buf: Vec<VecDeque<Flit>>,
-    /// Per-`iv` first cycle the head may attempt allocation (header
-    /// processing complete); `u64::MAX` = no head armed.
-    pub(crate) ivc_ready: Vec<u64>,
-    /// Per-`iv` packed allocation ([`ALLOC_NONE`] = none held).
-    pub(crate) ivc_alloc: Vec<u32>,
-    /// Per-`iv` slab index of the allocated packet — only meaningful while
-    /// `ivc_alloc` is held. Identifies the owner even when the buffer is
-    /// transiently empty mid-stream (needed by the fault purge).
-    pub(crate) ivc_alloc_pkt: Vec<u32>,
-    /// Per-`ov` downstream credit count.
-    pub(crate) ovc_credits: Vec<u32>,
-    /// Per-`ov` packed owner `(input, vc)` ([`OWNER_NONE`] = free).
-    pub(crate) ovc_owner: Vec<u32>,
-    /// Per-channel round-robin pointer for switch allocation.
-    pub(crate) out_rr: Vec<u32>,
-    /// Per-channel bitmask of output VCs that can send a flit *right now*:
-    /// bit `v` is set iff `ovc_owner[ch*nvc+v]` is held, the VC has at
-    /// least one credit, and the owner's input buffer is nonempty. Kept
-    /// exact by every owner/credit/buffer transition so [`Self::grant_channel`]
-    /// is a single load for the (at saturation, overwhelmingly common)
-    /// credit-starved channels instead of a per-VC gate scan.
-    pub(crate) ch_ready: Vec<u64>,
-    /// Per-channel bitmask of *owned* output VCs (superset of `ch_ready`):
-    /// the event engine's channel-deactivation test in O(1) instead of an
-    /// owner-slice scan.
-    pub(crate) ch_owned: Vec<u64>,
+    /// Per-input switch the `iv = input * nvc + vc` unit belongs to
+    /// (denormalized from `input_node` so the event core's wake-up walk
+    /// avoids the `iv / nvc` division).
+    pub(crate) iv_node: Vec<u32>,
+    /// Number of network input-VC units (`channels * nvc`); `iv` below
+    /// this bound indexes the ring arena, at or above it the injection
+    /// queues.
+    pub(crate) net_ivs: usize,
+    /// Network input buffers: one contiguous fixed-capacity ring arena,
+    /// `buffer_flits` [`Flit`] slots per network `iv`. A single allocation
+    /// (instead of one `VecDeque` per VC) keeps the saturated send/arrival
+    /// path on sequential pages regardless of allocator state — the
+    /// scattered per-VC deques were the dominant cache/TLB cost at 256+
+    /// switches (DESIGN.md §8).
+    pub(crate) net_buf: Vec<Flit>,
+    /// Per-network-`iv` ring position, packed `head << 16 | len`.
+    pub(crate) net_pos: Vec<u32>,
+    /// Injection-input buffers (`iv - net_ivs`), unbounded: the open-loop
+    /// injector queues here without credit backpressure.
+    pub(crate) inj_buf: Vec<VecDeque<Flit>>,
+    /// Per-`iv` hot state (header-ready cycle, packed allocation,
+    /// allocated packet).
+    pub(crate) ivc: Vec<IvcHot>,
+    /// Per-`ov` packed owner + credit state, indexed by *storage slot*
+    /// (`ch_slot[ch] * nvc + vc`). See [`OVC_FREE`].
+    pub(crate) ovc_state: Vec<u64>,
+    /// Per-channel hot arbitration state (ready/owned masks, RR pointer),
+    /// indexed by storage slot.
+    pub(crate) chv: Vec<ChHot>,
+    /// Channel → storage slot for `ovc_state`/`chv`. Iteration everywhere
+    /// stays in original channel-id order (observable: channels at one
+    /// switch contend for shared input ports in ascending-id order), so
+    /// the permutation is a pure memory relayout — bit-identical results.
+    /// Default is *switch-major* (channels stably sorted by source switch,
+    /// clustering each switch's out-channels that the allocation scan
+    /// touches together); `DSN_SOA_LAYOUT=channel` keeps the graph's
+    /// edge-major order for A/B timing.
+    pub(crate) ch_slot: Vec<u32>,
+    /// Per-channel source switch (denormalized from the graph for the
+    /// wake-up dirty marks).
+    pub(crate) ch_src: Vec<u32>,
+    /// Per-switch dirty bitmap for the event core's allocation wake-up
+    /// skip: a bit is set when an output VC at that switch transitioned
+    /// to grantable (credit count crossed the allocation threshold on a
+    /// free VC, or an owner released with enough credits), meaning blocked
+    /// heads there are worth re-attempting. Consumed and cleared each
+    /// allocation phase; maintained unconditionally (the dense core simply
+    /// never reads it).
+    pub(crate) node_dirty: Vec<u64>,
+    /// Credits required to grant an output VC (packet_flits for virtual
+    /// cut-through, 1 for wormhole) — fixed per run.
+    pub(crate) alloc_need: u32,
 
     /// Compiled flat candidate tables (None = dynamic trait-call path,
     /// either by `cfg.routing_tables` or because the scheme is not
@@ -339,6 +473,9 @@ pub struct Simulator {
     pub(crate) cand_scratch: Vec<(usize, u8)>,
     /// Scratch for dynamic escape residues on the flat path.
     pub(crate) esc_scratch: Vec<(usize, u8)>,
+    /// Per-phase wall-time breakdown (Some iff `DSN_PHASE_TIMING` was set
+    /// at construction); never touches simulation state.
+    pub(crate) phase_timers: Option<Box<crate::timing::PhaseTimers>>,
     /// Event-engine bookkeeping (None while running dense).
     pub(crate) ev: Option<Box<crate::event::EventState>>,
     /// Fault-injection state (None when `cfg.fault_plan` is empty).
@@ -425,10 +562,12 @@ impl Simulator {
         );
         let mut input_node = Vec::with_capacity(n_inputs);
         let mut input_upstream = Vec::with_capacity(n_inputs);
+        let mut ch_src = Vec::with_capacity(channels);
         for c in 0..channels {
-            let (_, to) = graph.channel_endpoints(c);
+            let (from, to) = graph.channel_endpoints(c);
             input_node.push(to as u32);
             input_upstream.push(c as u32);
+            ch_src.push(from as u32);
         }
         for h in 0..hosts {
             input_node.push((h / cfg.hosts_per_switch) as u32);
@@ -436,6 +575,37 @@ impl Simulator {
         }
         let iv_domain = n_inputs * nvc;
         let ov_domain = channels * nvc;
+        let mut iv_node = Vec::with_capacity(iv_domain);
+        for &node in &input_node {
+            iv_node.extend(std::iter::repeat_n(node, nvc));
+        }
+        // Storage permutation for the per-channel/per-output-VC arrays.
+        // The graph numbers channels edge-major (2e, 2e+1 = the two
+        // directions of edge e), scattering a switch's out-channels; the
+        // default switch-major layout clusters them so the allocation
+        // scan's candidate probes share cache lines. `DSN_SOA_LAYOUT`
+        // selects the layout for A/B timing; results are identical either
+        // way (iteration order never changes).
+        let switch_major = !matches!(
+            std::env::var("DSN_SOA_LAYOUT").as_deref(),
+            Ok("channel") | Ok("edge")
+        );
+        let mut ch_slot = vec![0u32; channels];
+        if switch_major {
+            let mut order: Vec<u32> = (0..channels as u32).collect();
+            order.sort_by_key(|&c| ch_src[c as usize]);
+            for (slot, &c) in order.iter().enumerate() {
+                ch_slot[c as usize] = slot as u32;
+            }
+        } else {
+            for (c, s) in ch_slot.iter_mut().enumerate() {
+                *s = c as u32;
+            }
+        }
+        let alloc_need = match cfg.switching {
+            crate::config::Switching::VirtualCutThrough => cfg.packet_flits as u32,
+            crate::config::Switching::Wormhole => 1,
+        };
 
         let stats = StatsCollector::new(&cfg);
         let telemetry = match &cfg.telemetry {
@@ -454,6 +624,16 @@ impl Simulator {
             crate::config::RoutingTables::Flat => routing.compiled_flat(),
             crate::config::RoutingTables::Dyn => None,
         };
+        // Pre-size every buffer the steady state touches so a saturated
+        // measure-phase cycle performs no heap allocation (asserted by
+        // `tests/zero_alloc.rs`): network input buffers are bounded by the
+        // credit loop at `buffer_flits`, the used-lists by their domains,
+        // the routing scratches by the candidate fan-out.
+        assert!(
+            (1..=u16::MAX as usize).contains(&cfg.buffer_flits),
+            "buffer_flits must fit the packed ring position"
+        );
+        let net_ivs = channels * nvc;
         Simulator {
             links: vec![VecDeque::new(); channels],
             channel_flits: vec![0; channels],
@@ -461,7 +641,6 @@ impl Simulator {
             current_stall: 0,
             longest_stall: 0,
             delivered_all_time: 0,
-            graph,
             routing,
             pattern,
             injector,
@@ -472,32 +651,38 @@ impl Simulator {
             n_inputs,
             input_node,
             input_upstream,
-            ivc_buf: vec![VecDeque::new(); iv_domain],
-            ivc_ready: vec![u64::MAX; iv_domain],
-            ivc_alloc: vec![ALLOC_NONE; iv_domain],
-            ivc_alloc_pkt: vec![0; iv_domain],
-            ovc_credits: vec![cfg.buffer_flits as u32; ov_domain],
-            ovc_owner: vec![OWNER_NONE; ov_domain],
-            out_rr: vec![0; channels],
-            ch_ready: vec![0; channels],
-            ch_owned: vec![0; channels],
+            iv_node,
+            net_ivs,
+            net_buf: vec![Flit { packet: 0, seq: 0 }; net_ivs * cfg.buffer_flits],
+            net_pos: vec![0; net_ivs],
+            inj_buf: vec![VecDeque::new(); iv_domain - net_ivs],
+            ivc: vec![IvcHot::IDLE; iv_domain],
+            ovc_state: vec![OVC_FREE + cfg.buffer_flits as u64; ov_domain],
+            chv: vec![ChHot::IDLE; channels],
+            ch_slot,
+            ch_src,
+            node_dirty: vec![0; n.div_ceil(64)],
+            alloc_need,
             flat,
             routing_cache: None,
             credits_in_flight: VecDeque::new(),
             now: 0,
             input_used: vec![false; channels + hosts],
             eject_used: vec![false; n * cfg.hosts_per_switch],
-            touched_inputs: Vec::new(),
-            touched_ejects: Vec::new(),
+            touched_inputs: Vec::with_capacity(n_inputs),
+            touched_ejects: Vec::with_capacity(n * cfg.hosts_per_switch),
             buffered_flits: 0,
             peak_buffered_flits: 0,
-            cand_scratch: Vec::new(),
-            esc_scratch: Vec::new(),
+            cand_scratch: Vec::with_capacity(64),
+            esc_scratch: Vec::with_capacity(64),
+            phase_timers: crate::timing::env_enabled()
+                .then(|| Box::new(crate::timing::PhaseTimers::default())),
             ev: None,
             fault,
             shard: None,
             seed,
             open_rate,
+            graph,
             cfg,
             stats,
             tracer: None,
@@ -589,11 +774,32 @@ impl Simulator {
         self.finish_stats()
     }
 
-    fn run_inner(&mut self) {
-        let total = self.cfg.total_cycles();
+    /// Step the simulation up to (but not past) cycle `target`, clamped to
+    /// the configured horizon. Lets a caller bracket a window of cycles —
+    /// e.g. the zero-allocation steady-state test brackets the measurement
+    /// phase with allocator counter reads. Repeated calls continue where
+    /// the previous one stopped; finish with [`Self::finish`] (or keep
+    /// advancing to the horizon). Not supported on the sharded engine,
+    /// whose cycles advance inside its worker pool.
+    pub fn advance_until(&mut self, target: u64) {
+        let stop = target.min(self.cfg.total_cycles());
+        // Crossing (or landing on) the warmup→measure boundary pre-sizes
+        // everything that still grows under saturation, so the measure
+        // phase itself runs allocation-free (`presize_steady_state`).
+        let warm = self.cfg.warmup_cycles;
+        if self.now < warm && stop >= warm {
+            self.advance_engine(warm);
+            if self.now == warm {
+                self.presize_steady_state();
+            }
+        }
+        self.advance_engine(stop);
+    }
+
+    fn advance_engine(&mut self, stop: u64) {
         match self.cfg.engine {
             crate::config::EngineKind::Dense => {
-                while self.now < total {
+                while self.now < stop {
                     self.step_dense();
                     if self.batch_done() {
                         break;
@@ -601,12 +807,75 @@ impl Simulator {
                 }
             }
             crate::config::EngineKind::Event => {
-                crate::event::prepare(self);
-                while self.now < total {
-                    crate::event::step(self, total);
+                if self.ev.is_none() {
+                    crate::event::prepare(self);
+                }
+                // `stop` (not the horizon) bounds the event core's idle
+                // skip so it cannot overshoot the stepping boundary.
+                while self.now < stop {
+                    crate::event::step(self, stop);
                     if self.batch_done() {
                         break;
                     }
+                }
+            }
+            crate::config::EngineKind::Sharded => {
+                panic!("advance_until is not supported on the sharded engine")
+            }
+        }
+    }
+
+    /// One-shot hook at the warmup→measure boundary: pre-reserve every
+    /// structure that still grows in a saturated steady state, so the
+    /// measure phase performs zero heap allocations (verified by the
+    /// `zero_alloc` integration test). Source queues and the live-packet
+    /// population grow roughly linearly under saturation, so end-of-warmup
+    /// sizes projected across the horizon (with 50% slack) bound them; the
+    /// event wheel's per-slot vectors get hard per-cycle bounds instead.
+    /// Pure capacity reservation — observable behavior is unchanged.
+    fn presize_steady_state(&mut self) {
+        // A host injects at most ~rate × remaining packets more (Bernoulli
+        // gaps; 25% slack plus a constant floor dwarfs the binomial
+        // variance), so offered load bounds both the packet-slab growth
+        // and — worst case, nothing drains — each source queue's depth.
+        let remaining = self.cfg.total_cycles().saturating_sub(self.now) as f64;
+        let inj_pkts = (self.injector.rate() * remaining * 1.25) as usize + 8;
+        self.packets
+            .reserve_slots(self.packets.slot_count() + inj_pkts * self.hosts());
+        let inj_flits = inj_pkts * self.cfg.packet_flits + 64;
+        for q in &mut self.inj_buf {
+            let want = q.len() + inj_flits;
+            if q.capacity() < want {
+                q.reserve(want - q.len());
+            }
+        }
+        let (channels, iv_domain) = (self.links.len(), self.n_inputs * self.nvc);
+        let eject_ports = self.eject_used.len();
+        if let Some(ev) = self.ev.as_mut() {
+            ev.presize_steady_state(channels, iv_domain, eject_ports);
+        }
+    }
+
+    /// Complete the run (advancing any remaining cycles) and return the
+    /// collected statistics — the terminal step of the [`Self::advance_until`]
+    /// stepping API. `run()` is equivalent to calling this without any
+    /// prior stepping.
+    pub fn finish(mut self) -> RunStats {
+        self.run_inner();
+        self.finish_stats()
+    }
+
+    fn run_inner(&mut self) {
+        let total = self.cfg.total_cycles();
+        match self.cfg.engine {
+            crate::config::EngineKind::Dense | crate::config::EngineKind::Event => {
+                self.advance_until(total);
+                if let Some(t) = self.phase_timers.take() {
+                    let name = match self.cfg.engine {
+                        crate::config::EngineKind::Dense => "dense",
+                        _ => "event",
+                    };
+                    eprint!("{}", t.report(name));
                 }
             }
             crate::config::EngineKind::Sharded => {
@@ -677,6 +946,7 @@ impl Simulator {
     /// Advance one cycle (dense reference).
     fn step_dense(&mut self) {
         let now = self.now;
+        let mut stamp = self.phase_stamp();
 
         // 0. Faults due this cycle (mask mutation, purges, reroute).
         self.process_faults(now);
@@ -700,19 +970,58 @@ impl Simulator {
                 self.buf_push(ch, vc as usize, flit, now);
             }
         }
+        self.phase_mark(&mut stamp, crate::timing::Phase::Wheel);
 
         // 3. Injection.
         self.inject_dense(now);
+        self.phase_mark(&mut stamp, crate::timing::Phase::Inject);
 
         // 4. Routing + VC allocation.
         self.allocate_dense(now);
+        self.phase_mark(&mut stamp, crate::timing::Phase::Route);
 
-        // 5. Switch allocation + flit traversal.
-        self.traverse_dense(now);
+        // 5a. Switch allocation + flit traversal: one flit per channel per
+        // cycle, round-robin over the input VCs that own one of its output
+        // VCs.
+        for ch in 0..self.links.len() {
+            self.grant_channel(ch, now);
+        }
+        self.phase_mark(&mut stamp, crate::timing::Phase::Arbitrate);
 
+        // 5b. Ejection: one flit per (switch, port) per cycle.
+        for i in 0..self.n_inputs {
+            if self.input_used[i] {
+                continue;
+            }
+            for v in 0..self.vc_count(i) {
+                self.try_eject_vc(i, v, now);
+            }
+        }
         self.clear_used();
         self.watchdog(now);
+        self.phase_mark(&mut stamp, crate::timing::Phase::Eject);
+        if let Some(t) = &mut self.phase_timers {
+            t.cycles += 1;
+        }
         self.now += 1;
+    }
+
+    /// Start a per-phase timing stamp (None when timing is off).
+    #[inline]
+    pub(crate) fn phase_stamp(&self) -> Option<std::time::Instant> {
+        self.phase_timers.is_some().then(std::time::Instant::now)
+    }
+
+    /// Credit the wall time since `stamp` to phase `p` and restart it.
+    #[inline]
+    pub(crate) fn phase_mark(
+        &mut self,
+        stamp: &mut Option<std::time::Instant>,
+        p: crate::timing::Phase,
+    ) {
+        if let (Some(t), Some(s)) = (self.phase_timers.as_deref_mut(), stamp.as_mut()) {
+            t.mark(s, p);
+        }
     }
 
     fn inject_dense(&mut self, now: u64) {
@@ -735,36 +1044,19 @@ impl Simulator {
         for i in 0..self.n_inputs {
             for v in 0..self.vc_count(i) {
                 let iv = i * self.nvc + v;
-                let Some(&head) = self.ivc_buf[iv].front() else {
+                let Some(head) = self.buf_front(iv) else {
                     continue;
                 };
-                if head.seq != 0 || self.ivc_alloc[iv] != ALLOC_NONE {
+                if head.seq != 0 || self.ivc[iv].alloc != ALLOC_NONE {
                     continue;
                 }
-                debug_assert_ne!(self.ivc_ready[iv], u64::MAX, "head never armed");
-                if now < self.ivc_ready[iv] {
+                debug_assert_ne!(self.ivc[iv].ready, u64::MAX, "head never armed");
+                if now < self.ivc[iv].ready {
                     continue;
                 }
                 if let AllocOutcome::Unroutable = self.try_allocate_vc(i, v, now) {
                     self.unroutable_drop(i, v, now);
                 }
-            }
-        }
-    }
-
-    fn traverse_dense(&mut self, now: u64) {
-        // Network outputs: one flit per channel per cycle, round-robin over
-        // the input VCs that own one of its output VCs.
-        for ch in 0..self.links.len() {
-            self.grant_channel(ch, now);
-        }
-        // Ejection: one flit per (switch, port) per cycle.
-        for i in 0..self.n_inputs {
-            if self.input_used[i] {
-                continue;
-            }
-            for v in 0..self.vc_count(i) {
-                self.try_eject_vc(i, v, now);
             }
         }
     }
@@ -847,8 +1139,146 @@ impl Simulator {
             self.buf_push(input, 0, Flit { packet: id, seq }, now);
         }
         if self.telemetry.enabled() {
-            let depth = self.ivc_buf[input * self.nvc].len() as u32;
+            let depth = self.buf_len(input * self.nvc) as u32;
             self.telemetry.on_inject_depth(depth, now);
+        }
+    }
+
+    // --- input-VC buffer accessors -------------------------------------
+    // Network `iv`s (< net_ivs) live in the flat ring arena; injection
+    // `iv`s in per-host deques. All logical state (front, order, length)
+    // is representation-independent, so both engines see identical
+    // buffers either way.
+
+    /// Flits resident in buffer `iv`.
+    #[inline]
+    pub(crate) fn buf_len(&self, iv: usize) -> usize {
+        if iv < self.net_ivs {
+            (self.net_pos[iv] & 0xFFFF) as usize
+        } else {
+            self.inj_buf[iv - self.net_ivs].len()
+        }
+    }
+
+    /// Front flit of buffer `iv`, by value ([`Flit`] is 8 bytes).
+    #[inline]
+    pub(crate) fn buf_front(&self, iv: usize) -> Option<Flit> {
+        if iv < self.net_ivs {
+            let pos = self.net_pos[iv];
+            if pos & 0xFFFF == 0 {
+                None
+            } else {
+                Some(self.net_buf[iv * self.cfg.buffer_flits + (pos >> 16) as usize])
+            }
+        } else {
+            self.inj_buf[iv - self.net_ivs].front().copied()
+        }
+    }
+
+    /// Raw append to buffer `iv` (no stats/telemetry/arming — callers use
+    /// [`Self::buf_push`]).
+    #[inline]
+    fn buf_push_raw(&mut self, iv: usize, flit: Flit) {
+        if iv < self.net_ivs {
+            let cap = self.cfg.buffer_flits;
+            let pos = self.net_pos[iv];
+            let (head, len) = ((pos >> 16) as usize, (pos & 0xFFFF) as usize);
+            debug_assert!(len < cap, "ring overflow: credit loop broken");
+            let mut at = head + len;
+            if at >= cap {
+                at -= cap;
+            }
+            self.net_buf[iv * cap + at] = flit;
+            self.net_pos[iv] = pos + 1;
+        } else {
+            self.inj_buf[iv - self.net_ivs].push_back(flit);
+        }
+    }
+
+    /// Raw pop of the front flit of buffer `iv`.
+    #[inline]
+    fn buf_pop_raw(&mut self, iv: usize) -> Flit {
+        if iv < self.net_ivs {
+            let cap = self.cfg.buffer_flits;
+            let pos = self.net_pos[iv];
+            let (head, len) = ((pos >> 16) as usize, (pos & 0xFFFF) as usize);
+            debug_assert!(len > 0, "pop from empty ring");
+            let flit = self.net_buf[iv * cap + head];
+            let mut nh = head + 1;
+            if nh == cap {
+                nh = 0;
+            }
+            self.net_pos[iv] = ((nh as u32) << 16) | (len as u32 - 1);
+            flit
+        } else {
+            self.inj_buf[iv - self.net_ivs]
+                .pop_front()
+                .expect("nonempty")
+        }
+    }
+
+    /// Whether any flit of packet `pkt` sits in buffer `iv` (fault paths).
+    pub(crate) fn buf_contains_packet(&self, iv: usize, pkt: u32) -> bool {
+        let mut found = false;
+        self.buf_for_each(iv, |f| found |= f.packet == pkt);
+        found
+    }
+
+    /// Visit every resident flit of buffer `iv` front-to-back (fault
+    /// paths).
+    pub(crate) fn buf_for_each(&self, iv: usize, mut f: impl FnMut(Flit)) {
+        if iv < self.net_ivs {
+            let cap = self.cfg.buffer_flits;
+            let pos = self.net_pos[iv];
+            let (head, len) = ((pos >> 16) as usize, (pos & 0xFFFF) as usize);
+            for k in 0..len {
+                let mut at = head + k;
+                if at >= cap {
+                    at -= cap;
+                }
+                f(self.net_buf[iv * cap + at]);
+            }
+        } else {
+            for &fl in &self.inj_buf[iv - self.net_ivs] {
+                f(fl);
+            }
+        }
+    }
+
+    /// Drop every flit of packet `pkt` from buffer `iv`, preserving the
+    /// order of the survivors; returns how many were removed (fault
+    /// paths). Survivors are compacted toward `head` — the write slot
+    /// `head + kept` trails the read slot `head + k` (`kept <= k`), so an
+    /// already-read slot is never clobbered.
+    pub(crate) fn buf_retain_not_packet(&mut self, iv: usize, pkt: u32) -> usize {
+        if iv < self.net_ivs {
+            let cap = self.cfg.buffer_flits;
+            let base = iv * cap;
+            let pos = self.net_pos[iv];
+            let (head, len) = ((pos >> 16) as usize, (pos & 0xFFFF) as usize);
+            let mut kept = 0usize;
+            for k in 0..len {
+                let mut at = head + k;
+                if at >= cap {
+                    at -= cap;
+                }
+                let flit = self.net_buf[base + at];
+                if flit.packet != pkt {
+                    let mut to = head + kept;
+                    if to >= cap {
+                        to -= cap;
+                    }
+                    self.net_buf[base + to] = flit;
+                    kept += 1;
+                }
+            }
+            self.net_pos[iv] = ((head as u32) << 16) | kept as u32;
+            len - kept
+        } else {
+            let q = &mut self.inj_buf[iv - self.net_ivs];
+            let before = q.len();
+            q.retain(|f| f.packet != pkt);
+            before - q.len()
         }
     }
 
@@ -857,9 +1287,9 @@ impl Simulator {
     /// dense scan would first see it).
     pub(crate) fn buf_push(&mut self, i: usize, v: usize, flit: Flit, now: u64) {
         let iv = i * self.nvc + v;
-        let was_empty = self.ivc_buf[iv].is_empty();
-        self.ivc_buf[iv].push_back(flit);
-        let depth = self.ivc_buf[iv].len();
+        self.buf_push_raw(iv, flit);
+        let depth = self.buf_len(iv);
+        let was_empty = depth == 1;
         self.buffered_flits += 1;
         self.peak_buffered_flits = self.peak_buffered_flits.max(self.buffered_flits);
         if let Some(sc) = &mut self.shard {
@@ -881,11 +1311,11 @@ impl Simulator {
         if was_empty {
             if flit.seq == 0 {
                 debug_assert!(
-                    self.ivc_alloc[iv] == ALLOC_NONE,
+                    self.ivc[iv].alloc == ALLOC_NONE,
                     "fresh head in a buffer still owned by a previous packet"
                 );
                 self.arm_header(i, v, now);
-            } else if let Some(OutRef::Net { channel, vc }) = decode_alloc(self.ivc_alloc[iv]) {
+            } else if let Some(OutRef::Net { channel, vc }) = decode_alloc(self.ivc[iv].alloc) {
                 // Mid-stream refill of a drained buffer: the allocated
                 // output VC may be sendable again.
                 self.refresh_ready(channel, vc as usize);
@@ -894,9 +1324,7 @@ impl Simulator {
     }
 
     fn buf_pop(&mut self, i: usize, v: usize) -> Flit {
-        let flit = self.ivc_buf[i * self.nvc + v]
-            .pop_front()
-            .expect("nonempty");
+        let flit = self.buf_pop_raw(i * self.nvc + v);
         self.buffered_flits -= 1;
         flit
     }
@@ -908,7 +1336,7 @@ impl Simulator {
     /// still wait one cycle).
     pub(crate) fn arm_header(&mut self, i: usize, v: usize, arm_cycle: u64) {
         let ready = arm_cycle + self.cfg.header_delay.max(1);
-        self.ivc_ready[i * self.nvc + v] = ready;
+        self.ivc[i * self.nvc + v].ready = ready;
         if let Some(ev) = &mut self.ev {
             ev.schedule_route(ready, i, v);
         }
@@ -918,40 +1346,68 @@ impl Simulator {
     /// is seen by the allocator no earlier than the following cycle.
     fn release_input_vc(&mut self, i: usize, v: usize, now: u64) {
         let iv = i * self.nvc + v;
-        self.ivc_alloc[iv] = ALLOC_NONE;
-        self.ivc_ready[iv] = u64::MAX;
-        if let Some(&head) = self.ivc_buf[iv].front() {
+        self.ivc[iv].alloc = ALLOC_NONE;
+        self.ivc[iv].ready = u64::MAX;
+        if let Some(head) = self.buf_front(iv) {
             debug_assert_eq!(head.seq, 0, "packets stream whole, in order");
             self.arm_header(i, v, now + 1);
         }
     }
 
+    /// Set the wake-up dirty bit for `node` (see [`Self::node_dirty`]).
+    #[inline]
+    pub(crate) fn mark_node_dirty(&mut self, node: usize) {
+        self.node_dirty[node >> 6] |= 1u64 << (node & 63);
+    }
+
+    /// Batched credit drain for one timing-wheel slot (event core): the
+    /// loop lives here so [`Self::apply_credit`] inlines against field
+    /// loads hoisted out of the loop.
+    pub(crate) fn drain_credits(&mut self, credits: &[(u32, u8)]) {
+        for &(ch, vc) in credits {
+            self.apply_credit(ch as usize, vc);
+        }
+    }
+
+    /// Batched link-arrival drain for one timing-wheel slot (event core).
+    pub(crate) fn drain_links(&mut self, links: &[(u32, u8, Flit)], now: u64) {
+        for &(ch, vc, flit) in links {
+            self.buf_push(ch as usize, vc as usize, flit, now);
+        }
+    }
+
     pub(crate) fn apply_credit(&mut self, ch: usize, vc: u8) {
-        let ov = ch * self.nvc + vc as usize;
-        self.ovc_credits[ov] += 1;
+        let ov = self.ch_slot[ch] as usize * self.nvc + vc as usize;
+        let s = self.ovc_state[ov] + 1;
+        self.ovc_state[ov] = s;
         debug_assert!(
-            self.ovc_credits[ov] as usize <= self.cfg.buffer_flits,
+            ovc_credits_of(s) as usize <= self.cfg.buffer_flits,
             "credit overflow on channel {ch} vc {vc}"
         );
-        // A 0→1 credit transition may un-starve the owner.
-        if self.ovc_credits[ov] == 1 {
+        if s == OVC_FREE + self.alloc_need as u64 {
+            // A free VC just crossed the grant threshold: blocked heads at
+            // the source switch may now allocate it.
+            self.mark_node_dirty(self.ch_src[ch] as usize);
+        } else if s < OVC_FREE && ovc_credits_of(s) == 1 {
+            // A 0→1 credit transition may un-starve the owner.
             self.refresh_ready(ch, vc as usize);
         }
     }
 
-    /// Recompute the [`Self::ch_ready`] bit for output VC `(ch, vc)` from
+    /// Recompute the [`ChHot::ready`] bit for output VC `(ch, vc)` from
     /// the owner/credit/buffer state it summarizes.
     pub(crate) fn refresh_ready(&mut self, ch: usize, vc: usize) {
-        let ov = ch * self.nvc + vc;
-        let owner = self.ovc_owner[ov];
-        let ready = owner != OWNER_NONE && self.ovc_credits[ov] > 0 && {
+        let slot = self.ch_slot[ch] as usize;
+        let s = self.ovc_state[slot * self.nvc + vc];
+        let owner = ovc_owner_of(s);
+        let ready = owner != OWNER_NONE && ovc_credits_of(s) > 0 && {
             let (i, v) = owner_unpack(owner);
-            !self.ivc_buf[i * self.nvc + v as usize].is_empty()
+            self.buf_len(i * self.nvc + v as usize) > 0
         };
         if ready {
-            self.ch_ready[ch] |= 1u64 << vc;
+            self.chv[slot].ready |= 1u64 << vc;
         } else {
-            self.ch_ready[ch] &= !(1u64 << vc);
+            self.chv[slot].ready &= !(1u64 << vc);
         }
     }
 
@@ -1059,10 +1515,10 @@ impl Simulator {
     pub(crate) fn try_allocate_vc(&mut self, i: usize, v: usize, now: u64) -> AllocOutcome {
         let node = self.input_node[i] as usize;
         let iv = i * self.nvc + v;
-        let head = *self.ivc_buf[iv].front().expect("head present");
+        let head = self.buf_front(iv).expect("head present");
         debug_assert_eq!(head.seq, 0);
-        debug_assert!(self.ivc_alloc[iv] == ALLOC_NONE);
-        debug_assert!(now >= self.ivc_ready[iv]);
+        debug_assert!(self.ivc[iv].alloc == ALLOC_NONE);
+        debug_assert!(now >= self.ivc[iv].ready);
         let pkt_idx = head.packet;
         let dest_sw = self.packets.get(pkt_idx).dest_sw as usize;
         if let Some(f) = &self.fault {
@@ -1075,15 +1531,12 @@ impl Simulator {
         if dest_sw == node {
             // Eject: always grantable (sink arbitrated per cycle).
             let port = self.packets.get(pkt_idx).dest_host as usize % self.cfg.hosts_per_switch;
-            self.ivc_alloc[iv] = alloc_eject(port);
-            self.ivc_alloc_pkt[iv] = pkt_idx;
+            self.ivc[iv].alloc = alloc_eject(port);
+            self.ivc[iv].alloc_pkt = pkt_idx;
             self.telemetry.on_alloc_granted(pkt_idx, now);
             return AllocOutcome::Eject;
         }
-        let need = match self.cfg.switching {
-            crate::config::Switching::VirtualCutThrough => self.cfg.packet_flits as u32,
-            crate::config::Switching::Wormhole => 1,
-        };
+        let need = self.alloc_need;
         let mut outcome = AllocOutcome::Blocked;
         let mut usable = 0usize;
         // Take the table out for the scan instead of cloning the Arc: a
@@ -1225,17 +1678,23 @@ impl Simulator {
         need: u32,
         now: u64,
     ) -> bool {
-        let ov = ch * self.nvc + vc as usize;
-        if self.ovc_owner[ov] != OWNER_NONE || self.ovc_credits[ov] < need {
+        let slot = self.ch_slot[ch] as usize;
+        let ov = slot * self.nvc + vc as usize;
+        let s = self.ovc_state[ov];
+        // Single compare: owner != NONE implies s < OVC_FREE (the owner
+        // field is maximal only for NONE), and owner == NONE makes the
+        // low half the credit count — so s >= OVC_FREE + need means
+        // exactly "free with at least `need` credits".
+        if s < OVC_FREE + need as u64 {
             return false;
         }
-        self.ovc_owner[ov] = owner_pack(i, v as u8);
-        self.ch_owned[ch] |= 1u64 << vc;
+        self.ovc_state[ov] = ovc_pack(owner_pack(i, v as u8), ovc_credits_of(s));
+        self.chv[slot].owned |= 1u64 << vc;
         // Freshly granted: credits >= need >= 1 and the head flit is
         // buffered, so the VC is sendable right away.
-        self.ch_ready[ch] |= 1u64 << vc;
-        self.ivc_alloc[i * self.nvc + v] = alloc_net(ch, vc);
-        self.ivc_alloc_pkt[i * self.nvc + v] = pkt_idx;
+        self.chv[slot].ready |= 1u64 << vc;
+        self.ivc[i * self.nvc + v].alloc = alloc_net(ch, vc);
+        self.ivc[i * self.nvc + v].alloc_pkt = pkt_idx;
         if let Some(tr) = &mut self.tracer {
             let uid = self.packets.get(pkt_idx).uid;
             tr.record(
@@ -1252,40 +1711,44 @@ impl Simulator {
     }
 
     /// Switch allocation + flit send for one output channel this cycle:
-    /// round-robin over the sendable output VCs ([`Self::ch_ready`] —
+    /// round-robin over the sendable output VCs ([`ChHot::ready`] —
     /// owned, credited, flit buffered), send at most one flit.
     pub(crate) fn grant_channel(&mut self, ch: usize, now: u64) {
-        let ready = self.ch_ready[ch];
+        let slot = self.ch_slot[ch] as usize;
+        let ready = self.chv[slot].ready;
         if ready == 0 {
             return;
         }
         let nvc = self.nvc;
-        let base = ch * nvc;
-        let start = self.out_rr[ch] as usize;
+        let base = slot * nvc;
+        let start = self.chv[slot].rr as usize;
         let mut granted: Option<(usize, u8, u8)> = None; // (input, ivc, ovc)
-                                                         // Round-robin order from `start`: the ready bits at or above the
-                                                         // pointer (low-to-high), then the wrapped bits below it.
-        'scan: for (mut m, off) in [(ready >> start, start), (ready & ((1u64 << start) - 1), 0)] {
-            while m != 0 {
-                let ovc = off + m.trailing_zeros() as usize;
-                let owner = self.ovc_owner[base + ovc];
-                debug_assert_ne!(owner, OWNER_NONE, "ready bit without owner");
-                let (i, v) = owner_unpack(owner);
-                if !self.input_used[i] {
-                    granted = Some((i, v, ovc as u8));
-                    break 'scan;
-                }
-                m &= m - 1;
+                                                         // Rotate so the RR pointer lands at bit 0: an ascending scan of the
+                                                         // rotated word visits the bits at or above the pointer first, then
+                                                         // the wrapped ones — exact round-robin order, one loop.
+        let mut rot = ready.rotate_right(start as u32);
+        while rot != 0 {
+            let ovc = (rot.trailing_zeros() as usize + start) & 63;
+            let owner = ovc_owner_of(self.ovc_state[base + ovc]);
+            debug_assert_ne!(owner, OWNER_NONE, "ready bit without owner");
+            let (i, v) = owner_unpack(owner);
+            if !self.input_used[i] {
+                granted = Some((i, v, ovc as u8));
+                break;
             }
+            rot &= rot - 1;
         }
         let Some((i, v, ovc)) = granted else {
             return;
         };
         self.last_progress = now;
         self.mark_input_used(i);
-        self.out_rr[ch] = ((ovc as usize + 1) % nvc) as u32;
+        self.chv[slot].rr = ((ovc as usize + 1) % nvc) as u32;
         let flit = self.buf_pop(i, v as usize);
-        self.ovc_credits[base + ovc as usize] -= 1;
+        let ov = base + ovc as usize;
+        // Credits >= 1 is guaranteed by the ready bit, so the packed
+        // decrement cannot borrow into the owner half.
+        self.ovc_state[ov] -= 1;
         self.send_flit_on_link(ch, flit, ovc, now);
         if now >= self.cfg.warmup_cycles && now < self.cfg.warmup_cycles + self.cfg.measure_cycles {
             self.channel_flits[ch] += 1;
@@ -1297,17 +1760,23 @@ impl Simulator {
         }
         let tail = flit.seq as usize + 1 == self.cfg.packet_flits;
         if tail
-            || self.ovc_credits[base + ovc as usize] == 0
-            || self.ivc_buf[i * nvc + v as usize].is_empty()
+            || ovc_credits_of(self.ovc_state[ov]) == 0
+            || self.buf_len(i * nvc + v as usize) == 0
         {
-            self.ch_ready[ch] &= !(1u64 << ovc);
+            self.chv[slot].ready &= !(1u64 << ovc);
         }
         self.telemetry
             .on_flit_sent(ch as u32, flit.packet, tail, now);
         if tail {
             // tail: release ownership and input state
-            self.ovc_owner[base + ovc as usize] = OWNER_NONE;
-            self.ch_owned[ch] &= !(1u64 << ovc);
+            let s = self.ovc_state[ov] | OVC_FREE;
+            self.ovc_state[ov] = s;
+            self.chv[slot].owned &= !(1u64 << ovc);
+            if ovc_credits_of(s) >= self.alloc_need {
+                // Released with enough credits banked: immediately
+                // grantable, so wake blocked heads at the source switch.
+                self.mark_node_dirty(self.ch_src[ch] as usize);
+            }
             if let Some(tr) = &mut self.tracer {
                 let at = self.input_node[i] as usize;
                 let uid = self.packets.get(flit.packet).uid;
@@ -1331,12 +1800,12 @@ impl Simulator {
             return false;
         }
         let iv = i * self.nvc + v;
-        let a = self.ivc_alloc[iv];
+        let a = self.ivc[iv].alloc;
         if !alloc_is_eject(a) {
             return false;
         }
         let port = (a & !ALLOC_EJECT_BIT) as usize;
-        if self.ivc_buf[iv].is_empty() {
+        if self.buf_len(iv) == 0 {
             return false;
         }
         let node = self.input_node[i] as usize;

@@ -181,6 +181,20 @@ pub(crate) struct EventState {
     inj_heap: BinaryHeap<Reverse<(u64, u32)>>,
     /// Scratch for per-phase snapshots.
     scratch: Vec<u32>,
+    /// Bitmap (same word layout as `alloc_pending`) of input VCs whose
+    /// route expiry landed *this cycle*: they get their first allocation
+    /// attempt unconditionally under the wake-up skip. Cleared after each
+    /// allocation phase.
+    fresh: Vec<u64>,
+    /// Allocation wake-up skip enabled: a pending head that is neither
+    /// fresh nor at a switch marked dirty (`Simulator::node_dirty`) is
+    /// guaranteed to block again, so the phase never attempts it. Sound
+    /// only when blocked attempts are pure no-ops: disabled under fault
+    /// plans (instant credit refunds, mask changes and routing rebuilds
+    /// alter candidate sets without credit transitions) and under
+    /// telemetry (a skipped attempt would owe its `on_alloc_blocked`
+    /// hook).
+    wake_skip: bool,
     /// VC stride for encoding `(input, vc)` pairs as a single index.
     nvc: u32,
 }
@@ -228,10 +242,44 @@ impl EventState {
             && self.eject_active.is_empty()
     }
 
-    /// Packets with a flit currently in flight on channel `ch` (scans the
-    /// whole wheel; fault-path only, so the cost is fine).
-    pub(crate) fn wire_packets_on(&self, ch: usize) -> Vec<u32> {
-        let mut out = Vec::new();
+    /// Pre-reserve the wheel for a saturated steady state: every delay is
+    /// fixed per event kind, so each slot vector holds events from exactly
+    /// one source cycle and hard per-cycle bounds cap it for good — one
+    /// link flit per channel, one credit per channel or ejection port, one
+    /// route expiry per input VC. Called once at the warmup→measure
+    /// boundary (`Simulator::presize_steady_state`).
+    pub(crate) fn presize_steady_state(
+        &mut self,
+        channels: usize,
+        iv_domain: usize,
+        eject_ports: usize,
+    ) {
+        fn reserve_to<T>(v: &mut Vec<T>, want: usize) {
+            if v.capacity() < want {
+                v.reserve(want - v.len());
+            }
+        }
+        let pool_want = self.wheel.slots.len();
+        if self.wheel.pool.capacity() < pool_want {
+            self.wheel.pool.reserve(pool_want - self.wheel.pool.len());
+        }
+        for slot in self
+            .wheel
+            .slots
+            .iter_mut()
+            .chain(self.wheel.pool.iter_mut())
+        {
+            reserve_to(&mut slot.credits, channels + eject_ports);
+            reserve_to(&mut slot.links, channels);
+            reserve_to(&mut slot.routes, iv_domain);
+        }
+    }
+
+    /// Packets with a flit currently in flight on channel `ch`, appended to
+    /// `out` (cleared first; the caller owns the reusable buffer). Scans
+    /// the whole wheel; fault-path only, so the cost is fine.
+    pub(crate) fn wire_packets_on(&self, ch: usize, out: &mut Vec<u32>) {
+        out.clear();
         for slot in &self.wheel.slots {
             for &(c, _, flit) in &slot.links {
                 if c as usize == ch {
@@ -239,14 +287,13 @@ impl EventState {
                 }
             }
         }
-        out
     }
 
-    /// Remove every in-flight link event carrying a flit of `pkt`; returns
-    /// the `(channel, vc)` of each removed flit so the caller can refund
-    /// its credit. Fault-path only.
-    pub(crate) fn purge_link_flits(&mut self, pkt: u32) -> Vec<(usize, u8)> {
-        let mut out = Vec::new();
+    /// Remove every in-flight link event carrying a flit of `pkt`, writing
+    /// the `(channel, vc)` of each removed flit into `out` (cleared first)
+    /// so the caller can refund its credit. Fault-path only.
+    pub(crate) fn purge_link_flits(&mut self, pkt: u32, out: &mut Vec<(usize, u8)>) {
+        out.clear();
         for slot in &mut self.wheel.slots {
             let before = slot.links.len();
             slot.links.retain(|&(ch, vc, flit)| {
@@ -259,7 +306,6 @@ impl EventState {
             });
             self.wheel.pending -= before - slot.links.len();
         }
-        out
     }
 }
 
@@ -282,8 +328,10 @@ pub(crate) fn prepare(sim: &mut Simulator) {
         alloc_pending: ActiveSet::new(iv_domain),
         out_active: ActiveSet::new(sim.links.len()),
         eject_active: ActiveSet::new(iv_domain),
-        inj_heap: BinaryHeap::new(),
-        scratch: Vec::new(),
+        inj_heap: BinaryHeap::with_capacity(sim.hosts()),
+        scratch: Vec::with_capacity(iv_domain),
+        fresh: vec![0; iv_domain.div_ceil(64)],
+        wake_skip: sim.fault.is_none() && !sim.telemetry.enabled(),
         nvc,
     });
     for h in 0..sim.hosts() {
@@ -307,6 +355,7 @@ pub(crate) fn prepare(sim: &mut Simulator) {
 /// injection, allocation, traversal, ejection, watchdog.
 pub(crate) fn step(sim: &mut Simulator, total: u64) {
     let now = sim.now;
+    let mut stamp = sim.phase_stamp();
 
     // Phase 0: faults due at or before this cycle (the idle skip may have
     // jumped over fault cycles — safe, because it only fires on an empty
@@ -314,16 +363,15 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
     sim.process_faults(now);
 
     // Phases 1+2 (+ route expiries): drain this cycle's wheel slot in
-    // three passes so credits land before arrivals, before eligibility —
-    // the dense phase order. At most one credit and one arrival exist per
-    // (channel, VC) per cycle, so ordering within a pass is immaterial.
+    // three batched passes so credits land before arrivals, before
+    // eligibility — the dense phase order. At most one credit and one
+    // arrival exist per (channel, VC) per cycle, so ordering within a
+    // pass is immaterial. The credit/link loops live in `engine.rs`
+    // ([`Simulator::drain_credits`] / [`Simulator::drain_links`]) so the
+    // per-event helpers inline against hoisted field loads.
     let slot = sim.ev.as_mut().expect("event state").wheel.take_slot(now);
-    for &(ch, vc) in &slot.credits {
-        sim.apply_credit(ch as usize, vc);
-    }
-    for &(ch, vc, flit) in &slot.links {
-        sim.buf_push(ch as usize, vc as usize, flit, now);
-    }
+    sim.drain_credits(&slot.credits);
+    sim.drain_links(&slot.links, now);
     for &iv in &slot.routes {
         // The wheel's iv ids index the simulator's SoA arrays directly
         // (same `input * nvc + vc` stride).
@@ -334,23 +382,23 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
         // already left. A fault purge can orphan an expiry; a stale
         // event can never collide with a fresh arm's ready cycle
         // (old ready = T + hd with T < now < now + hd = new ready),
-        // so `ivc_ready == now` is a precise validity test.
-        let valid = sim.ivc_ready[unit] == now
-            && sim.ivc_alloc[unit] == ALLOC_NONE
-            && sim.ivc_buf[unit].front().is_some_and(|f| f.seq == 0);
+        // so `ivc.ready == now` is a precise validity test.
+        let valid = sim.ivc[unit].ready == now
+            && sim.ivc[unit].alloc == ALLOC_NONE
+            && sim.buf_front(unit).is_some_and(|f| f.seq == 0);
         debug_assert!(
             valid || sim.fault.is_some(),
             "stale route expiry without faults"
         );
         if valid {
-            sim.ev
-                .as_mut()
-                .expect("event state")
-                .alloc_pending
-                .insert(iv);
+            let es = sim.ev.as_mut().expect("event state");
+            es.alloc_pending.insert(iv);
+            // First attempt is unconditional under the wake-up skip.
+            es.fresh[(iv >> 6) as usize] |= 1u64 << (iv & 63);
         }
     }
     sim.ev.as_mut().expect("event state").wheel.recycle(slot);
+    sim.phase_mark(&mut stamp, crate::timing::Phase::Wheel);
 
     // Phase 3: injection — pop the calendar in (cycle, host) order, which
     // matches the dense ascending-host scan for this cycle.
@@ -375,10 +423,101 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
         // inject_host re-schedules the host's next injection via self.ev.
         sim.inject_host(host, now);
     }
+    sim.phase_mark(&mut stamp, crate::timing::Phase::Inject);
 
     // Phase 4: allocation over the eligible input VCs in (input, vc)
     // order — the dense scan order restricted to eligible units.
+    if sim.ev.as_ref().expect("event state").wake_skip {
+        step_alloc_wake_skip(sim, now);
+    } else {
+        step_alloc_full(sim, now);
+    }
+    sim.phase_mark(&mut stamp, crate::timing::Phase::Route);
+
+    // Phase 5a: switch allocation + sends over channels with owners, in
+    // channel order (ownerless channels are no-ops in the dense scan).
     let mut scratch = {
+        let es = sim.ev.as_mut().expect("event state");
+        let mut s = std::mem::take(&mut es.scratch);
+        es.out_active.snapshot_sorted(&mut s);
+        s
+    };
+    for &ch in &scratch {
+        sim.grant_channel(ch as usize, now);
+        // Deactivate whenever no owner remains — not only after a tail
+        // send, since a fault drop can strip ownership mid-stream.
+        if sim.chv[sim.ch_slot[ch as usize] as usize].owned == 0 {
+            sim.ev.as_mut().expect("event state").out_active.remove(ch);
+        }
+    }
+    sim.phase_mark(&mut stamp, crate::timing::Phase::Arbitrate);
+
+    // Phase 5b: ejection over VCs holding an eject grant, in (input, vc)
+    // order — matching the dense whole-input scan restricted to grants.
+    {
+        let es = sim.ev.as_mut().expect("event state");
+        let mut s = scratch;
+        es.eject_active.snapshot_sorted(&mut s);
+        scratch = s;
+    }
+    for &iv in &scratch {
+        let (i, v) = sim.ev.as_ref().expect("event state").iv_decode(iv);
+        // A fault drop may have stripped the grant since the snapshot.
+        if !alloc_is_eject(sim.ivc[iv as usize].alloc) {
+            sim.ev
+                .as_mut()
+                .expect("event state")
+                .eject_active
+                .remove(iv);
+            continue;
+        }
+        if sim.try_eject_vc(i, v, now) {
+            sim.ev
+                .as_mut()
+                .expect("event state")
+                .eject_active
+                .remove(iv);
+        }
+    }
+    sim.ev.as_mut().expect("event state").scratch = scratch;
+
+    sim.clear_used();
+    sim.watchdog(now);
+    sim.phase_mark(&mut stamp, crate::timing::Phase::Eject);
+    if let Some(t) = &mut sim.phase_timers {
+        t.cycles += 1;
+    }
+    sim.now = now + 1;
+
+    // Idle skip: with no scheduled events and no active unit, nothing can
+    // happen before the next injection (the bound `total` is the caller's
+    // stepping target, so the jump never overshoots it). A live packet always keeps a set
+    // or wheel slot nonempty (its flits are buffered → allocated/armed/
+    // pending, or on a link → wheel), so skipping implies zero packets in
+    // flight and the stall watchdog is vacuously idle across the gap.
+    let es = sim.ev.as_ref().expect("event state");
+    if es.wheel.pending == 0
+        && es.alloc_pending.is_empty()
+        && es.out_active.is_empty()
+        && es.eject_active.is_empty()
+    {
+        debug_assert_eq!(sim.packets.live(), 0);
+        debug_assert_eq!(sim.current_stall, 0);
+        let next_inj = es.inj_heap.peek().map_or(u64::MAX, |&Reverse((t, _))| t);
+        let next_retry = sim
+            .fault
+            .as_ref()
+            .and_then(|f| f.next_retry_cycle())
+            .unwrap_or(u64::MAX);
+        sim.now = sim.now.max(next_inj.min(next_retry).min(total));
+    }
+}
+
+/// Phase 4, reference form: attempt every pending head. Used under fault
+/// plans and telemetry, where the wake-up filter is unsound (see
+/// [`EventState::wake_skip`]).
+fn step_alloc_full(sim: &mut Simulator, now: u64) {
+    let scratch = {
         let es = sim.ev.as_mut().expect("event state");
         let mut s = std::mem::take(&mut es.scratch);
         es.alloc_pending.snapshot_sorted(&mut s);
@@ -389,9 +528,9 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
         // Re-check eligibility fresh: an earlier iteration's unroutable
         // drop may have purged this entry's head or re-armed it.
         let slot = iv as usize;
-        let eligible = sim.ivc_alloc[slot] == ALLOC_NONE
-            && sim.ivc_ready[slot] <= now
-            && sim.ivc_buf[slot].front().is_some_and(|f| f.seq == 0);
+        let eligible = sim.ivc[slot].alloc == ALLOC_NONE
+            && sim.ivc[slot].ready <= now
+            && sim.buf_front(slot).is_some_and(|f| f.seq == 0);
         if !eligible {
             debug_assert!(sim.fault.is_some(), "stale alloc entry without faults");
             sim.ev
@@ -423,76 +562,70 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
             }
         }
     }
-
-    // Phase 5a: switch allocation + sends over channels with owners, in
-    // channel order (ownerless channels are no-ops in the dense scan).
-    {
-        let es = sim.ev.as_mut().expect("event state");
-        let mut s = scratch;
-        es.out_active.snapshot_sorted(&mut s);
-        scratch = s;
-    }
-    for &ch in &scratch {
-        sim.grant_channel(ch as usize, now);
-        // Deactivate whenever no owner remains — not only after a tail
-        // send, since a fault drop can strip ownership mid-stream.
-        if sim.ch_owned[ch as usize] == 0 {
-            sim.ev.as_mut().expect("event state").out_active.remove(ch);
-        }
-    }
-
-    // Phase 5b: ejection over VCs holding an eject grant, in (input, vc)
-    // order — matching the dense whole-input scan restricted to grants.
-    {
-        let es = sim.ev.as_mut().expect("event state");
-        let mut s = scratch;
-        es.eject_active.snapshot_sorted(&mut s);
-        scratch = s;
-    }
-    for &iv in &scratch {
-        let (i, v) = sim.ev.as_ref().expect("event state").iv_decode(iv);
-        // A fault drop may have stripped the grant since the snapshot.
-        if !alloc_is_eject(sim.ivc_alloc[iv as usize]) {
-            sim.ev
-                .as_mut()
-                .expect("event state")
-                .eject_active
-                .remove(iv);
-            continue;
-        }
-        if sim.try_eject_vc(i, v, now) {
-            sim.ev
-                .as_mut()
-                .expect("event state")
-                .eject_active
-                .remove(iv);
-        }
-    }
     sim.ev.as_mut().expect("event state").scratch = scratch;
+}
 
-    sim.clear_used();
-    sim.watchdog(now);
-    sim.now = now + 1;
-
-    // Idle skip: with no scheduled events and no active unit, nothing can
-    // happen before the next injection. A live packet always keeps a set
-    // or wheel slot nonempty (its flits are buffered → allocated/armed/
-    // pending, or on a link → wheel), so skipping implies zero packets in
-    // flight and the stall watchdog is vacuously idle across the gap.
-    let es = sim.ev.as_ref().expect("event state");
-    if es.wheel.pending == 0
-        && es.alloc_pending.is_empty()
-        && es.out_active.is_empty()
-        && es.eject_active.is_empty()
-    {
-        debug_assert_eq!(sim.packets.live(), 0);
-        debug_assert_eq!(sim.current_stall, 0);
-        let next_inj = es.inj_heap.peek().map_or(u64::MAX, |&Reverse((t, _))| t);
-        let next_retry = sim
-            .fault
-            .as_ref()
-            .and_then(|f| f.next_retry_cycle())
-            .unwrap_or(u64::MAX);
-        sim.now = sim.now.max(next_inj.min(next_retry).min(total));
+/// Phase 4 under the wake-up skip (fault-free, telemetry off): a blocked
+/// allocation attempt is a pure no-op — it records nothing and mutates
+/// nothing, and a blocked head's candidate set is fixed while it sits at
+/// one switch (routing is pure in `(cur, dest, RouteState)`, and
+/// `RouteState` only changes on a hop). The only transitions that can turn
+/// an attempt from Blocked into a grant are an output VC becoming
+/// grantable at the head's switch — a free VC's credit count crossing the
+/// allocation threshold ([`Simulator::apply_credit`]) or an owner
+/// releasing with enough credits banked ([`Simulator::grant_channel`]) —
+/// both of which mark [`Simulator::node_dirty`]. So the walk attempts only
+/// heads that are fresh (first attempt this cycle) or at a dirty switch;
+/// every skipped head would have re-blocked without side effects, and the
+/// attempted subset runs in the same ascending-iv order the full walk
+/// would visit it in, so results are bit-identical (the dense core and
+/// `tests/sim_equivalence.rs` enforce this).
+fn step_alloc_wake_skip(sim: &mut Simulator, now: u64) {
+    let nvc = sim.nvc;
+    let nwords = {
+        let es = sim.ev.as_ref().expect("event state");
+        es.alloc_pending.words.len()
+    };
+    for wi in 0..nwords {
+        let (mut m, fresh) = {
+            let es = sim.ev.as_ref().expect("event state");
+            (es.alloc_pending.words[wi], es.fresh[wi])
+        };
+        while m != 0 {
+            let bit = m & m.wrapping_neg();
+            let iv = ((wi as u32) << 6) | m.trailing_zeros();
+            m &= m - 1;
+            if fresh & bit == 0 {
+                let node = sim.iv_node[iv as usize] as usize;
+                if sim.node_dirty[node >> 6] & (1u64 << (node & 63)) == 0 {
+                    continue;
+                }
+            }
+            let unit = iv as usize;
+            debug_assert!(
+                sim.ivc[unit].alloc == ALLOC_NONE
+                    && sim.ivc[unit].ready <= now
+                    && sim.buf_front(unit).is_some_and(|f| f.seq == 0),
+                "stale alloc entry without faults"
+            );
+            match sim.try_allocate_vc(unit / nvc, unit % nvc, now) {
+                AllocOutcome::Blocked => {}
+                AllocOutcome::Eject => {
+                    let es = sim.ev.as_mut().expect("event state");
+                    es.alloc_pending.remove(iv);
+                    es.eject_active.insert(iv);
+                }
+                AllocOutcome::Net(ch) => {
+                    let es = sim.ev.as_mut().expect("event state");
+                    es.alloc_pending.remove(iv);
+                    es.out_active.insert(ch as u32);
+                }
+                AllocOutcome::Unroutable => unreachable!("unroutable without faults"),
+            }
+        }
     }
+    // Consume the wake signals: every surviving pending head re-blocks
+    // until the next grantable transition marks its switch again.
+    sim.ev.as_mut().expect("event state").fresh.fill(0);
+    sim.node_dirty.fill(0);
 }

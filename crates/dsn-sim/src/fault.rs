@@ -24,7 +24,8 @@
 //! fault schedule (`tests/fault_equivalence.rs`).
 
 use crate::engine::{
-    decode_alloc, owner_pack, owner_unpack, OutRef, Simulator, ALLOC_NONE, NO_UPSTREAM, OWNER_NONE,
+    decode_alloc, ovc_owner_of, owner_pack, owner_unpack, OutRef, Simulator, ALLOC_NONE,
+    NO_UPSTREAM, OVC_FREE, OWNER_NONE,
 };
 use dsn_core::fault::{is_connected_masked, EdgeMask};
 use dsn_core::graph::Graph;
@@ -32,7 +33,6 @@ use dsn_core::{EdgeId, NodeId};
 use dsn_telemetry::TraceEvent;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::VecDeque;
 
 /// What happens to an in-flight packet caught on a dying channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -308,6 +308,11 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// `(due_cycle, fifo_seq, src_host, dest_host, attempt)`.
 type RetryEntry = (u64, u64, u32, u32, u32);
 
+/// A channel-death victim: `(uid, slab index, salvage position)` —
+/// position is Some only for zero-sent owners (their seq-0 flit still
+/// heads the buffer).
+type Victim = (u32, u32, Option<(usize, usize)>);
+
 /// Per-run fault state hanging off the simulator (`Simulator::fault`,
 /// `None` when the plan is empty). Both engines drive it through
 /// [`Simulator::process_faults`] with identical effects.
@@ -330,6 +335,20 @@ pub(crate) struct FaultRuntime {
     pub(crate) salvaged: u64,
     pub(crate) retried: u64,
     pub(crate) abandoned: u64,
+    // Reusable scratch for the drop/salvage paths below (an arena, so a
+    // fault-churn steady state stops allocating once the buffers reach
+    // their high-water marks). Each is `mem::take`n for the duration of
+    // one helper call and returned cleared.
+    /// Channel-death victim list ([`Simulator::kill_channel`]).
+    victims: Vec<Victim>,
+    /// Switch-death victim list ([`Simulator::purge_switch_residents`]).
+    sw_victims: Vec<(u32, u32)>,
+    /// Input units of a dead switch.
+    units: Vec<usize>,
+    /// Packets with flits on a dying wire.
+    wire_pkts: Vec<u32>,
+    /// `(channel, vc)` credits to refund for purged wire flits.
+    wire_credits: Vec<(usize, u8)>,
 }
 
 impl FaultRuntime {
@@ -359,6 +378,11 @@ impl FaultRuntime {
             salvaged: 0,
             retried: 0,
             abandoned: 0,
+            victims: Vec::new(),
+            sw_victims: Vec::new(),
+            units: Vec::new(),
+            wire_pkts: Vec::new(),
+            wire_credits: Vec::new(),
         }
     }
 
@@ -451,21 +475,21 @@ impl Simulator {
     /// or with flits on its wire is a victim. Victims are handled in uid
     /// (creation) order so both engines see the same sequence.
     fn kill_channel(&mut self, ch: usize, now: u64) {
-        // (uid, slab index, salvage position) — position is Some only for
-        // zero-sent owners (their seq-0 flit still heads the buffer).
-        type Victim = (u32, u32, Option<(usize, usize)>);
-        let mut victims: Vec<Victim> = Vec::new();
+        let f = self.fault.as_mut().expect("fault runtime");
+        let mut victims = std::mem::take(&mut f.victims);
+        let mut wire_pkts = std::mem::take(&mut f.wire_pkts);
+        let slot = self.ch_slot[ch] as usize;
         for w in 0..self.nvc {
-            let owner = self.ovc_owner[ch * self.nvc + w];
+            let owner = ovc_owner_of(self.ovc_state[slot * self.nvc + w]);
             if owner == OWNER_NONE {
                 continue;
             }
             let (i, v) = owner_unpack(owner);
             let iv = i * self.nvc + v as usize;
-            debug_assert_ne!(self.ivc_alloc[iv], ALLOC_NONE);
-            let pkt = self.ivc_alloc_pkt[iv];
-            let zero_sent = self.ivc_buf[iv]
-                .front()
+            debug_assert_ne!(self.ivc[iv].alloc, ALLOC_NONE);
+            let pkt = self.ivc[iv].alloc_pkt;
+            let zero_sent = self
+                .buf_front(iv)
                 .is_some_and(|f| f.packet == pkt && f.seq == 0);
             victims.push((
                 self.packets.get(pkt).uid,
@@ -473,25 +497,35 @@ impl Simulator {
                 zero_sent.then_some((i, v as usize)),
             ));
         }
-        for pkt in self.wire_packets(ch) {
+        self.wire_packets(ch, &mut wire_pkts);
+        for &pkt in &wire_pkts {
             victims.push((self.packets.get(pkt).uid, pkt, None));
         }
         victims.sort_unstable_by_key(|&(uid, _, _)| uid);
         victims.dedup_by_key(|&mut (uid, _, _)| uid);
         let salvage = self.fault.as_ref().expect("fault runtime").salvage == SalvagePolicy::Salvage;
-        for (_, pkt, pos) in victims {
+        for &(_, pkt, pos) in &victims {
             match pos {
                 Some((i, v)) if salvage => self.salvage_packet(i, v, now),
                 _ => self.fault_drop_packet(pkt, now),
             }
         }
+        victims.clear();
+        wire_pkts.clear();
+        let f = self.fault.as_mut().expect("fault runtime");
+        f.victims = victims;
+        f.wire_pkts = wire_pkts;
     }
 
-    /// Slab indices of packets with flits currently on channel `ch`.
-    fn wire_packets(&self, ch: usize) -> Vec<u32> {
+    /// Slab indices of packets with flits currently on channel `ch`,
+    /// written into `out` (cleared first).
+    fn wire_packets(&self, ch: usize, out: &mut Vec<u32>) {
         match &self.ev {
-            Some(ev) => ev.wire_packets_on(ch),
-            None => self.links[ch].iter().map(|&(_, f, _)| f.packet).collect(),
+            Some(ev) => ev.wire_packets_on(ch, out),
+            None => {
+                out.clear();
+                out.extend(self.links[ch].iter().map(|&(_, f, _)| f.packet));
+            }
         }
     }
 
@@ -500,15 +534,16 @@ impl Simulator {
     /// is consulted afresh on the survivor graph.
     fn salvage_packet(&mut self, i: usize, v: usize, now: u64) {
         let iv = i * self.nvc + v;
-        let alloc = std::mem::replace(&mut self.ivc_alloc[iv], ALLOC_NONE);
+        let alloc = std::mem::replace(&mut self.ivc[iv].alloc, ALLOC_NONE);
         let Some(OutRef::Net { channel, vc }) = decode_alloc(alloc) else {
             panic!("salvage victim must hold a network allocation");
         };
-        let ov = channel * self.nvc + vc as usize;
-        debug_assert_eq!(self.ovc_owner[ov], owner_pack(i, v as u8));
-        self.ovc_owner[ov] = OWNER_NONE;
-        self.ch_owned[channel] &= !(1u64 << vc);
-        self.ch_ready[channel] &= !(1u64 << vc);
+        let slot = self.ch_slot[channel] as usize;
+        let ov = slot * self.nvc + vc as usize;
+        debug_assert_eq!(ovc_owner_of(self.ovc_state[ov]), owner_pack(i, v as u8));
+        self.ovc_state[ov] |= OVC_FREE;
+        self.chv[slot].owned &= !(1u64 << vc);
+        self.chv[slot].ready &= !(1u64 << vc);
         self.arm_header(i, v, now);
         self.fault.as_mut().expect("fault runtime").salvaged += 1;
     }
@@ -547,8 +582,8 @@ impl Simulator {
     /// The head packet of `(i, v)` has no usable route on the survivor
     /// graph: drop it (phase-4 outcome [`crate::engine::AllocOutcome::Unroutable`]).
     pub(crate) fn unroutable_drop(&mut self, i: usize, v: usize, now: u64) {
-        let pkt = self.ivc_buf[i * self.nvc + v]
-            .front()
+        let pkt = self
+            .buf_front(i * self.nvc + v)
             .expect("unroutable head")
             .packet;
         self.fault_drop_packet(pkt, now);
@@ -563,30 +598,29 @@ impl Simulator {
         for i in 0..self.n_inputs {
             for v in 0..self.vc_count(i) {
                 let iv = i * self.nvc + v;
-                let had_alloc = self.ivc_alloc[iv] != ALLOC_NONE && self.ivc_alloc_pkt[iv] == pkt;
-                let front_was = self.ivc_buf[iv].front().is_some_and(|f| f.packet == pkt);
-                if !had_alloc && !front_was && !self.ivc_buf[iv].iter().any(|f| f.packet == pkt) {
+                let had_alloc = self.ivc[iv].alloc != ALLOC_NONE && self.ivc[iv].alloc_pkt == pkt;
+                let front_was = self.buf_front(iv).is_some_and(|f| f.packet == pkt);
+                if !had_alloc && !front_was && !self.buf_contains_packet(iv, pkt) {
                     continue;
                 }
-                let before = self.ivc_buf[iv].len();
-                self.ivc_buf[iv].retain(|f| f.packet != pkt);
-                let removed = before - self.ivc_buf[iv].len();
+                let removed = self.buf_retain_not_packet(iv, pkt);
                 let cleared_alloc = if had_alloc {
-                    decode_alloc(std::mem::replace(&mut self.ivc_alloc[iv], ALLOC_NONE))
+                    decode_alloc(std::mem::replace(&mut self.ivc[iv].alloc, ALLOC_NONE))
                 } else {
                     None
                 };
                 let reveal = had_alloc || front_was;
                 if reveal {
-                    self.ivc_ready[iv] = u64::MAX;
+                    self.ivc[iv].ready = u64::MAX;
                 }
                 self.buffered_flits -= removed as u64;
                 if let Some(OutRef::Net { channel, vc }) = cleared_alloc {
-                    let ov = channel * self.nvc + vc as usize;
-                    debug_assert_eq!(self.ovc_owner[ov], owner_pack(i, v as u8));
-                    self.ovc_owner[ov] = OWNER_NONE;
-                    self.ch_owned[channel] &= !(1u64 << vc);
-                    self.ch_ready[channel] &= !(1u64 << vc);
+                    let slot = self.ch_slot[channel] as usize;
+                    let ov = slot * self.nvc + vc as usize;
+                    debug_assert_eq!(ovc_owner_of(self.ovc_state[ov]), owner_pack(i, v as u8));
+                    self.ovc_state[ov] |= OVC_FREE;
+                    self.chv[slot].owned &= !(1u64 << vc);
+                    self.chv[slot].ready &= !(1u64 << vc);
                 }
                 let up = self.input_upstream[i];
                 if up != NO_UPSTREAM {
@@ -595,37 +629,38 @@ impl Simulator {
                     }
                 }
                 if reveal {
-                    if let Some(&head) = self.ivc_buf[iv].front() {
+                    if let Some(head) = self.buf_front(iv) {
                         debug_assert_eq!(head.seq, 0, "packets stream whole, in order");
                         self.arm_header(i, v, now);
                     }
                 }
             }
         }
-        let wire = match &mut self.ev {
-            Some(ev) => ev.purge_link_flits(pkt),
+        let mut wire =
+            std::mem::take(&mut self.fault.as_mut().expect("fault runtime").wire_credits);
+        match &mut self.ev {
+            Some(ev) => ev.purge_link_flits(pkt, &mut wire),
             None => {
-                let mut out = Vec::new();
+                wire.clear();
                 for ch in 0..self.links.len() {
-                    if !self.links[ch].iter().any(|&(_, f, _)| f.packet == pkt) {
-                        continue;
-                    }
-                    let mut kept = VecDeque::with_capacity(self.links[ch].len());
-                    for &(t, f, vc) in &self.links[ch] {
+                    let mut any = false;
+                    for &(_, f, vc) in &self.links[ch] {
                         if f.packet == pkt {
-                            out.push((ch, vc));
-                        } else {
-                            kept.push_back((t, f, vc));
+                            wire.push((ch, vc));
+                            any = true;
                         }
                     }
-                    self.links[ch] = kept;
+                    if any {
+                        self.links[ch].retain(|&(_, f, _)| f.packet != pkt);
+                    }
                 }
-                out
             }
-        };
-        for (ch, vc) in wire {
+        }
+        for &(ch, vc) in &wire {
             self.apply_credit(ch, vc);
         }
+        wire.clear();
+        self.fault.as_mut().expect("fault runtime").wire_credits = wire;
         self.packets.retire(pkt);
     }
 
@@ -634,32 +669,41 @@ impl Simulator {
     /// streaming over its links were already killed via the incident
     /// edges.)
     fn purge_switch_residents(&mut self, sw: NodeId, now: u64) {
-        let mut units: Vec<usize> = self
-            .graph
-            .neighbors(sw)
-            .map(|(u, e)| self.graph.channel_id(e, u))
-            .collect();
+        let rt = self.fault.as_mut().expect("fault runtime");
+        let mut units = std::mem::take(&mut rt.units);
+        let mut victims = std::mem::take(&mut rt.sw_victims);
+        units.clear();
+        victims.clear();
+        units.extend(
+            self.graph
+                .neighbors(sw)
+                .map(|(u, e)| self.graph.channel_id(e, u)),
+        );
         for h in 0..self.cfg.hosts_per_switch {
             units.push(self.injection_input(sw * self.cfg.hosts_per_switch + h));
         }
-        let mut victims: Vec<(u32, u32)> = Vec::new();
         for &i in &units {
             for v in 0..self.vc_count(i) {
                 let iv = i * self.nvc + v;
-                if self.ivc_alloc[iv] != ALLOC_NONE {
-                    let pkt = self.ivc_alloc_pkt[iv];
+                if self.ivc[iv].alloc != ALLOC_NONE {
+                    let pkt = self.ivc[iv].alloc_pkt;
                     victims.push((self.packets.get(pkt).uid, pkt));
                 }
-                for f in &self.ivc_buf[iv] {
+                self.buf_for_each(iv, |f| {
                     victims.push((self.packets.get(f.packet).uid, f.packet));
-                }
+                });
             }
         }
         victims.sort_unstable_by_key(|&(uid, _)| uid);
         victims.dedup_by_key(|&mut (uid, _)| uid);
-        for (_, pkt) in victims {
+        for &(_, pkt) in &victims {
             self.fault_drop_packet(pkt, now);
         }
+        units.clear();
+        victims.clear();
+        let rt = self.fault.as_mut().expect("fault runtime");
+        rt.units = units;
+        rt.sw_victims = victims;
     }
 
     /// Phase 3 (after the batch, before regular host injections): re-send

@@ -56,6 +56,12 @@ impl Injector {
         Injector { rate, next, rngs }
     }
 
+    /// Offered load in packets per cycle per host (clamped to `[0, 1]`).
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
     /// The cycle of this host's next injection ([`NEVER`] = no more).
     #[inline]
     pub fn next_cycle(&self, host: usize) -> u64 {

@@ -46,6 +46,7 @@ pub mod routing;
 mod shard;
 pub mod stats;
 pub mod sweep;
+mod timing;
 pub mod traffic;
 pub mod workload;
 

@@ -32,6 +32,10 @@ const BIN: u64 = 16;
 impl StatsCollector {
     /// New collector with the config's measurement window.
     pub fn new(cfg: &SimConfig) -> Self {
+        // Latency cannot exceed the run length, so pre-sizing the
+        // histograms to `total_cycles / BIN` makes every `on_delivered`
+        // call allocation-free (the zero-alloc steady-state invariant).
+        let hist_cap = (cfg.total_cycles() / BIN) as usize + 2;
         StatsCollector {
             window_start: cfg.warmup_cycles,
             window_end: cfg.warmup_cycles + cfg.measure_cycles,
@@ -42,12 +46,12 @@ impl StatsCollector {
             latency_sum_cycles: 0,
             latency_max_cycles: 0,
             latency_min_cycles: u64::MAX,
-            latency_hist: Vec::new(),
+            latency_hist: Vec::with_capacity(hist_cap),
             delivered_total: 0,
             post_fault_from: cfg.fault_plan.first_fault_cycle(),
             pf_delivered: 0,
             pf_latency_sum: 0,
-            pf_hist: Vec::new(),
+            pf_hist: Vec::with_capacity(hist_cap),
         }
     }
 
