@@ -205,5 +205,43 @@ fn bench_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim);
+/// Flow-layer overhead: one quick-horizon run per workload class of the
+/// flow suite (web-search open-loop flows, incast waves, recursive-
+/// doubling allreduce) on the 64-switch DSN, event engine, prebuilt
+/// routing — the cost of per-flow pacing, tagging and FCT accounting on
+/// top of the packet engine.
+fn bench_flows(c: &mut Criterion) {
+    use dsn_bench::flows::{flow_config, FlowWorkloadKind, FLOW_SEED};
+
+    let mut group = c.benchmark_group("flow_workloads");
+    group.sample_size(10);
+    let built = trio(64)[0].build().unwrap();
+    let graph = Arc::new(built.graph);
+    for kind in FlowWorkloadKind::all() {
+        let cfg = flow_config(EngineKind::Event, kind, true);
+        let routing: Arc<dyn SimRouting> = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+        let workload = kind.build(64 * cfg.hosts_per_switch);
+        group.bench_with_input(
+            BenchmarkId::new("dsn64_event_quick", kind.name()),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    black_box(
+                        Simulator::with_workload(
+                            graph.clone(),
+                            cfg.clone(),
+                            routing.clone(),
+                            workload.clone(),
+                            FLOW_SEED,
+                        )
+                        .run(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_flows);
 criterion_main!(benches);

@@ -5,25 +5,45 @@
 //! delivery) on DSN, torus and RANDOM, at 64 switches x 4 hosts with the
 //! paper's router parameters.
 //!
-//! Run: `cargo run --release -p dsn-bench --bin collective_exchange`
+//! Run: `cargo run --release -p dsn-bench --bin collective_exchange \
+//!       [--engine dense|event|sharded] [--workers N] \
+//!       [--routing-tables flat|dyn] [--telemetry[=WINDOW]]`
+//!
+//! `--telemetry[=WINDOW]` instruments the all-to-all run on DSN; exports
+//! go to `telemetry_collective_dsn.{json,csv}`.
 
-use dsn_bench::trio;
-use dsn_sim::{AdaptiveEscape, SimConfig, Simulator, Workload};
+use dsn_bench::{
+    emit_telemetry, take_engine_arg, take_routing_tables_arg, take_telemetry_arg, take_workers_arg,
+    trio,
+};
+use dsn_sim::{AdaptiveEscape, RoutingCache, SimConfig, Simulator, TelemetryConfig, Workload};
 use std::sync::Arc;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = take_engine_arg(&mut args);
+    let mut workers = 0;
+    if let Some(w) = take_workers_arg(&mut args) {
+        engine = dsn_sim::EngineKind::Sharded;
+        workers = w;
+    }
     let cfg = SimConfig {
+        engine,
+        workers,
+        routing_tables: take_routing_tables_arg(&mut args),
         warmup_cycles: 0,
         measure_cycles: 10_000,
         drain_cycles: 3_000_000, // horizon; batches end much earlier
         ..SimConfig::default()
     };
+    let telemetry = take_telemetry_arg(&mut args);
     let hosts = 64 * cfg.hosts_per_switch;
 
     println!(
         "Collective exchange makespan, 64 switches x {} hosts (lower is better)",
         cfg.hosts_per_switch
     );
+    println!("# engine: {}", cfg.engine.name());
     println!(
         "  {:<14} {:>16} {:>16} {:>16}",
         "topology", "all-to-all [us]", "shift+1 x32 [us]", "shift+n/2 x32 [us]"
@@ -33,14 +53,20 @@ fn main() {
         Workload::ring_shift(hosts, 1, 32),
         Workload::ring_shift(hosts, hosts / 2, 32),
     ];
+    // One cache across every workload of a topology: the adaptive tables
+    // are built once per graph instead of once per (topology, workload).
+    let cache = Arc::new(RoutingCache::new());
     for spec in trio(64) {
         let built = spec.build().expect("topology");
         let graph = Arc::new(built.graph);
         let mut row = format!("  {:<14}", built.name);
         for w in &workloads {
-            let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+            let routing = cache.get_or_build(&graph, &AdaptiveEscape::key_for(cfg.vcs), || {
+                Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs))
+            });
             let stats =
                 Simulator::with_workload(graph.clone(), cfg.clone(), routing, w.clone(), 0xC0_11)
+                    .with_routing_cache(cache.clone())
                     .run();
             match stats.completion_cycle {
                 Some(c) => row.push_str(&format!("{:>17.1}", c as f64 * cfg.cycle_ns / 1000.0)),
@@ -52,4 +78,28 @@ fn main() {
     println!(
         "\n(batch enqueued at cycle 0; makespan = last tail-flit delivery; DNF = horizon hit)"
     );
+
+    if let Some(window) = telemetry {
+        let spec = &trio(64)[0];
+        let built = spec.build().expect("topology");
+        let graph = Arc::new(built.graph);
+        let routing = cache.get_or_build(&graph, &AdaptiveEscape::key_for(cfg.vcs), || {
+            Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs))
+        });
+        let (stats, tel) = Simulator::with_workload(
+            graph,
+            cfg.clone(),
+            routing,
+            Workload::all_to_all(hosts),
+            0xC0_11,
+        )
+        .with_telemetry(TelemetryConfig::windowed(window))
+        .with_routing_cache(cache)
+        .run_with_telemetry();
+        emit_telemetry("collective_dsn", &tel.expect("telemetry enabled"));
+        println!(
+            "# RunStats cross-check: makespan {:?}, delivered {}",
+            stats.completion_cycle, stats.delivered_packets
+        );
+    }
 }

@@ -1,0 +1,166 @@
+//! Datacenter flow-level suite: flow-completion time on DSN, torus and
+//! RANDOM under the three workload classes datacenter evaluations are
+//! judged on — heavy-tailed open-loop flows (web-search sizes, Poisson
+//! arrivals), synchronized incast waves, and a recursive-doubling
+//! allreduce — fault-free and with links flapping mid-run.
+//!
+//! Run: `cargo run --release -p dsn-bench --bin flow_suite \
+//!       [--quick] [--engine dense|event|sharded] [--workers N] \
+//!       [--routing-tables flat|dyn] [--sizes 64,256] [--flaps N] \
+//!       [--json] [--telemetry[=WINDOW]]`
+//!
+//! (Flap rows always use the single-thread event path — fault machinery
+//! has no conservative lookahead — so `--workers` only affects the
+//! fault-free rows.)
+//!
+//! `--json` additionally writes the report to `BENCH_flows.json` (schema
+//! pinned by `tests/flows_schema.rs`). `--telemetry[=WINDOW]` adds an
+//! instrumented web-search run on DSN whose export carries the per-class
+//! `"fct"` section; exports go to `telemetry_flows_dsn.{json,csv}`.
+
+use dsn_bench::flows::{flow_config, run_suite, FlowReport, FlowRow, FlowWorkloadKind, FLOW_SEED};
+use dsn_bench::{
+    emit_telemetry, take_engine_arg, take_routing_tables_arg, take_telemetry_arg, take_workers_arg,
+    trio,
+};
+use dsn_sim::{AdaptiveEscape, Simulator, TelemetryConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = take_engine_arg(&mut args);
+    let mut workers = 0;
+    if let Some(w) = take_workers_arg(&mut args) {
+        engine = dsn_sim::EngineKind::Sharded;
+        workers = w;
+    }
+    let routing_tables = take_routing_tables_arg(&mut args);
+    let telemetry = take_telemetry_arg(&mut args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let sizes: Vec<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--sizes="))
+        .or_else(|| {
+            args.iter()
+                .position(|a| a == "--sizes")
+                .and_then(|i| args.get(i + 1))
+                .map(|s| s.as_str())
+        })
+        .map(|v| {
+            v.split(',')
+                .map(|t| {
+                    t.parse().unwrap_or_else(|_| {
+                        eprintln!("--sizes needs a comma-separated switch-count list");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| if quick { vec![64] } else { vec![64, 256] });
+    let flaps: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--flaps="))
+        .or_else(|| {
+            args.iter()
+                .position(|a| a == "--flaps")
+                .and_then(|i| args.get(i + 1))
+                .map(|s| s.as_str())
+        })
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--flaps needs a flap count");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(3);
+
+    let mut rows: Vec<FlowRow> = Vec::new();
+    for &n in &sizes {
+        rows.extend(run_suite(
+            engine,
+            workers,
+            routing_tables,
+            &trio(n),
+            n,
+            flaps,
+            quick,
+        ));
+    }
+    let report = FlowReport { engine, rows };
+    print_report(&report);
+    if json {
+        let path = "BENCH_flows.json";
+        std::fs::write(path, report.to_json()).expect("write JSON report");
+        println!("\n# wrote {path}");
+    }
+    if let Some(window) = telemetry {
+        // Instrumented web-search run on DSN at the first size.
+        let n = sizes[0];
+        let spec = &trio(n)[0];
+        let built = spec.build().expect("topology");
+        let g = Arc::new(built.graph);
+        let mut cfg = flow_config(engine, FlowWorkloadKind::Websearch, quick);
+        cfg.workers = workers;
+        cfg.routing_tables = routing_tables;
+        let hosts = n * cfg.hosts_per_switch;
+        let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+        let (stats, tel) = Simulator::with_workload(
+            g,
+            cfg,
+            routing,
+            FlowWorkloadKind::Websearch.build(hosts),
+            FLOW_SEED,
+        )
+        .with_telemetry(TelemetryConfig::windowed(window))
+        .run_with_telemetry();
+        emit_telemetry("flows_dsn", &tel.expect("telemetry enabled"));
+        println!(
+            "# RunStats cross-check: flows started {} / completed {}, FCT avg {:.0}cy p99 {}cy",
+            stats.flows_started, stats.flows_completed, stats.fct_avg_cycles, stats.fct_p99_cycles
+        );
+    }
+}
+
+fn print_report(report: &FlowReport) {
+    println!("Flow-completion time, web-search / incast / allreduce (cycles; lower is better)");
+    println!("# engine: {}", report.engine.name());
+    println!(
+        "  {:<14} {:<10} {:>5} {:>6} {:>9} {:>9} {:>10} {:>8} {:>8} {:>10}",
+        "topology",
+        "workload",
+        "sw",
+        "flaps",
+        "started",
+        "completed",
+        "fct-avg",
+        "fct-p50",
+        "fct-p99",
+        "makespan"
+    );
+    for r in &report.rows {
+        let makespan = match r.makespan_cycles {
+            Some(c) => format!("{c}"),
+            None if r.workload == "allreduce" => "DNF".to_string(),
+            None => "-".to_string(),
+        };
+        println!(
+            "  {:<14} {:<10} {:>5} {:>6} {:>9} {:>9} {:>8.0}cy {:>6}cy {:>6}cy {:>10}",
+            r.topology,
+            r.workload,
+            r.switches,
+            r.flapped_links,
+            r.flows_started,
+            r.flows_completed,
+            r.fct_avg_cycles,
+            r.fct_p50_cycles,
+            r.fct_p99_cycles,
+            makespan
+        );
+    }
+    println!(
+        "\n(FCT measured first-enqueue to last-tail-delivery; flows count when they *start*\n \
+         in the measurement window; heavy-tail flows past the drain horizon never complete\n \
+         and are visible as started-minus-completed)"
+    );
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod degraded;
+pub mod flows;
 
 use dsn_core::topology::TopologySpec;
 

@@ -47,6 +47,32 @@ pub(crate) struct Flit {
     pub seq: u16,
 }
 
+/// Workload-layer identity a packet carries with it. Travels inside the
+/// [`Packet`] (and with it across shard boundaries and through fault
+/// retries), so flow-completion and stage-release accounting need no
+/// shared cross-shard state: the delivering side has everything it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum PacketTag {
+    /// Plain open-loop or closed-batch packet: no workload identity.
+    None,
+    /// One packet of a multi-packet flow ([`Workload::Flows`] /
+    /// [`Workload::Incast`]).
+    Flow {
+        /// Flow id: `src_host << 32 | per-host flow sequence`.
+        id: u64,
+        /// Cycle the flow's first packet was enqueued (FCT start).
+        start: u64,
+        /// Total packets in the flow (FCT completes on the `total`-th).
+        total: u32,
+    },
+    /// One packet of a staged collective ([`Workload::Staged`]): delivery
+    /// feeds the destination host's stage-`stage` receive counter.
+    Stage {
+        /// Stage index within the collective schedule.
+        stage: u32,
+    },
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Packet {
     /// Stable creation-order id (what the tracer reports); slab indices
@@ -60,6 +86,8 @@ pub(crate) struct Packet {
     pub measured: bool,
     /// How many times this packet has been re-sent after fault drops.
     pub attempt: u32,
+    /// Workload-layer identity (flow membership / collective stage).
+    pub tag: PacketTag,
 }
 
 /// Packet storage with free-list recycling: delivered packets are retired
@@ -358,6 +386,22 @@ pub struct Simulator {
     pub(crate) pending_batch: Vec<(usize, usize)>,
     /// Total size of the closed batch (None for open workloads).
     pub(crate) closed_total: Option<u64>,
+    /// Flow-level injection source ([`Workload::Flows`] /
+    /// [`Workload::Incast`]); replaces the per-cycle [`Injector`] schedule
+    /// (which runs at rate 0) when present.
+    pub(crate) flows: Option<Box<crate::flow::FlowSource>>,
+    /// Stage-dependency tracker for [`Workload::Staged`] collectives.
+    pub(crate) staged: Option<Box<crate::flow::StagedState>>,
+    /// Hosts whose next collective stage became releasable this cycle
+    /// (fed by tail ejections, drained — sorted and deduped — at the next
+    /// cycle's injection phase, so the release order is independent of the
+    /// engine's ejection order).
+    pub(crate) staged_ready: Vec<u32>,
+    /// The workload this simulator was built with (kept so the sharded
+    /// driver can rebuild identically-seeded per-shard copies). `Closed`
+    /// batches store an empty list here — the packets live in
+    /// `pending_batch`.
+    pub(crate) workload_spec: Workload,
 
     pub(crate) packets: PacketSlab,
 
@@ -530,23 +574,100 @@ impl Simulator {
         let channels = graph.channel_count();
         let hosts = n * cfg.hosts_per_switch;
 
+        let mut flows = None;
+        let mut staged = None;
+        let mut staged_ready = Vec::new();
+        let workload_spec;
         let (pattern, injector, pending_batch, closed_total, open_rate) = match workload {
             Workload::Open {
                 pattern,
                 packets_per_cycle_per_host,
-            } => (
-                Some(pattern),
-                Injector::new(seed, hosts, packets_per_cycle_per_host),
-                Vec::new(),
-                None,
-                packets_per_cycle_per_host,
-            ),
+            } => {
+                workload_spec = Workload::Open {
+                    pattern: pattern.clone(),
+                    packets_per_cycle_per_host,
+                };
+                (
+                    Some(pattern),
+                    Injector::new(seed, hosts, packets_per_cycle_per_host),
+                    Vec::new(),
+                    None,
+                    packets_per_cycle_per_host,
+                )
+            }
             Workload::Closed { packets } => {
                 let total = packets.len() as u64;
+                // The batch list lives in `pending_batch`; the spec keeps
+                // only the variant (the sharded driver re-partitions the
+                // batch itself).
+                workload_spec = Workload::Closed {
+                    packets: Vec::new(),
+                };
                 (
                     None,
                     Injector::new(seed, hosts, 0.0),
                     packets,
+                    Some(total),
+                    0.0,
+                )
+            }
+            Workload::Flows {
+                pattern,
+                sizes,
+                arrivals,
+            } => {
+                flows = Some(Box::new(crate::flow::FlowSource::new_random(
+                    seed,
+                    hosts,
+                    pattern.clone(),
+                    sizes.clone(),
+                    arrivals.clone(),
+                    cfg.packet_flits,
+                    cfg.flit_bits as usize,
+                )));
+                workload_spec = Workload::Flows {
+                    pattern,
+                    sizes,
+                    arrivals,
+                };
+                (None, Injector::new(seed, hosts, 0.0), Vec::new(), None, 0.0)
+            }
+            Workload::Incast {
+                fanin,
+                request_packets,
+                wave_period,
+            } => {
+                flows = Some(Box::new(crate::flow::FlowSource::new_incast(
+                    seed,
+                    hosts,
+                    fanin,
+                    request_packets,
+                    wave_period,
+                    cfg.packet_flits,
+                    cfg.flit_bits as usize,
+                )));
+                workload_spec = Workload::Incast {
+                    fanin,
+                    request_packets,
+                    wave_period,
+                };
+                (None, Injector::new(seed, hosts, 0.0), Vec::new(), None, 0.0)
+            }
+            Workload::Staged(spec) => {
+                assert!(
+                    spec.hosts() <= hosts,
+                    "staged collective needs {} hosts, network has {hosts}",
+                    spec.hosts()
+                );
+                let total = spec.total_packets();
+                // Stage 0 of every participant is releasable at cycle 0.
+                staged_ready = (0..spec.hosts() as u32).collect();
+                staged = Some(Box::new(crate::flow::StagedState::new(spec.clone())));
+                workload_spec = Workload::Staged(spec);
+                (
+                    None,
+                    Injector::new(seed, hosts, 0.0),
+                    Vec::new(),
                     Some(total),
                     0.0,
                 )
@@ -646,6 +767,10 @@ impl Simulator {
             injector,
             pending_batch,
             closed_total,
+            flows,
+            staged,
+            staged_ready,
+            workload_spec,
             packets: PacketSlab::default(),
             nvc,
             n_inputs,
@@ -1031,11 +1156,12 @@ impl Simulator {
                 self.enqueue_packet(now, src, dest);
             }
         }
+        self.drain_staged_ready(now);
         self.inject_retries(now);
         let hosts = self.hosts();
         for h in 0..hosts {
-            if self.injector.next_cycle(h) == now {
-                self.inject_host(h, now);
+            if self.source_next_cycle(h) == now {
+                self.fire_host(h, now);
             }
         }
     }
@@ -1068,6 +1194,96 @@ impl Simulator {
     // are no-ops on the dense core.
     // ------------------------------------------------------------------
 
+    /// The cycle of `host`'s next injection-side action, whichever source
+    /// drives this workload ([`NEVER`] = nothing scheduled).
+    #[inline]
+    pub(crate) fn source_next_cycle(&self, host: usize) -> u64 {
+        match &self.flows {
+            Some(fs) => fs.next_cycle(host),
+            None => self.injector.next_cycle(host),
+        }
+    }
+
+    /// Run `host`'s due injection action at `now`, dispatching to the
+    /// workload's source (flow state machine or Bernoulli injector).
+    pub(crate) fn fire_host(&mut self, host: usize, now: u64) {
+        if self.flows.is_some() {
+            self.fire_flow_host(host, now);
+        } else {
+            self.inject_host(host, now);
+        }
+    }
+
+    /// Flow-source injection step for one host: process a due flow arrival
+    /// and/or emit the next paced packet of the head-of-line flow.
+    fn fire_flow_host(&mut self, host: usize, now: u64) {
+        // Take the source out so its RNG draws can't alias `self` (the
+        // enqueue below re-borrows the whole simulator).
+        let mut fs = self.flows.take().expect("flow workload has a source");
+        debug_assert_eq!(fs.next_cycle(host), now);
+        let emit = fs.fire(host, now);
+        let next = fs.next_cycle(host);
+        self.flows = Some(fs);
+        if let Some(ev) = &mut self.ev {
+            if next != NEVER {
+                ev.schedule_injection(next, host);
+            }
+        }
+        if let Some(e) = emit {
+            if e.first {
+                let measured = now >= self.cfg.warmup_cycles
+                    && now < self.cfg.warmup_cycles + self.cfg.measure_cycles;
+                self.stats.on_flow_started(measured);
+            }
+            self.enqueue_packet_tagged(
+                now,
+                host,
+                e.dest,
+                0,
+                PacketTag::Flow {
+                    id: e.id,
+                    start: e.start,
+                    total: e.total,
+                },
+            );
+        }
+    }
+
+    /// Enqueue every newly releasable collective stage. Ejections push
+    /// host ids into `staged_ready` as stage expectations complete; the
+    /// queue is drained here — at the *next* cycle's injection phase,
+    /// sorted and deduped — so the release order (and thus packet uids)
+    /// is independent of the engine's within-cycle ejection order.
+    pub(crate) fn drain_staged_ready(&mut self, now: u64) {
+        if self.staged_ready.is_empty() {
+            return;
+        }
+        let mut ready = std::mem::take(&mut self.staged_ready);
+        ready.sort_unstable();
+        ready.dedup();
+        let mut st = self.staged.take().expect("staged workload has state");
+        let msg = st.spec().msg_packets();
+        let mut sends: Vec<(u32, u32)> = Vec::new();
+        for &h in &ready {
+            sends.clear();
+            st.collect_releases(h as usize, &mut sends);
+            for &(dest, stage) in &sends {
+                for _ in 0..msg {
+                    self.enqueue_packet_tagged(
+                        now,
+                        h as usize,
+                        dest as usize,
+                        0,
+                        PacketTag::Stage { stage },
+                    );
+                }
+            }
+        }
+        self.staged = Some(st);
+        ready.clear();
+        self.staged_ready = ready;
+    }
+
     /// Inject one packet from `host` at its scheduled cycle and draw the
     /// host's next injection gap.
     pub(crate) fn inject_host(&mut self, host: usize, now: u64) {
@@ -1093,17 +1309,19 @@ impl Simulator {
     /// Create a packet and push its flits into the source host's injection
     /// queue.
     pub(crate) fn enqueue_packet(&mut self, now: u64, src_host: usize, dest_host: usize) {
-        self.enqueue_packet_attempt(now, src_host, dest_host, 0);
+        self.enqueue_packet_tagged(now, src_host, dest_host, 0, PacketTag::None);
     }
 
     /// Like [`Self::enqueue_packet`] but recording the retry attempt number
-    /// (used when a fault-dropped packet is re-sent by its source host).
-    pub(crate) fn enqueue_packet_attempt(
+    /// (used when a fault-dropped packet is re-sent by its source host) and
+    /// the workload-layer tag the packet carries.
+    pub(crate) fn enqueue_packet_tagged(
         &mut self,
         now: u64,
         src_host: usize,
         dest_host: usize,
         attempt: u32,
+        tag: PacketTag,
     ) {
         debug_assert_ne!(src_host, dest_host);
         let dest_sw = (dest_host / self.cfg.hosts_per_switch) as u32;
@@ -1121,6 +1339,7 @@ impl Simulator {
             route,
             measured,
             attempt,
+            tag,
         });
         self.stats.on_offered(now, self.cfg.packet_flits);
         self.telemetry.on_created(id, src_sw as u32, dest_sw, now);
@@ -1826,14 +2045,42 @@ impl Simulator {
         self.telemetry.on_ejected(flit.packet, tail, now);
         if tail {
             self.delivered_all_time += 1;
-            {
+            let (uid, created, measured, dest_host, ptag) = {
                 let pkt = self.packets.get(flit.packet);
-                let (uid, created, measured) = (pkt.uid, pkt.created, pkt.measured);
-                if let Some(tr) = &mut self.tracer {
-                    tr.record(now, uid, TraceEvent::Delivered { at: node });
+                (pkt.uid, pkt.created, pkt.measured, pkt.dest_host, pkt.tag)
+            };
+            if let Some(tr) = &mut self.tracer {
+                tr.record(now, uid, TraceEvent::Delivered { at: node });
+            }
+            self.stats
+                .on_delivered(now, created, measured, self.cfg.packet_flits);
+            match ptag {
+                PacketTag::None => {}
+                PacketTag::Flow { id, start, total } => {
+                    // FCT membership follows the flow's *start* cycle (the
+                    // whole flow is measured or not, never split), so the
+                    // per-class tallies partition the started flows.
+                    let measured_flow = start >= self.cfg.warmup_cycles
+                        && start < self.cfg.warmup_cycles + self.cfg.measure_cycles;
+                    if let Some(fct) =
+                        self.stats
+                            .on_flow_packet(id, total, start, now, measured_flow)
+                    {
+                        self.telemetry.on_flow_completed(
+                            crate::stats::flow_class(total) as u32,
+                            fct as u32,
+                            (fct >> 32) as u32,
+                            now,
+                        );
+                    }
                 }
-                self.stats
-                    .on_delivered(now, created, measured, self.cfg.packet_flits);
+                PacketTag::Stage { stage } => {
+                    let st = self.staged.as_mut().expect("staged workload has state");
+                    if st.on_recv(dest_host as usize, stage) {
+                        // Released next cycle, via the sorted drain.
+                        self.staged_ready.push(dest_host);
+                    }
+                }
             }
             self.packets.retire(flit.packet);
             self.release_input_vc(i, v, now);
@@ -2091,6 +2338,7 @@ mod tests {
             },
             measured: false,
             attempt: 0,
+            tag: PacketTag::None,
         };
         let a = slab.alloc(mk(0));
         let b = slab.alloc(mk(1));

@@ -342,7 +342,7 @@ pub(crate) fn prepare(sim: &mut Simulator) {
                 continue;
             }
         }
-        let t = sim.injector.next_cycle(h);
+        let t = sim.source_next_cycle(h);
         if t != crate::inject::NEVER {
             ev.inj_heap.push(Reverse((t, h as u32)));
         }
@@ -408,6 +408,7 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
             sim.enqueue_packet(now, src, dest);
         }
     }
+    sim.drain_staged_ready(now);
     sim.inject_retries(now);
     loop {
         let host = {
@@ -420,8 +421,8 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
                 _ => break,
             }
         };
-        // inject_host re-schedules the host's next injection via self.ev.
-        sim.inject_host(host, now);
+        // fire_host re-schedules the host's next injection via self.ev.
+        sim.fire_host(host, now);
     }
     sim.phase_mark(&mut stamp, crate::timing::Phase::Inject);
 
@@ -500,6 +501,7 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
         && es.alloc_pending.is_empty()
         && es.out_active.is_empty()
         && es.eject_active.is_empty()
+        && sim.staged_ready.is_empty()
     {
         debug_assert_eq!(sim.packets.live(), 0);
         debug_assert_eq!(sim.current_stall, 0);

@@ -305,8 +305,10 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// One pending re-send, ordered for the retry min-heap:
-/// `(due_cycle, fifo_seq, src_host, dest_host, attempt)`.
-type RetryEntry = (u64, u64, u32, u32, u32);
+/// `(due_cycle, fifo_seq, src_host, dest_host, attempt, tag)`. The
+/// workload tag rides along so a retried flow/stage packet keeps its
+/// identity (`(due, fifo_seq)` is unique, so the tag never decides order).
+type RetryEntry = (u64, u64, u32, u32, u32, crate::engine::PacketTag);
 
 /// A channel-death victim: `(uid, slab index, salvage position)` —
 /// position is Some only for zero-sent owners (their seq-0 flit still
@@ -551,9 +553,9 @@ impl Simulator {
     /// Drop one packet everywhere and account for it: counters, tracer,
     /// and the host retry schedule.
     fn fault_drop_packet(&mut self, pkt: u32, now: u64) {
-        let (uid, src, dest, attempt, measured) = {
+        let (uid, src, dest, attempt, measured, tag) = {
             let p = self.packets.get(pkt);
-            (p.uid, p.src_host, p.dest_host, p.attempt, p.measured)
+            (p.uid, p.src_host, p.dest_host, p.attempt, p.measured, p.tag)
         };
         if let Some(tr) = &mut self.tracer {
             tr.record(now, uid, TraceEvent::Dropped);
@@ -572,7 +574,7 @@ impl Simulator {
                 .saturating_mul(1u64 << attempt.min(20));
             let due = now + f.retry.timeout_cycles.max(1) + backoff;
             f.retries
-                .push(Reverse((due, f.retry_seq, src, dest, attempt + 1)));
+                .push(Reverse((due, f.retry_seq, src, dest, attempt + 1, tag)));
             f.retry_seq += 1;
         } else {
             f.abandoned += 1;
@@ -711,18 +713,18 @@ impl Simulator {
     /// order — identical on both engines.
     pub(crate) fn inject_retries(&mut self, now: u64) {
         loop {
-            let (src, dest, attempt) = {
+            let (src, dest, attempt, tag) = {
                 let Some(f) = self.fault.as_mut() else { return };
                 match f.retries.peek() {
-                    Some(&Reverse((due, _, src, dest, attempt))) if due <= now => {
+                    Some(&Reverse((due, _, src, dest, attempt, tag))) if due <= now => {
                         f.retries.pop();
                         f.retried += 1;
-                        (src as usize, dest as usize, attempt)
+                        (src as usize, dest as usize, attempt, tag)
                     }
                     _ => return,
                 }
             };
-            self.enqueue_packet_attempt(now, src, dest, attempt);
+            self.enqueue_packet_tagged(now, src, dest, attempt, tag);
         }
     }
 

@@ -86,8 +86,10 @@ impl Injector {
 }
 
 /// SplitMix64 finalizer over the run seed and host index, so per-host
-/// streams are decorrelated even for adjacent seeds/hosts.
-fn mix(seed: u64, host: u64) -> u64 {
+/// streams are decorrelated even for adjacent seeds/hosts. Shared with
+/// the flow layer (`crate::flow`), which salts the seed so its streams
+/// never collide with the injector's.
+pub(crate) fn mix(seed: u64, host: u64) -> u64 {
     let mut z = seed ^ host.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -96,8 +98,9 @@ fn mix(seed: u64, host: u64) -> u64 {
 }
 
 /// One geometric gap (`>= 1` cycles) at injection probability `rate`;
-/// `None` when the rate is zero (never inject).
-fn gap(rng: &mut SmallRng, rate: f64) -> Option<u64> {
+/// `None` when the rate is zero (never inject). Shared with the flow
+/// layer's arrival processes (`crate::flow`).
+pub(crate) fn gap(rng: &mut SmallRng, rate: f64) -> Option<u64> {
     if rate <= 0.0 {
         return None;
     }

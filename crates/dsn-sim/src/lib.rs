@@ -41,6 +41,7 @@ pub mod engine;
 mod event;
 pub mod fault;
 mod flat;
+pub mod flow;
 mod inject;
 pub mod routing;
 mod shard;
@@ -57,10 +58,11 @@ pub use dsn_telemetry::{
 };
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, SalvagePolicy};
+pub use flow::{FlowArrivals, FlowSizeDist, StagedSpec};
 pub use routing::{
     AdaptiveEscape, FlatRouting, MinimalAdaptiveDsn, SimRouting, SourceRouted, UpDownRouting,
 };
-pub use stats::RunStats;
+pub use stats::{FlowClassStats, RunStats};
 pub use sweep::{
     find_saturation, find_saturation_cached, find_saturation_with, load_sweep, load_sweep_cached,
     load_sweep_with, paper_load_grid, SweepResult,

@@ -291,6 +291,8 @@ impl TelReplay {
                 sink.on_dropped(rid, e.now);
                 self.free.push(rid);
             }
+            // Flow completions carry no slab slot, so no id remapping.
+            hook_kind::FLOW_COMPLETED => sink.on_flow_completed(e.a, e.b, e.c, e.now),
             k => unreachable!("unknown hook kind {k}"),
         }
     }
@@ -385,15 +387,18 @@ pub(crate) fn run(sim: &mut Simulator, total: u64) {
 
     let mut shards: Vec<Simulator> = (0..workers)
         .map(|s| {
-            let workload = match sim.closed_total {
-                None => Workload::Open {
+            let workload = match &sim.workload_spec {
+                Workload::Open { .. } => Workload::Open {
                     pattern: sim
                         .pattern
                         .clone()
                         .expect("open workload has a traffic pattern"),
                     packets_per_cycle_per_host: sim.open_rate,
                 },
-                Some(_) => Workload::Closed {
+                // The coordinator's spec keeps an empty packet list (the
+                // real batch lives in pending_batch); rebuild each shard's
+                // share from there.
+                Workload::Closed { .. } => Workload::Closed {
                     packets: sim
                         .pending_batch
                         .iter()
@@ -401,6 +406,13 @@ pub(crate) fn run(sim: &mut Simulator, total: u64) {
                         .filter(|&(src, _)| owner[src / hps] == s as u32)
                         .collect(),
                 },
+                // Flow and staged workloads replicate the spec verbatim:
+                // per-host RNG streams are seeded independently, and only
+                // a shard's local hosts ever fire, so the replicas stay
+                // bit-identical to the single-thread sources.
+                w @ (Workload::Flows { .. } | Workload::Incast { .. } | Workload::Staged(_)) => {
+                    w.clone()
+                }
             };
             let mut sh = Simulator::with_workload(
                 sim.graph.clone(),
@@ -424,6 +436,15 @@ pub(crate) fn run(sim: &mut Simulator, total: u64) {
                 log: Vec::new(),
                 incoming: vec![NO_INCOMING; channels * nvc],
             }));
+            if let Workload::Staged(spec) = &sim.workload_spec {
+                // Stage releases of host h are entirely local to h's owning
+                // shard (its deliveries land there and its sends originate
+                // there), so each shard keeps only its hosts' cycle-0 seeds
+                // and counts only its hosts' sends toward batch completion.
+                sh.staged_ready
+                    .retain(|&h| owner[h as usize / hps] == s as u32);
+                sh.closed_total = Some(spec.total_packets_from(|h| owner[h / hps] == s as u32));
+            }
             crate::event::prepare(&mut sh);
             sh
         })
@@ -584,10 +605,9 @@ pub(crate) fn run(sim: &mut Simulator, total: u64) {
         // before the earliest scheduled injection — jump all clocks there.
         // Mirrors the single-thread idle skip, which never records stalls
         // (an empty network has none) nor telemetry across the gap.
-        if shards
-            .iter()
-            .all(|sh| sh.ev.as_ref().expect("event state").is_quiescent())
-        {
+        if shards.iter().all(|sh| {
+            sh.ev.as_ref().expect("event state").is_quiescent() && sh.staged_ready.is_empty()
+        }) {
             debug_assert_eq!(rp.live, 0);
             let jump = shards
                 .iter()

@@ -3,6 +3,16 @@
 //! (nanoseconds, Gbit/s/host).
 
 use crate::config::SimConfig;
+use std::collections::HashMap;
+
+/// Number of log2 flow-size classes the FCT aggregates are sliced into.
+pub(crate) const FLOW_CLASSES: usize = 8;
+
+/// Log2 flow-size class of a `total`-packet flow: class 0 holds 1-packet
+/// flows, class 1 holds 2–3, class 2 holds 4–7, …, class 7 holds >= 128.
+pub(crate) fn flow_class(total: u32) -> usize {
+    (31 - total.max(1).leading_zeros()).min(FLOW_CLASSES as u32 - 1) as usize
+}
 
 /// Collects events during a run.
 #[derive(Debug, Clone)]
@@ -25,6 +35,23 @@ pub struct StatsCollector {
     pf_delivered: u64,
     pf_latency_sum: u64,
     pf_hist: Vec<u64>,
+    /// Per-flow delivered-packet counts for flows still in flight. A
+    /// flow's packets all deliver at its destination host, so in a sharded
+    /// run each flow lives in exactly one shard's table (the merge is a
+    /// disjoint union).
+    flow_progress: HashMap<u64, u32>,
+    flows_started: u64,
+    flows_started_all: u64,
+    flows_completed: u64,
+    flows_completed_all: u64,
+    flow_packets_delivered: u64,
+    fct_sum_cycles: u64,
+    fct_max_cycles: u64,
+    /// FCT histogram in 16-cycle bins, measured flows only.
+    fct_hist: Vec<u64>,
+    class_flows: [u64; FLOW_CLASSES],
+    class_fct_sum: [u64; FLOW_CLASSES],
+    class_hist: [Vec<u64>; FLOW_CLASSES],
 }
 
 const BIN: u64 = 16;
@@ -52,7 +79,69 @@ impl StatsCollector {
             pf_delivered: 0,
             pf_latency_sum: 0,
             pf_hist: Vec::with_capacity(hist_cap),
+            flow_progress: HashMap::new(),
+            flows_started: 0,
+            flows_started_all: 0,
+            flows_completed: 0,
+            flows_completed_all: 0,
+            flow_packets_delivered: 0,
+            fct_sum_cycles: 0,
+            fct_max_cycles: 0,
+            fct_hist: Vec::new(),
+            class_flows: [0; FLOW_CLASSES],
+            class_fct_sum: [0; FLOW_CLASSES],
+            class_hist: std::array::from_fn(|_| Vec::new()),
         }
+    }
+
+    /// A flow emitted its first packet. `measured` means the flow *start*
+    /// fell inside the measurement window; the whole flow is measured or
+    /// not — a flow is never split across the window edge.
+    pub(crate) fn on_flow_started(&mut self, measured: bool) {
+        self.flows_started_all += 1;
+        if measured {
+            self.flows_started += 1;
+        }
+    }
+
+    /// A packet of flow `id` (of `total` packets, started at `start`) was
+    /// delivered at `now`. Returns `Some(fct)` exactly when this delivery
+    /// completed the flow *and* the flow is measured — the caller uses
+    /// that to gate the telemetry hook, keeping telemetry and stats in
+    /// lockstep across engines.
+    pub(crate) fn on_flow_packet(
+        &mut self,
+        id: u64,
+        total: u32,
+        start: u64,
+        now: u64,
+        measured: bool,
+    ) -> Option<u64> {
+        self.flow_packets_delivered += 1;
+        let done = {
+            let got = self.flow_progress.entry(id).or_insert(0);
+            *got += 1;
+            *got >= total
+        };
+        if !done {
+            return None;
+        }
+        self.flow_progress.remove(&id);
+        self.flows_completed_all += 1;
+        if !measured {
+            return None;
+        }
+        self.flows_completed += 1;
+        let fct = now - start;
+        self.fct_sum_cycles += fct;
+        self.fct_max_cycles = self.fct_max_cycles.max(fct);
+        let bin = (fct / BIN) as usize;
+        bump(&mut self.fct_hist, bin);
+        let c = flow_class(total);
+        self.class_flows[c] += 1;
+        self.class_fct_sum[c] += fct;
+        bump(&mut self.class_hist[c], bin);
+        Some(fct)
     }
 
     /// A packet was offered (generated) at `now`.
@@ -112,6 +201,25 @@ impl StatsCollector {
         self.pf_delivered += other.pf_delivered;
         self.pf_latency_sum += other.pf_latency_sum;
         merge_hist(&mut self.pf_hist, &other.pf_hist);
+        for (id, got) in other.flow_progress {
+            // Shards partition flows by destination host, so in-flight
+            // entries never collide; summing keeps the merge exact even
+            // if a caller ever splits a single flow's stream.
+            *self.flow_progress.entry(id).or_insert(0) += got;
+        }
+        self.flows_started += other.flows_started;
+        self.flows_started_all += other.flows_started_all;
+        self.flows_completed += other.flows_completed;
+        self.flows_completed_all += other.flows_completed_all;
+        self.flow_packets_delivered += other.flow_packets_delivered;
+        self.fct_sum_cycles += other.fct_sum_cycles;
+        self.fct_max_cycles = self.fct_max_cycles.max(other.fct_max_cycles);
+        merge_hist(&mut self.fct_hist, &other.fct_hist);
+        for c in 0..FLOW_CLASSES {
+            self.class_flows[c] += other.class_flows[c];
+            self.class_fct_sum[c] += other.class_fct_sum[c];
+            merge_hist(&mut self.class_hist[c], &other.class_hist[c]);
+        }
     }
 
     /// Finalize into a [`RunStats`].
@@ -132,6 +240,20 @@ impl StatsCollector {
             0.0
         };
         let pf_p99 = percentile(&self.pf_hist, self.pf_delivered, 0.99);
+        let fct_avg = if self.flows_completed > 0 {
+            self.fct_sum_cycles as f64 / self.flows_completed as f64
+        } else {
+            0.0
+        };
+        let fct_classes = (0..FLOW_CLASSES)
+            .filter(|&c| self.class_flows[c] > 0)
+            .map(|c| FlowClassStats {
+                min_packets: 1u32 << c,
+                flows: self.class_flows[c],
+                fct_avg_cycles: self.class_fct_sum[c] as f64 / self.class_flows[c] as f64,
+                fct_p99_cycles: percentile(&self.class_hist[c], self.class_flows[c], 0.99),
+            })
+            .collect();
         RunStats {
             delivered_packets: self.measured_delivered,
             created_packets: self.measured_created,
@@ -168,8 +290,26 @@ impl StatsCollector {
             post_fault_delivered: self.pf_delivered,
             post_fault_avg_latency_cycles: pf_avg,
             post_fault_p99_latency_cycles: pf_p99,
+            flows_started: self.flows_started,
+            flows_completed: self.flows_completed,
+            flows_started_all_time: self.flows_started_all,
+            flows_completed_all_time: self.flows_completed_all,
+            flow_packets_delivered: self.flow_packets_delivered,
+            fct_avg_cycles: fct_avg,
+            fct_p50_cycles: percentile(&self.fct_hist, self.flows_completed, 0.50),
+            fct_p99_cycles: percentile(&self.fct_hist, self.flows_completed, 0.99),
+            fct_p999_cycles: percentile(&self.fct_hist, self.flows_completed, 0.999),
+            fct_max_cycles: self.fct_max_cycles,
+            fct_classes,
         }
     }
+}
+
+fn bump(hist: &mut Vec<u64>, bin: usize) {
+    if hist.len() <= bin {
+        hist.resize(bin + 1, 0);
+    }
+    hist[bin] += 1;
 }
 
 fn merge_hist(into: &mut Vec<u64>, from: &[u64]) {
@@ -269,6 +409,46 @@ pub struct RunStats {
     /// Approximate 99th-percentile latency (cycles) of the post-fault
     /// population.
     pub post_fault_p99_latency_cycles: u64,
+    /// Flows whose first packet was emitted inside the measurement window.
+    /// Zero for non-flow workloads.
+    pub flows_started: u64,
+    /// Measured flows whose last packet was delivered before run end.
+    pub flows_completed: u64,
+    /// Every flow ever started in the run (warmup and drain included).
+    pub flows_started_all_time: u64,
+    /// Every flow ever completed in the run.
+    pub flows_completed_all_time: u64,
+    /// Every flow-tagged packet delivered over the whole run — the
+    /// accounting oracle: fault-free, at completion this equals the sum of
+    /// per-flow packet counts injected.
+    pub flow_packets_delivered: u64,
+    /// Mean flow-completion time (cycles) over measured completed flows.
+    pub fct_avg_cycles: f64,
+    /// Approximate median FCT (cycles).
+    pub fct_p50_cycles: u64,
+    /// Approximate 99th-percentile FCT (cycles).
+    pub fct_p99_cycles: u64,
+    /// Approximate 99.9th-percentile FCT (cycles).
+    pub fct_p999_cycles: u64,
+    /// Maximum FCT (cycles) over measured completed flows.
+    pub fct_max_cycles: u64,
+    /// FCT aggregates sliced by log2 flow-size class (empty classes
+    /// omitted; empty for non-flow workloads).
+    pub fct_classes: Vec<FlowClassStats>,
+}
+
+/// Per flow-size-class FCT aggregates (log2 packet-count buckets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowClassStats {
+    /// Smallest flow size (in packets) belonging to this class:
+    /// 1, 2, 4, …, 128 (the last class is open-ended).
+    pub min_packets: u32,
+    /// Measured completed flows in the class.
+    pub flows: u64,
+    /// Mean flow-completion time (cycles) within the class.
+    pub fct_avg_cycles: f64,
+    /// Approximate 99th-percentile FCT (cycles) within the class.
+    pub fct_p99_cycles: u64,
 }
 
 impl RunStats {
@@ -370,6 +550,77 @@ mod tests {
         let r = s.finish(&c, 8, 100);
         assert!(r.p99_latency_cycles >= 96, "p99 {}", r.p99_latency_cycles);
         assert!((r.avg_latency_cycles - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_class_buckets() {
+        assert_eq!(flow_class(1), 0);
+        assert_eq!(flow_class(2), 1);
+        assert_eq!(flow_class(3), 1);
+        assert_eq!(flow_class(4), 2);
+        assert_eq!(flow_class(7), 2);
+        assert_eq!(flow_class(127), 6);
+        assert_eq!(flow_class(128), 7);
+        assert_eq!(flow_class(u32::MAX), 7);
+        assert_eq!(flow_class(0), 0); // degenerate, clamped
+    }
+
+    #[test]
+    fn flow_completion_accounting() {
+        let c = cfg();
+        let mut s = StatsCollector::new(&c);
+        let t0 = c.warmup_cycles + 1;
+        // Flow 7: 3 packets, measured. FCT spans first emit to last delivery.
+        s.on_flow_started(true);
+        assert_eq!(s.on_flow_packet(7, 3, t0, t0 + 10, true), None);
+        assert_eq!(s.on_flow_packet(7, 3, t0, t0 + 14, true), None);
+        assert_eq!(s.on_flow_packet(7, 3, t0, t0 + 40, true), Some(40));
+        // Flow 8: single packet, unmeasured (warmup) — counted all-time only.
+        s.on_flow_started(false);
+        assert_eq!(s.on_flow_packet(8, 1, 0, 9, false), None);
+        let r = s.finish(&c, 8, 4);
+        assert_eq!(r.flows_started, 1);
+        assert_eq!(r.flows_completed, 1);
+        assert_eq!(r.flows_started_all_time, 2);
+        assert_eq!(r.flows_completed_all_time, 2);
+        assert_eq!(r.flow_packets_delivered, 4);
+        assert!((r.fct_avg_cycles - 40.0).abs() < 1e-12);
+        assert_eq!(r.fct_max_cycles, 40);
+        assert_eq!(r.fct_classes.len(), 1);
+        assert_eq!(r.fct_classes[0].min_packets, 2);
+        assert_eq!(r.fct_classes[0].flows, 1);
+    }
+
+    #[test]
+    fn flow_merge_is_bit_identical_to_whole() {
+        // Flows partitioned across shards (by destination) must merge to
+        // the same aggregates as a single collector seeing everything.
+        let c = cfg();
+        let mut whole = StatsCollector::new(&c);
+        let mut a = StatsCollector::new(&c);
+        let mut b = StatsCollector::new(&c);
+        for i in 0..40u64 {
+            let start = c.warmup_cycles + i;
+            let total = (i % 5 + 1) as u32;
+            let part = if i % 2 == 0 { &mut a } else { &mut b };
+            let measured = i % 7 != 0;
+            whole.on_flow_started(measured);
+            part.on_flow_started(measured);
+            for k in 0..total as u64 {
+                let at = start + 3 * (k + 1) + i;
+                whole.on_flow_packet(i, total, start, at, measured);
+                part.on_flow_packet(i, total, start, at, measured);
+            }
+        }
+        a.merge(b);
+        let merged = a.finish(&c, 8, 120);
+        let direct = whole.finish(&c, 8, 120);
+        assert_eq!(format!("{merged:?}"), format!("{direct:?}"));
+        assert_eq!(
+            merged.fct_avg_cycles.to_bits(),
+            direct.fct_avg_cycles.to_bits()
+        );
+        assert_eq!(merged.fct_p99_cycles, direct.fct_p99_cycles);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * **Latency decomposition** — each delivered packet's latency split
 //!   exactly into queueing / credit-stall / wire / ejection cycles by gap
 //!   attribution ([`recorder`] module docs);
-//! * **Exporters** — stable-schema JSON (`"dsn-telemetry/v1"`), long-format
+//! * **Exporters** — stable-schema JSON (`"dsn-telemetry/v2"`), long-format
 //!   CSV time series, and a terminal link-utilization heatmap keyed by ring
 //!   position ([`report::TelemetryReport`]).
 //!

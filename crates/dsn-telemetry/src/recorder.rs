@@ -134,6 +134,11 @@ pub mod hook_kind {
     pub const EJECTED: u8 = 8;
     /// [`Recorder::on_dropped`](super::Recorder::on_dropped).
     pub const DROPPED: u8 = 9;
+    /// [`Recorder::on_flow_completed`](super::Recorder::on_flow_completed).
+    /// Fired by the ejection that completes a measured flow, so it sorts
+    /// after `EJECTED` within a cycle — safe, because flow-completion
+    /// aggregation commutes with every other hook.
+    pub const FLOW_COMPLETED: u8 = 10;
 }
 
 /// One recorded hook call in flat form, produced by [`Telemetry::Log`].
@@ -273,6 +278,11 @@ forward_hooks! {
     /// A packet was dropped by a fault (or became unroutable).
     on_dropped(slot: u32; now: u64)
         => [hook_kind::DROPPED, slot, 0, 0, 0, false];
+    /// A measured flow completed: `class` is its log2 flow-size class and
+    /// `fct_lo`/`fct_hi` the completion time in cycles split into 32-bit
+    /// halves (hook arguments are `u32`).
+    on_flow_completed(class: u32, fct_lo: u32, fct_hi: u32; now: u64)
+        => [hook_kind::FLOW_COMPLETED, class, fct_lo, fct_hi, 0, false];
 }
 
 /// A windowed per-index counter table: counts are accumulated into the
@@ -398,7 +408,15 @@ pub struct Recorder {
     flits_sent_total: u64,
     flits_ejected_total: u64,
     conflicts_total: u64,
+
+    /// Flow-completion-time histograms by log2 flow-size class (class 7 is
+    /// open-ended; larger classes clamp into it).
+    fct_classes: Vec<LogHistogram>,
 }
+
+/// Log2 flow-size classes the recorder slices FCTs into (mirrors the
+/// simulator's flow-class bucketing).
+const FCT_CLASSES: usize = 8;
 
 impl Recorder {
     /// Build a recorder for the given configuration and network.
@@ -427,6 +445,7 @@ impl Recorder {
             flits_sent_total: 0,
             flits_ejected_total: 0,
             conflicts_total: 0,
+            fct_classes: vec![LogHistogram::default(); FCT_CLASSES],
             classes,
             cfg,
             topo,
@@ -564,6 +583,14 @@ impl Recorder {
         }
     }
 
+    /// A measured flow completed. `class` is the flow's log2 size class
+    /// and `fct_lo`/`fct_hi` the low/high 32-bit halves of its completion
+    /// time in cycles (reassembled here; hook arguments are `u32`).
+    pub fn on_flow_completed(&mut self, class: u32, fct_lo: u32, fct_hi: u32, _now: u64) {
+        let fct = fct_lo as u64 | ((fct_hi as u64) << 32);
+        self.fct_classes[(class as usize).min(FCT_CLASSES - 1)].record(fct);
+    }
+
     /// A packet was dropped by a fault (or became unroutable).
     pub fn on_dropped(&mut self, slot: u32, _now: u64) {
         let p = &mut self.packets[slot as usize];
@@ -622,6 +649,21 @@ impl Recorder {
                 }
             })
             .collect();
+        let fct = self
+            .fct_classes
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(ci, h)| FctClassReport {
+                class: ci as u32,
+                count: h.count(),
+                p50: h.quantile(0.50),
+                p99: h.quantile(0.99),
+                max: h.max(),
+                fct_sum_cycles: h.sum(),
+                buckets: h.buckets().to_vec(),
+            })
+            .collect();
         let links = self
             .topo
             .channels
@@ -658,6 +700,7 @@ impl Recorder {
             measure_start: self.topo.measure_start,
             measure_end: self.topo.measure_end,
             phases,
+            fct,
             links,
             series,
             flits_sent_total: self.flits_sent_total,
@@ -768,6 +811,26 @@ mod tests {
         assert_eq!(rep.phases[0].dropped, 1);
         assert_eq!(rep.phases[0].delivered, 0);
         assert!(rep.phases[0].classes.is_empty());
+    }
+
+    #[test]
+    fn flow_completions_aggregate_by_class() {
+        let mut r = Recorder::new(TelemetryConfig::windowed(16), topo());
+        r.on_flow_completed(0, 12, 0, 20);
+        r.on_flow_completed(0, 20, 0, 30);
+        // 64-bit FCT reassembly: lo=1, hi=1 -> 2^32 + 1.
+        r.on_flow_completed(3, 1, 1, 40);
+        // Out-of-range class clamps into the open-ended last class.
+        r.on_flow_completed(99, 5, 0, 50);
+        let rep = r.finish(60);
+        assert_eq!(rep.fct.len(), 3);
+        assert_eq!(rep.fct[0].class, 0);
+        assert_eq!(rep.fct[0].count, 2);
+        assert_eq!(rep.fct[0].fct_sum_cycles, 32);
+        assert_eq!(rep.fct[1].class, 3);
+        assert_eq!(rep.fct[1].max, (1u64 << 32) + 1);
+        assert_eq!(rep.fct[2].class, 7);
+        assert_eq!(rep.fct[2].count, 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! deterministic for a given simulation — with three exporters:
 //!
 //! * [`TelemetryReport::to_json`] — stable-schema JSON
-//!   (`"dsn-telemetry/v1"`, fixed key order, golden-file pinned);
+//!   (`"dsn-telemetry/v2"`, fixed key order, golden-file pinned);
 //! * [`TelemetryReport::to_csv`] — long-format windowed time series
 //!   (`metric,window,index,value`);
 //! * [`TelemetryReport::heatmap`] — a terminal link-utilization heatmap
@@ -61,6 +61,26 @@ pub struct PhaseReport {
     pub classes: Vec<ClassReport>,
 }
 
+/// Flow-completion-time statistics for one log2 flow-size class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FctClassReport {
+    /// Log2 flow-size class: class `k` covers flows of `[2^k, 2^(k+1) - 1]`
+    /// packets; the last class (7) is open-ended.
+    pub class: u32,
+    /// Measured flows completed in this class.
+    pub count: u64,
+    /// Median FCT (log-bucket upper bound, clamped to the exact max).
+    pub p50: u64,
+    /// 99th-percentile FCT.
+    pub p99: u64,
+    /// Exact maximum FCT.
+    pub max: u64,
+    /// Exact sum of FCTs (cycles).
+    pub fct_sum_cycles: u64,
+    /// Raw log-bucket counts (trailing zero buckets trimmed).
+    pub buckets: Vec<u64>,
+}
+
 /// Per-channel totals.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkReport {
@@ -109,6 +129,9 @@ pub struct TelemetryReport {
     pub measure_end: u64,
     /// Per-phase aggregates in phase order.
     pub phases: Vec<PhaseReport>,
+    /// Flow-completion-time statistics by log2 flow-size class (empty
+    /// classes omitted; empty for non-flow workloads).
+    pub fct: Vec<FctClassReport>,
     /// Per-channel totals in channel order.
     pub links: Vec<LinkReport>,
     /// Windowed time series.
@@ -122,8 +145,9 @@ pub struct TelemetryReport {
 }
 
 /// Schema tag embedded in every [`TelemetryReport::to_json`] export; bump
-/// the version suffix on any breaking change to key order or formatting.
-pub const SCHEMA: &str = "dsn-telemetry/v1";
+/// the version suffix on any breaking change to key order or formatting
+/// (v2 added the per-flow-class `"fct"` section).
+pub const SCHEMA: &str = "dsn-telemetry/v2";
 
 impl TelemetryReport {
     /// Per-channel utilization over the measurement window, computed with
@@ -154,7 +178,7 @@ impl TelemetryReport {
             .fold(0.0f64, f64::max)
     }
 
-    /// Serialize as stable-schema JSON (`"dsn-telemetry/v1"`).
+    /// Serialize as stable-schema JSON (`"dsn-telemetry/v2"`).
     ///
     /// Key order, spacing, and number formatting are fixed; the output is
     /// byte-for-byte deterministic for a given run and pinned by the
@@ -227,6 +251,22 @@ impl TelemetryReport {
             }
             s.push_str("      ]\n");
             s.push_str(&format!("    }}{}\n", trail(pi, self.phases.len())));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"fct\": [\n");
+        for (fi, f) in self.fct.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"class\": {}, \"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}, \
+                 \"fct_sum_cycles\": {}, \"buckets\": {}}}{}\n",
+                f.class,
+                f.count,
+                f.p50,
+                f.p99,
+                f.max,
+                f.fct_sum_cycles,
+                json_u64_array(&f.buckets),
+                trail(fi, self.fct.len())
+            ));
         }
         s.push_str("  ],\n");
         s.push_str("  \"links\": [\n");
@@ -411,6 +451,15 @@ mod tests {
                     buckets: vec![0, 0, 0, 0, 2],
                 }],
             }],
+            fct: vec![FctClassReport {
+                class: 2,
+                count: 3,
+                p50: 40,
+                p99: 64,
+                max: 61,
+                fct_sum_cycles: 130,
+                buckets: vec![0, 0, 0, 0, 0, 1, 2],
+            }],
             links: vec![
                 LinkReport {
                     channel: 0,
@@ -454,8 +503,12 @@ mod tests {
     #[test]
     fn json_is_stable_and_tagged() {
         let j = tiny_report().to_json();
-        assert!(j.starts_with("{\n  \"schema\": \"dsn-telemetry/v1\",\n"));
+        assert!(j.starts_with("{\n  \"schema\": \"dsn-telemetry/v2\",\n"));
         assert!(j.contains("\"rows\": [[0, [[0, 3], [1, 1]]], [2, [[0, 7]]]]"));
+        assert!(j.contains(
+            "{\"class\": 2, \"count\": 3, \"p50\": 40, \"p99\": 64, \"max\": 61, \
+             \"fct_sum_cycles\": 130, \"buckets\": [0, 0, 0, 0, 0, 1, 2]}"
+        ));
         assert_eq!(j, tiny_report().to_json(), "export must be deterministic");
     }
 
