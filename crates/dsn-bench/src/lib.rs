@@ -16,6 +16,7 @@
 
 pub mod degraded;
 pub mod flows;
+pub mod opt;
 
 use dsn_core::topology::TopologySpec;
 

@@ -1,0 +1,42 @@
+//! Golden-file pin for the `opt_frontier` JSON report: key order, float
+//! formatting, the null saturation encoding, and — because every search
+//! is seeded and bit-reproducible — the exact frontier of a tiny quick
+//! sweep must never drift silently. Wall-clock times are zeroed before
+//! comparing. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p dsn-bench --test opt_schema`.
+
+use dsn_bench::opt::{run_frontier, FrontierConfig, SCHEMA};
+use dsn_core::Parallelism;
+
+const GOLDEN_PATH: &str = "tests/golden/opt_schema.json";
+const GOLDEN: &str = include_str!("golden/opt_schema.json");
+
+/// Tiny fixed sweep: one 32-switch size, quick search budgets, no
+/// saturation probe, serial scoring — fast and fully deterministic.
+fn tiny_report() -> String {
+    let mut report = run_frontier(&FrontierConfig {
+        sizes: vec![32],
+        quick: true,
+        sat: false,
+        par: Parallelism::serial(),
+    });
+    for row in &mut report.rows {
+        row.wall_s = 0.0;
+    }
+    report.to_json()
+}
+
+#[test]
+fn json_schema_is_pinned() {
+    let actual = tiny_report();
+    assert!(actual.contains(SCHEMA), "schema tag missing");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("update golden");
+        return;
+    }
+    assert_eq!(
+        actual, GOLDEN,
+        "opt_frontier JSON drifted from {GOLDEN_PATH}; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}

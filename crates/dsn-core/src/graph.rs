@@ -174,6 +174,52 @@ impl Graph {
         }
     }
 
+    /// Move the `from` endpoint of edge `id` to node `to`, keeping the
+    /// edge's id, kind, and other endpoint. This is the primitive for
+    /// degree-preserving rewiring searches (`dsn-opt`): a pair of
+    /// retargets implements a link exchange without renumbering edges.
+    ///
+    /// Both adjacency lists are updated in place; `from` loses the edge,
+    /// `to` gains it, and the untouched endpoint keeps its insertion-order
+    /// slot. The caller is responsible for parallel-edge policy (check
+    /// [`Graph::has_edge`] first if duplicates are unwanted).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range, `from` is not an endpoint of the
+    /// edge, `to` is out of range, or the move would create a self-loop
+    /// (`to` equal to the other endpoint).
+    pub fn retarget_edge(&mut self, id: EdgeId, from: NodeId, to: NodeId) {
+        assert!(id < self.edges.len(), "edge {id} out of range");
+        assert!(to < self.n, "endpoint out of range");
+        let e = self.edges[id];
+        let other = if from == e.a {
+            e.b
+        } else {
+            assert_eq!(from, e.b, "node {from} is not an endpoint of edge {id}");
+            e.a
+        };
+        assert!(to != other, "self-loop {other}->{to} rejected");
+        if to == from {
+            return;
+        }
+        let slot = self.adj[from]
+            .iter()
+            .position(|&(_, eid)| eid == id)
+            .expect("adjacency list out of sync");
+        self.adj[from].remove(slot);
+        for entry in self.adj[other].iter_mut() {
+            if entry.1 == id {
+                entry.0 = to;
+            }
+        }
+        self.adj[to].push((other, id));
+        if from == e.a {
+            self.edges[id].a = to;
+        } else {
+            self.edges[id].b = to;
+        }
+    }
+
     /// Whether any edge joins `a` and `b`.
     #[inline]
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
@@ -361,6 +407,70 @@ mod tests {
     fn self_loop_panics() {
         let mut g = Graph::new(2);
         g.add_edge(1, 1, LinkKind::Ring);
+    }
+
+    #[test]
+    fn retarget_moves_one_endpoint() {
+        let mut g = Graph::new(4);
+        let e = g.add_edge(0, 1, LinkKind::Random);
+        g.add_edge(1, 2, LinkKind::Ring);
+        g.retarget_edge(e, 1, 3); // 0-1 becomes 0-3
+        assert!(g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2), "unrelated edge untouched");
+        assert_eq!(g.edge(e).kind, LinkKind::Random, "kind preserved");
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.degree(3), 1);
+        // adjacency stays consistent with the edge list
+        assert_eq!(g.neighbors(3).collect::<Vec<_>>(), vec![(0, e)]);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(3, e)]);
+    }
+
+    #[test]
+    fn retarget_to_same_node_is_noop() {
+        let mut g = triangle();
+        let before = g.edges().to_vec();
+        g.retarget_edge(0, 1, 1);
+        assert_eq!(g.edges(), &before[..]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn retarget_pair_implements_link_exchange() {
+        // (0-1, 2-3) -> (0-2, 1-3): a degree-preserving double swap.
+        let mut g = Graph::new(4);
+        let e1 = g.add_edge(0, 1, LinkKind::Random);
+        let e2 = g.add_edge(2, 3, LinkKind::Random);
+        let before = g.degree_histogram();
+        g.retarget_edge(e1, 1, 2);
+        g.retarget_edge(e2, 2, 1);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 3));
+        assert_eq!(g.degree_histogram(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn retarget_rejects_self_loop() {
+        let mut g = triangle();
+        g.retarget_edge(0, 1, 0); // edge 0 joins 0-1; moving 1 onto 0
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn retarget_rejects_non_endpoint() {
+        let mut g = triangle();
+        g.retarget_edge(0, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn retarget_rejects_bad_target() {
+        let mut g = triangle();
+        g.retarget_edge(0, 1, 9);
     }
 
     #[test]

@@ -151,6 +151,82 @@ impl Kleinberg {
     }
 }
 
+/// Kleinberg `d^-alpha` span distribution on a ring of `n` nodes — the
+/// 1-D counterpart of the grid sampler above, reused by the
+/// shortcut-placement search (`dsn-opt`) both to build ring-Kleinberg
+/// baselines and to bias rewiring moves toward a navigable span mix
+/// (`alpha = 1` is the navigable exponent on a ring).
+///
+/// Spans run `1..=n/2` (ring distance); span `d` is weighted by
+/// `m(d) * d^-alpha` where `m(d)` is the number of nodes at ring distance
+/// `d` (2, except 1 for the antipode on an even ring), so sampling a span
+/// and then a uniform side reproduces the per-node Kleinberg law exactly.
+#[derive(Debug, Clone)]
+pub struct RingSpanDist {
+    n: usize,
+    alpha: f64,
+    dist: WeightedIndex,
+}
+
+impl RingSpanDist {
+    /// Build the span distribution for a ring of `n >= 4` nodes with
+    /// clustering exponent `alpha` (finite, `>= 0`; `1.0` is navigable).
+    pub fn new(n: usize, alpha: f64) -> Result<Self> {
+        if n < 4 {
+            return Err(TopologyError::UnsupportedSize {
+                n,
+                requirement: "n >= 4 for a ring span distribution".into(),
+            });
+        }
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(TopologyError::InvalidParameter {
+                name: "alpha",
+                constraint: "finite and >= 0".into(),
+                value: alpha.to_string(),
+            });
+        }
+        let max_span = n / 2;
+        let weights: Vec<f64> = (1..=max_span)
+            .map(|d| {
+                let mult = if n.is_multiple_of(2) && d == max_span {
+                    1.0
+                } else {
+                    2.0
+                };
+                mult * (d as f64).powf(-alpha)
+            })
+            .collect();
+        let dist = WeightedIndex::new(&weights)
+            .map_err(|e| TopologyError::ConstructionFailed(format!("weighted sampling: {e}")))?;
+        Ok(RingSpanDist { n, alpha, dist })
+    }
+
+    /// Ring size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Clustering exponent.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Largest sampleable span, `n / 2`.
+    #[inline]
+    pub fn max_span(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Draw a span in `1..=n/2` with probability proportional to
+    /// `m(d) * d^-alpha`. Deterministic given the RNG state.
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        self.dist.sample(rng) + 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +290,58 @@ mod tests {
         assert!(Kleinberg::new(1, 1, 2.0, 0).is_err());
         assert!(Kleinberg::new(4, 1, f64::NAN, 0).is_err());
         assert!(Kleinberg::new(4, 1, -1.0, 0).is_err());
+    }
+
+    #[test]
+    fn ring_span_bounds_and_bias() {
+        let n = 64;
+        let d = RingSpanDist::new(n, 1.0).unwrap();
+        assert_eq!(d.max_span(), 32);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sum = 0usize;
+        let mut short = 0usize;
+        let trials = 4000;
+        for _ in 0..trials {
+            let s = d.sample(&mut rng);
+            assert!((1..=32).contains(&s));
+            sum += s;
+            if s <= 4 {
+                short += 1;
+            }
+        }
+        let mean = sum as f64 / trials as f64;
+        // Uniform over spans would average ~16.4; alpha=1 pulls well below.
+        assert!(mean < 13.0, "mean span {mean} not biased short");
+        assert!(short > trials / 4, "only {short} short spans");
+    }
+
+    #[test]
+    fn ring_span_alpha_zero_is_uniformish() {
+        let n = 65; // odd: every span 1..=32 has multiplicity 2
+        let d = RingSpanDist::new(n, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = vec![0usize; d.max_span() + 1];
+        for _ in 0..32_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (
+            counts[1..].iter().min().unwrap(),
+            counts[1..].iter().max().unwrap(),
+        );
+        assert!(*min > 0, "some span never sampled");
+        assert!(*max < min * 2, "alpha=0 should be near-uniform: {counts:?}");
+    }
+
+    #[test]
+    fn ring_span_deterministic_and_validated() {
+        let d = RingSpanDist::new(128, 1.0).unwrap();
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let xs: Vec<usize> = (0..32).map(|_| d.sample(&mut a)).collect();
+        let ys: Vec<usize> = (0..32).map(|_| d.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(RingSpanDist::new(3, 1.0).is_err());
+        assert!(RingSpanDist::new(64, f64::NAN).is_err());
+        assert!(RingSpanDist::new(64, -0.5).is_err());
     }
 }

@@ -1,0 +1,153 @@
+//! Seeded simulated-annealing core shared by the cabinet-placement
+//! optimizer ([`crate::optimize`]) and the shortcut-placement search in
+//! `dsn-opt`.
+//!
+//! The annealer owns the RNG, the temperature schedule, and the Metropolis
+//! acceptance rule; callers own the state, the move proposal, and the
+//! delta evaluation. This split keeps the RNG stream exactly where the
+//! caller puts it: a proposal draws whatever it needs from [`Anneal::rng`],
+//! then [`Anneal::accept`] draws at most one more number (none when the
+//! move strictly improves), so two callers with the same seed and the same
+//! proposal sequence replay the same stream bit for bit.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Metropolis acceptance + geometric cooling with a deterministic seeded
+/// RNG. Temperature drops by the cooling factor every
+/// `iterations / 100` steps (at least every step), mirroring the schedule
+/// the cabinet annealer has always used.
+#[derive(Debug, Clone)]
+pub struct Anneal {
+    rng: SmallRng,
+    temp: f64,
+    cooling: f64,
+    cool_every: usize,
+    accepted: usize,
+}
+
+impl Anneal {
+    /// New annealer with the given seed, starting temperature, geometric
+    /// cooling factor, and planned iteration count (used only to derive
+    /// the cooling interval `iterations / 100`, floored at 1).
+    pub fn new(seed: u64, initial_temp: f64, cooling: f64, iterations: usize) -> Self {
+        Anneal {
+            rng: SmallRng::seed_from_u64(seed),
+            temp: initial_temp,
+            cooling,
+            cool_every: (iterations / 100).max(1),
+            accepted: 0,
+        }
+    }
+
+    /// The move-proposal RNG. Draw from it exactly once per decision your
+    /// proposal makes; the acceptance draw is taken internally by
+    /// [`Anneal::accept`].
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Metropolis rule: always accept an improving move (`delta <= 0`,
+    /// without consuming randomness), otherwise accept with probability
+    /// `exp(-delta / temp)`. Counts accepted moves.
+    #[inline]
+    pub fn accept(&mut self, delta: f64) -> bool {
+        let accept = delta <= 0.0
+            || self
+                .rng
+                .gen_bool((-delta / self.temp.max(1e-9)).exp().min(1.0));
+        if accept {
+            self.accepted += 1;
+        }
+        accept
+    }
+
+    /// Apply the cooling schedule for iteration `it` (cools when `it` is a
+    /// multiple of the cooling interval, including `it == 0`). Callers
+    /// that `continue` past an iteration without proposing a move may also
+    /// skip this call — the placement annealer does, and its pinned
+    /// results depend on it.
+    #[inline]
+    pub fn cool_at(&mut self, it: usize) {
+        if it.is_multiple_of(self.cool_every) {
+            self.temp *= self.cooling;
+        }
+    }
+
+    /// Current temperature.
+    #[inline]
+    pub fn temperature(&self) -> f64 {
+        self.temp
+    }
+
+    /// Number of accepted moves so far.
+    #[inline]
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improving_moves_skip_the_rng() {
+        // Two annealers with the same seed: one sees improving deltas
+        // (no acceptance draws), the other never proposes. Their RNG
+        // streams must stay aligned.
+        let mut a = Anneal::new(7, 10.0, 0.95, 100);
+        let mut b = Anneal::new(7, 10.0, 0.95, 100);
+        for _ in 0..10 {
+            assert!(a.accept(-1.0));
+        }
+        let xa: u64 = a.rng().gen_range(0..u64::MAX);
+        let xb: u64 = b.rng().gen_range(0..u64::MAX);
+        assert_eq!(xa, xb);
+        assert_eq!(a.accepted(), 10);
+    }
+
+    #[test]
+    fn zero_temperature_rejects_worsening() {
+        let mut a = Anneal::new(1, 0.0, 0.95, 100);
+        let mut rejected = 0;
+        for _ in 0..50 {
+            if !a.accept(1.0) {
+                rejected += 1;
+            }
+        }
+        // exp(-1 / 1e-9) underflows to 0: every worsening move rejected.
+        assert_eq!(rejected, 50);
+    }
+
+    #[test]
+    fn cooling_schedule_interval() {
+        let mut a = Anneal::new(1, 100.0, 0.5, 300); // cool_every = 3
+        a.cool_at(0);
+        assert_eq!(a.temperature(), 50.0);
+        a.cool_at(1);
+        a.cool_at(2);
+        assert_eq!(a.temperature(), 50.0);
+        a.cool_at(3);
+        assert_eq!(a.temperature(), 25.0);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let decisions = |seed: u64| -> Vec<bool> {
+            let mut a = Anneal::new(seed, 5.0, 0.9, 200);
+            (0..200)
+                .map(|it| {
+                    let d = a.rng().gen_f64() * 3.0 - 1.0;
+                    let acc = a.accept(d);
+                    a.cool_at(it);
+                    acc
+                })
+                .collect()
+        };
+        assert_eq!(decisions(42), decisions(42));
+        assert_ne!(decisions(42), decisions(43));
+    }
+}

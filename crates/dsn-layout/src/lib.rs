@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod anneal;
 pub mod cable;
 pub mod floorplan;
 pub mod optimize;
 pub mod placement;
 
+pub use anneal::Anneal;
 pub use cable::{
     cable_stats, line_layout_stats, ring_layout_stats, CableModel, CableStats, KindStats, LineStats,
 };

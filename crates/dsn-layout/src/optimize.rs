@@ -10,13 +10,12 @@
 //! near-optimal on a ring-structured topology) versus RANDOM (more, but
 //! nowhere near DSN's bill, matching ref. \[11\]'s observations).
 
+use crate::anneal::Anneal;
 use crate::cable::{cable_stats, CableModel, CableStats};
 use crate::floorplan::FloorPlan;
 use crate::placement::{ExplicitPlacement, Placement};
 use dsn_core::graph::Graph;
-use rand::rngs::SmallRng;
 use rand::Rng;
-use rand::SeedableRng;
 
 /// Annealing parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,7 +80,6 @@ pub fn anneal_placement(
     let n = graph.node_count();
     let cabinets = n.div_ceil(capacity);
     let plan = FloorPlan::new(cabinets.max(1));
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Current assignment: cab[v] = cabinet of switch v.
     let mut cab: Vec<usize> = (0..n).map(|v| v / capacity).collect();
@@ -119,15 +117,19 @@ pub fn anneal_placement(
         inc
     };
 
-    let mut temp = before.total_m * cfg.initial_temp_frac;
-    let cool_every = (cfg.iterations / 100).max(1);
-    let mut accepted = 0usize;
+    let mut sa = Anneal::new(
+        cfg.seed,
+        before.total_m * cfg.initial_temp_frac,
+        cfg.cooling,
+        cfg.iterations,
+    );
 
     for it in 0..cfg.iterations {
         // Swap the cabinets of two random switches in different cabinets.
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
+        let a = sa.rng().gen_range(0..n);
+        let b = sa.rng().gen_range(0..n);
         if cab[a] == cab[b] {
+            // Note: skips the cooling step too — pinned behavior.
             continue;
         }
         // Delta: recompute the incident edges of both switches.
@@ -143,17 +145,14 @@ pub fn anneal_placement(
         }
         // Edges between a and b counted twice in both passes — the double
         // counting cancels in the delta, so no correction is needed.
-        let accept = delta <= 0.0 || rng.gen_bool((-delta / temp.max(1e-9)).exp().min(1.0));
-        if accept {
+        if sa.accept(delta) {
             total += delta;
-            accepted += 1;
         } else {
             cab.swap(a, b); // revert
         }
-        if it % cool_every == 0 {
-            temp *= cfg.cooling;
-        }
+        sa.cool_at(it);
     }
+    let accepted = sa.accepted();
 
     let placement = ExplicitPlacement::new(cab);
     let after = cable_stats(graph, &placement, model);
@@ -240,6 +239,47 @@ mod tests {
         let b = anneal_placement(&g, 16, &CableModel::default(), &quick_cfg(3));
         assert_eq!(a.after.total_m, b.after.total_m);
         assert_eq!(a.accepted_swaps, b.accepted_swaps);
+    }
+
+    #[test]
+    fn pinned_results_across_sa_refactor() {
+        // Exact outputs recorded before the annealing core moved into the
+        // shared `anneal` module. Any change to the RNG draw order, the
+        // acceptance rule, or the cooling schedule shifts these.
+        let model = CableModel::default();
+        let cases: [(Graph, u64, u64, usize); 3] = [
+            (
+                DlnRandom::new(128, 2, 2, 9).unwrap().into_graph(),
+                1,
+                0x4086866666666671, // 720.8 m
+                3386,
+            ),
+            (
+                Dsn::new(256, 7).unwrap().into_graph(),
+                2,
+                0x40972a6666666661, // 1482.6 m
+                4446,
+            ),
+            (
+                DlnRandom::new(256, 2, 2, 5).unwrap().into_graph(),
+                2,
+                0x409bc8ccccccccc0, // 1778.2 m
+                6029,
+            ),
+        ];
+        for (g, seed, total_bits, accepted) in cases {
+            let r = anneal_placement(&g, 16, &model, &quick_cfg(seed));
+            assert_eq!(
+                r.after.total_m.to_bits(),
+                total_bits,
+                "total_m drifted for seed {seed}: {} m",
+                r.after.total_m
+            );
+            assert_eq!(
+                r.accepted_swaps, accepted,
+                "accepted drifted for seed {seed}"
+            );
+        }
     }
 
     #[test]

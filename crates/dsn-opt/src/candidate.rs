@@ -1,0 +1,189 @@
+//! Search state: a topology with a movable shortcut set.
+//!
+//! The substrate (ring links, and any other non-shortcut base links) is
+//! fixed; only shortcut-class edges move. On a ring substrate this keeps
+//! every candidate trivially connected, which the move layer relies on.
+
+use dsn_core::error::Result;
+use dsn_core::graph::{EdgeId, Graph, LinkKind, NodeId};
+use dsn_core::kleinberg::RingSpanDist;
+use dsn_core::ring::Ring;
+use dsn_core::Dsn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A candidate topology: a graph plus the ids of its movable (shortcut)
+/// edges. Ring/base links are never rewired.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    graph: Graph,
+    shortcuts: Vec<EdgeId>,
+}
+
+impl Candidate {
+    /// Wrap a graph, treating every non-[`LinkKind::Ring`] edge as
+    /// movable.
+    pub fn new(graph: Graph) -> Self {
+        let shortcuts = graph
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind != LinkKind::Ring)
+            .map(|(i, _)| i)
+            .collect();
+        Candidate { graph, shortcuts }
+    }
+
+    /// The paper's DSN on `n` nodes (shortcut-set size `p - 1`), as the
+    /// canonical search start point.
+    pub fn from_dsn(n: usize) -> Result<Self> {
+        let p = dsn_core::util::ceil_log2(n.max(2));
+        Ok(Candidate::new(Dsn::new(n, p - 1)?.into_graph()))
+    }
+
+    /// Ring-Kleinberg baseline: a ring of `n` nodes augmented with `q`
+    /// long-range contacts per node whose spans follow the `d^-alpha`
+    /// law of [`RingSpanDist`] (`alpha = 1` is navigable on a ring).
+    /// Contacts deduplicate with a bounded resample, mirroring the grid
+    /// Kleinberg builder, so realized degree can fall slightly short.
+    pub fn kleinberg_ring(n: usize, q: u32, alpha: f64, seed: u64) -> Result<Self> {
+        let mut graph = Ring::new(n)?.into_graph();
+        let span = RingSpanDist::new(n, alpha)?;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for u in 0..n {
+            for _ in 0..q {
+                const RESAMPLE: usize = 16;
+                for _ in 0..RESAMPLE {
+                    let d = span.sample(&mut rng);
+                    let v = (u + d) % n;
+                    if v != u && graph.add_edge_dedup(u, v, LinkKind::LongRange).is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(Candidate::new(graph))
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access for the move layer and for undoing an
+    /// [`crate::moves::AppliedMove`]. Callers must restrict themselves to
+    /// endpoint retargets: edge ids (and the shortcut id list) must stay
+    /// stable.
+    #[inline]
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Consume self and return the graph.
+    #[inline]
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Ids of the movable edges.
+    #[inline]
+    pub fn shortcuts(&self) -> &[EdgeId] {
+        &self.shortcuts
+    }
+
+    /// Stable 64-bit fingerprint of the topology: FNV-1a over the sorted
+    /// normalized `(min, max)` endpoint list. Independent of edge ids,
+    /// insertion order, and link kinds, so two searches that reach the
+    /// same wiring report the same fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut pairs: Vec<(NodeId, NodeId)> = self
+            .graph
+            .edges()
+            .iter()
+            .map(|e| (e.a.min(e.b), e.a.max(e.b)))
+            .collect();
+        pairs.sort_unstable();
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for (a, b) in pairs {
+            for byte in (a as u64)
+                .to_le_bytes()
+                .into_iter()
+                .chain((b as u64).to_le_bytes())
+            {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsn_candidate_marks_only_shortcuts() {
+        let c = Candidate::from_dsn(64).unwrap();
+        let ring_edges = c
+            .graph()
+            .edges()
+            .iter()
+            .filter(|e| e.kind == LinkKind::Ring)
+            .count();
+        assert_eq!(ring_edges, 64);
+        assert_eq!(c.shortcuts().len(), c.graph().edge_count() - ring_edges);
+        for &id in c.shortcuts() {
+            assert_ne!(c.graph().edge(id).kind, LinkKind::Ring);
+        }
+    }
+
+    #[test]
+    fn kleinberg_ring_shape() {
+        let c = Candidate::kleinberg_ring(128, 1, 1.0, 7).unwrap();
+        let g = c.graph();
+        assert!(g.is_connected());
+        // ring + up to one contact per node
+        assert!(g.edge_count() > 128 + 100, "contacts mostly realized");
+        assert!(g.edge_count() <= 256);
+        assert_eq!(c.shortcuts().len(), g.edge_count() - 128);
+    }
+
+    #[test]
+    fn kleinberg_ring_reproducible() {
+        let a = Candidate::kleinberg_ring(64, 1, 1.0, 3).unwrap();
+        let b = Candidate::kleinberg_ring(64, 1, 1.0, 3).unwrap();
+        assert_eq!(a.graph().edges(), b.graph().edges());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_order_not_wiring() {
+        let mut g1 = Graph::new(4);
+        g1.add_edge(0, 1, LinkKind::Ring);
+        g1.add_edge(2, 3, LinkKind::Random);
+        let mut g2 = Graph::new(4);
+        g2.add_edge(3, 2, LinkKind::Random);
+        g2.add_edge(1, 0, LinkKind::Ring);
+        assert_eq!(
+            Candidate::new(g1).fingerprint(),
+            Candidate::new(g2).fingerprint()
+        );
+        let mut g3 = Graph::new(4);
+        g3.add_edge(0, 1, LinkKind::Ring);
+        g3.add_edge(1, 3, LinkKind::Random);
+        assert_ne!(
+            Candidate::new(g3.clone()).fingerprint(),
+            Candidate::new({
+                let mut g = Graph::new(4);
+                g.add_edge(0, 1, LinkKind::Ring);
+                g.add_edge(2, 3, LinkKind::Random);
+                g
+            })
+            .fingerprint()
+        );
+    }
+}

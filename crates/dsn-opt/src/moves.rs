@@ -1,0 +1,246 @@
+//! Degree-preserving rewiring moves over a candidate's shortcut set.
+//!
+//! Two proposal kinds:
+//!
+//! * **Link exchange** — pick two shortcut edges `(a,b)` and `(c,d)` with
+//!   four distinct endpoints and swap partners to `(a,c)+(b,d)` or
+//!   `(a,d)+(b,c)`. The classic double-edge swap: every node keeps its
+//!   degree exactly.
+//! * **Span reanchor** — pick a shortcut `(pivot,tail)`, draw a span `d`
+//!   from the Kleinberg `d^-alpha` ring law, aim at `v = pivot ± d`, and
+//!   *exchange* with a shortcut incident to `v` so the result is
+//!   `(pivot,v)` plus the displaced partner — still degree-preserving,
+//!   but biased toward a navigable span distribution.
+//!
+//! A proposal that would create a self-loop or a parallel edge (or cannot
+//! find the required partner edge) is rejected: the RNG draws are spent
+//! but the graph is untouched. Substrate (ring) links never move, so
+//! connectivity is preserved by construction on ring-based candidates.
+
+use crate::candidate::Candidate;
+use dsn_core::error::Result;
+use dsn_core::graph::{EdgeId, Graph, NodeId};
+use dsn_core::kleinberg::RingSpanDist;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// An applied move: the two endpoint retargets that realized it, in
+/// application order. Undo replays them backwards with swapped endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedMove {
+    ops: [(EdgeId, NodeId, NodeId); 2],
+}
+
+impl AppliedMove {
+    /// Revert this move on `g` (must be the graph it was applied to,
+    /// with no intervening edits).
+    pub fn undo(&self, g: &mut Graph) {
+        for &(id, from, to) in self.ops.iter().rev() {
+            g.retarget_edge(id, to, from);
+        }
+    }
+}
+
+/// Seedable move proposer with a configurable bias toward span reanchors.
+#[derive(Debug, Clone)]
+pub struct MoveGen {
+    n: usize,
+    reanchor_bias: f64,
+    span: RingSpanDist,
+}
+
+impl MoveGen {
+    /// Move generator for an `n`-node ring substrate. `reanchor_bias` in
+    /// `[0, 1]` is the probability of proposing a span reanchor instead
+    /// of a uniform link exchange; `alpha` parameterizes the reanchor
+    /// span law (`1.0` = navigable on a ring).
+    pub fn new(n: usize, alpha: f64, reanchor_bias: f64) -> Result<Self> {
+        Ok(MoveGen {
+            n,
+            reanchor_bias: reanchor_bias.clamp(0.0, 1.0),
+            span: RingSpanDist::new(n, alpha)?,
+        })
+    }
+
+    /// Propose and apply one move to `cand`. Returns `None` (graph
+    /// untouched) when the draw is rejected. The RNG draw order is fixed
+    /// and documented; determinism tests depend on it.
+    pub fn propose(&self, cand: &mut Candidate, rng: &mut SmallRng) -> Option<AppliedMove> {
+        let m = cand.shortcuts().len();
+        if m < 2 {
+            return None;
+        }
+        if rng.gen_bool(self.reanchor_bias) {
+            self.propose_reanchor(cand, rng)
+        } else {
+            self.propose_exchange(cand, rng)
+        }
+    }
+
+    /// Uniform double-edge swap.
+    fn propose_exchange(&self, cand: &mut Candidate, rng: &mut SmallRng) -> Option<AppliedMove> {
+        let m = cand.shortcuts().len();
+        let i = rng.gen_range(0..m);
+        let j = rng.gen_range(0..m);
+        let orient = rng.gen_bool(0.5);
+        if i == j {
+            return None;
+        }
+        let e1 = cand.shortcuts()[i];
+        let e2 = cand.shortcuts()[j];
+        let (a, b) = endpoints(cand.graph(), e1);
+        let (c, d) = endpoints(cand.graph(), e2);
+        if a == c || a == d || b == c || b == d {
+            return None;
+        }
+        // (a,b)+(c,d) -> (a,c)+(b,d)  or  (a,d)+(c,b)
+        let (t1, f2, t2) = if orient { (c, c, b) } else { (d, d, b) };
+        let g = cand.graph();
+        if g.has_edge(a, t1) || g.has_edge(b, if orient { d } else { c }) {
+            return None;
+        }
+        let g = cand.graph_mut();
+        g.retarget_edge(e1, b, t1);
+        g.retarget_edge(e2, f2, t2);
+        Some(AppliedMove {
+            ops: [(e1, b, t1), (e2, f2, t2)],
+        })
+    }
+
+    /// Kleinberg-biased reanchor-by-exchange.
+    fn propose_reanchor(&self, cand: &mut Candidate, rng: &mut SmallRng) -> Option<AppliedMove> {
+        let m = cand.shortcuts().len();
+        let i = rng.gen_range(0..m);
+        let e = cand.shortcuts()[i];
+        let (x, y) = endpoints(cand.graph(), e);
+        let (pivot, tail) = if rng.gen_bool(0.5) { (x, y) } else { (y, x) };
+        let d = self.span.sample(rng);
+        let v = if rng.gen_bool(0.5) {
+            (pivot + d) % self.n
+        } else {
+            (pivot + self.n - d) % self.n
+        };
+        if v == pivot || v == tail {
+            return None;
+        }
+        // Partner: a shortcut incident to v (other than e) to displace.
+        let incident: Vec<EdgeId> = cand
+            .shortcuts()
+            .iter()
+            .copied()
+            .filter(|&f| {
+                let (p, q) = endpoints(cand.graph(), f);
+                f != e && (p == v || q == v)
+            })
+            .collect();
+        if incident.is_empty() {
+            return None;
+        }
+        let f = incident[rng.gen_range(0..incident.len())];
+        let (p, q) = endpoints(cand.graph(), f);
+        let w = if p == v { q } else { p };
+        // e: (pivot,tail) -> (pivot,v);  f: (v,w) -> (tail,w)
+        if w == tail {
+            return None; // f would become a self-loop
+        }
+        let g = cand.graph();
+        if g.has_edge(pivot, v) || g.has_edge(tail, w) {
+            return None;
+        }
+        let g = cand.graph_mut();
+        g.retarget_edge(e, tail, v);
+        g.retarget_edge(f, v, tail);
+        Some(AppliedMove {
+            ops: [(e, tail, v), (f, v, tail)],
+        })
+    }
+}
+
+#[inline]
+fn endpoints(g: &Graph, id: EdgeId) -> (NodeId, NodeId) {
+    let e = g.edge(id);
+    (e.a, e.b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn degree_hist(c: &Candidate) -> Vec<usize> {
+        c.graph().degree_histogram()
+    }
+
+    #[test]
+    fn moves_preserve_degrees_and_connectivity() {
+        let mut c = Candidate::from_dsn(64).unwrap();
+        let before = degree_hist(&c);
+        let gen = MoveGen::new(64, 1.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut applied = 0;
+        for _ in 0..400 {
+            if gen.propose(&mut c, &mut rng).is_some() {
+                applied += 1;
+            }
+        }
+        assert!(applied > 50, "only {applied} moves applied");
+        assert_eq!(degree_hist(&c), before, "degree multiset changed");
+        assert!(c.graph().is_connected());
+        // no parallel edges introduced
+        let g = c.graph();
+        for (i, e) in g.edges().iter().enumerate() {
+            let dup = g
+                .edges()
+                .iter()
+                .enumerate()
+                .any(|(j, f)| j != i && ((f.a, f.b) == (e.a, e.b) || (f.a, f.b) == (e.b, e.a)));
+            assert!(!dup, "parallel edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn undo_restores_exact_wiring() {
+        let mut c = Candidate::from_dsn(32).unwrap();
+        let before = c.graph().edges().to_vec();
+        let fp = c.fingerprint();
+        let gen = MoveGen::new(32, 1.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut undone = 0;
+        for _ in 0..200 {
+            if let Some(mv) = gen.propose(&mut c, &mut rng) {
+                mv.undo(c.graph_mut());
+                undone += 1;
+                assert_eq!(c.graph().edges(), &before[..]);
+            }
+        }
+        assert!(undone > 20);
+        assert_eq!(c.fingerprint(), fp);
+    }
+
+    #[test]
+    fn reanchor_only_still_degree_preserving() {
+        let mut c = Candidate::kleinberg_ring(96, 1, 1.0, 2).unwrap();
+        let before = degree_hist(&c);
+        let gen = MoveGen::new(96, 1.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(19);
+        let mut applied = 0;
+        for _ in 0..300 {
+            if gen.propose(&mut c, &mut rng).is_some() {
+                applied += 1;
+            }
+        }
+        assert!(applied > 20, "only {applied} reanchors applied");
+        assert_eq!(degree_hist(&c), before);
+        assert!(c.graph().is_connected());
+    }
+
+    #[test]
+    fn too_few_shortcuts_rejects() {
+        let g = dsn_core::ring::Ring::new(16).unwrap().into_graph();
+        let mut c = Candidate::new(g);
+        assert!(c.shortcuts().is_empty());
+        let gen = MoveGen::new(16, 1.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(gen.propose(&mut c, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the rewiring moves: every applied move preserves
+//! the degree multiset, keeps the graph connected and simple (no
+//! self-loops, no parallel edges), and never touches a substrate ring
+//! link; rejected proposals leave the graph byte-identical.
+
+use dsn_core::graph::LinkKind;
+use dsn_opt::{Candidate, MoveGen};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn simple(c: &Candidate) -> bool {
+    let g = c.graph();
+    let mut pairs: Vec<(usize, usize)> = g
+        .edges()
+        .iter()
+        .map(|e| (e.a.min(e.b), e.a.max(e.b)))
+        .collect();
+    pairs.sort_unstable();
+    pairs.windows(2).all(|w| w[0] != w[1]) && g.edges().iter().all(|e| e.a != e.b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn moves_preserve_invariants(
+        n in prop_oneof![Just(32usize), Just(48), Just(64), Just(100)],
+        seed in 0u64..1_000,
+        bias in prop_oneof![Just(0.0f64), Just(0.5), Just(1.0)],
+        start_kind in prop_oneof![Just(0u8), Just(1)],
+        steps in 1usize..120,
+    ) {
+        let mut c = match start_kind {
+            0 => Candidate::from_dsn(n).unwrap(),
+            _ => Candidate::kleinberg_ring(n, 1, 1.0, seed ^ 0x5eed).unwrap(),
+        };
+        let degrees_before = c.graph().degree_histogram();
+        let edge_count_before = c.graph().edge_count();
+        let ring_before: Vec<_> = c
+            .graph()
+            .edges()
+            .iter()
+            .filter(|e| e.kind == LinkKind::Ring)
+            .cloned()
+            .collect();
+        prop_assume!(simple(&c));
+
+        let gen = MoveGen::new(n, 1.0, bias).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let before = c.graph().edges().to_vec();
+            let applied = gen.propose(&mut c, &mut rng);
+            if applied.is_none() {
+                prop_assert_eq!(c.graph().edges(), &before[..],
+                    "rejected move must not touch the graph");
+            }
+            prop_assert!(simple(&c), "self-loop or parallel edge introduced");
+        }
+
+        prop_assert_eq!(c.graph().degree_histogram(), degrees_before,
+            "degree multiset changed");
+        prop_assert_eq!(c.graph().edge_count(), edge_count_before);
+        prop_assert!(c.graph().is_connected(), "graph disconnected");
+        let ring_after: Vec<_> = c
+            .graph()
+            .edges()
+            .iter()
+            .filter(|e| e.kind == LinkKind::Ring)
+            .cloned()
+            .collect();
+        prop_assert_eq!(ring_after, ring_before, "substrate ring link moved");
+    }
+
+    #[test]
+    fn undo_is_exact_inverse(
+        n in prop_oneof![Just(32usize), Just(64)],
+        seed in 0u64..500,
+    ) {
+        let mut c = Candidate::from_dsn(n).unwrap();
+        let gen = MoveGen::new(n, 1.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..40 {
+            let before = c.graph().edges().to_vec();
+            if let Some(mv) = gen.propose(&mut c, &mut rng) {
+                mv.undo(c.graph_mut());
+                prop_assert_eq!(c.graph().edges(), &before[..], "undo not exact");
+                // re-apply so later iterations explore fresh states
+                let _ = gen.propose(&mut c, &mut rng);
+            }
+        }
+    }
+}

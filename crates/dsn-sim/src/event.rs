@@ -502,6 +502,11 @@ pub(crate) fn step(sim: &mut Simulator, total: u64) {
         && es.out_active.is_empty()
         && es.eject_active.is_empty()
         && sim.staged_ready.is_empty()
+        // A just-completed closed batch empties everything above; without
+        // this guard the skip would fast-forward `now` to the horizon
+        // before the caller's batch_done() check, making the telemetry
+        // `final_cycle` diverge from the dense engine's.
+        && !sim.batch_done()
     {
         debug_assert_eq!(sim.packets.live(), 0);
         debug_assert_eq!(sim.current_stall, 0);

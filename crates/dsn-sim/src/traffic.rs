@@ -39,12 +39,48 @@ pub enum TrafficPattern {
     /// bits; requires a power-of-two host count (falls back to uniform
     /// otherwise or on self-sends).
     Shuffle,
+    /// Zipf-like hot-host mix: destination host `d` is drawn with
+    /// probability proportional to `(d + 1)^-skew`, so low-numbered hosts
+    /// are hot (host 0 hottest) — the skewed destination popularity of
+    /// datacenter object stores. Build with [`TrafficPattern::zipf`];
+    /// self-sends fall back to uniform.
+    Zipf {
+        /// Normalized cumulative distribution over host ids (last entry
+        /// is 1.0). Precomputed so a pick costs one draw + binary search.
+        cdf: Vec<f64>,
+    },
 }
 
 impl TrafficPattern {
     /// The paper's neighboring pattern (90% local).
     pub fn neighboring_paper() -> Self {
         TrafficPattern::Neighboring { local: 0.9 }
+    }
+
+    /// Build a [`TrafficPattern::Zipf`] over `hosts` endpoints with the
+    /// given skew exponent (`0.0` = uniform popularity, `~1.0` = classic
+    /// Zipf, larger = hotter head).
+    ///
+    /// # Panics
+    /// Panics if `hosts < 2` or `skew` is not finite and non-negative.
+    pub fn zipf(hosts: usize, skew: f64) -> Self {
+        assert!(hosts >= 2, "need at least two hosts");
+        assert!(
+            skew.is_finite() && skew >= 0.0,
+            "skew must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(hosts);
+        let mut acc = 0.0f64;
+        for d in 0..hosts {
+            acc += ((d + 1) as f64).powf(-skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        *cdf.last_mut().expect("hosts >= 2") = 1.0;
+        TrafficPattern::Zipf { cdf }
     }
 
     /// Pick a destination host for a packet from `src`, never equal to
@@ -123,6 +159,18 @@ impl TrafficPattern {
                     uniform_other(src, hosts, rng)
                 }
             }
+            TrafficPattern::Zipf { cdf } => {
+                // One uniform draw inverted through the CDF; a stale
+                // pattern (built for a different host count) or a
+                // self-send falls back to uniform.
+                let r = rng.gen_f64();
+                let d = cdf.partition_point(|&c| c <= r);
+                if d >= hosts || d == src {
+                    uniform_other(src, hosts, rng)
+                } else {
+                    d
+                }
+            }
         };
         debug_assert_ne!(dest, src);
         debug_assert!(dest < hosts);
@@ -140,6 +188,7 @@ impl TrafficPattern {
             TrafficPattern::Permutation(_) => "permutation",
             TrafficPattern::Tornado => "tornado",
             TrafficPattern::Shuffle => "shuffle",
+            TrafficPattern::Zipf { .. } => "zipf",
         }
     }
 }
@@ -303,5 +352,62 @@ mod tests {
     fn names_stable() {
         assert_eq!(TrafficPattern::Uniform.name(), "uniform");
         assert_eq!(TrafficPattern::neighboring_paper().name(), "neighboring");
+        assert_eq!(TrafficPattern::zipf(8, 1.2).name(), "zipf");
+    }
+
+    #[test]
+    fn zipf_head_is_hot_and_ranked() {
+        let mut r = rng();
+        let pat = TrafficPattern::zipf(64, 1.2);
+        let mut counts = [0usize; 64];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[pat.pick(63, 64, &mut r)] += 1;
+        }
+        // host 0 strictly hottest, and the head dominates the tail
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[8]);
+        let head: usize = counts[..8].iter().sum();
+        assert!(
+            head * 2 > n,
+            "head of 8/64 hosts drew only {head} of {n} picks"
+        );
+        // never self, covers a decent slice of the tail
+        assert_eq!(counts[63], 0);
+    }
+
+    #[test]
+    fn zipf_skew_zero_is_near_uniform() {
+        let mut r = rng();
+        let pat = TrafficPattern::zipf(16, 0.0);
+        let mut counts = [0usize; 16];
+        for _ in 0..16_000 {
+            counts[pat.pick(0, 16, &mut r)] += 1;
+        }
+        assert_eq!(counts[0], 0, "self-sends must fall back elsewhere");
+        let (min, max) = (
+            counts[1..].iter().min().unwrap(),
+            counts[1..].iter().max().unwrap(),
+        );
+        assert!(
+            max < &(min * 2),
+            "skew 0 should be near-uniform: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_deterministic_given_rng() {
+        let pat = TrafficPattern::zipf(32, 1.0);
+        let mut a = SmallRng::seed_from_u64(77);
+        let mut b = SmallRng::seed_from_u64(77);
+        let xs: Vec<usize> = (0..100).map(|_| pat.pick(5, 32, &mut a)).collect();
+        let ys: Vec<usize> = (0..100).map(|_| pat.pick(5, 32, &mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn zipf_rejects_tiny() {
+        TrafficPattern::zipf(1, 1.0);
     }
 }

@@ -123,6 +123,28 @@ fn websearch_poisson_flows_three_engines_agree() {
 }
 
 #[test]
+fn zipf_hot_host_flows_three_engines_agree() {
+    // The skewed hot-host destination mix: host 0 is the hot sink, so
+    // the three engines must agree while one corner of the network
+    // carries most of the load.
+    let g = small_dsn();
+    let cfg = cfg();
+    let hosts = g.node_count() * cfg.hosts_per_switch;
+    let routing = Arc::new(AdaptiveEscape::new(g.clone(), cfg.vcs));
+    let workload = Workload::Flows {
+        pattern: TrafficPattern::zipf(hosts, 1.2),
+        sizes: FlowSizeDist::websearch(),
+        arrivals: FlowArrivals::Poisson {
+            flows_per_cycle: 0.002,
+        },
+    };
+    let stats =
+        assert_three_engines_agree(g, cfg, routing, workload, 47, "dsn16 zipf hot-host flows");
+    assert!(stats.flows_started > 0, "window must see flow starts");
+    assert!(stats.flows_completed > 0, "some flows must complete");
+}
+
+#[test]
 fn hadoop_onoff_flows_three_engines_agree() {
     let g = small_dsn();
     let cfg = cfg();
