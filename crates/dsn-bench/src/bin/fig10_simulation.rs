@@ -9,11 +9,26 @@
 //! Run: `cargo run --release -p dsn-bench --bin fig10_simulation \
 //!       [uniform|bitrev|neighbor|all] [--quick] \
 //!       [--engine dense|event|sharded] [--workers N] \
-//!       [--routing-tables flat|dyn] [--telemetry[=WINDOW]]`
+//!       [--routing-tables flat|dyn|algorithmic] [--telemetry[=WINDOW]] \
+//!       [--opt] [--sizes N,M,...]`
 //!
 //! `--workers N` selects the sharded parallel engine with `N` shards
 //! (0 = one per rayon worker); it is bit-identical to `--engine event`
 //! at every worker count.
+//!
+//! `--opt` adds the frontier study's searched placements (Opt-SA, Opt-ES
+//! at 64 switches, same seeds and budgets as `opt_frontier`) to the
+//! figure sweeps, closing the loop between the placement search and the
+//! full latency-vs-load evaluation.
+//!
+//! `--sizes N,M,...` runs the large-n scale rows: the saturated trio at
+//! each size (snapped down to the nearest clean DSN size, e.g. 1024 →
+//! DSN-9-1020, 2048 → DSN-10-2046) on the event engine plus a sharded
+//! DSN row, with DSN routed by the table-free algorithmic DSN-V scheme
+//! (`RoutingTables::Algorithmic` — O(n) bytes instead of the O(n²) CSR).
+//! Without `--json` the rows print to stdout and exit (the CI smoke);
+//! with `--json` they are appended to `BENCH_sim.json`, which includes
+//! sizes 1024 and 2048 by default.
 //!
 //! `--telemetry[=WINDOW]` adds an instrumented pass per topology at the
 //! low-load point: per-phase latency decomposition, the link-utilization
@@ -40,16 +55,18 @@
 //! / arbitrate / eject, reported to stderr at the end of each run), the
 //! same diagnostic as the `DSN_PHASE_TIMING=1` environment variable.
 
+use dsn_bench::opt::searched_placements;
 use dsn_bench::{
     emit_telemetry, peak_rss_kb, reset_peak_rss, take_engine_arg, take_routing_tables_arg,
     take_telemetry_arg, take_workers_arg, trio,
 };
+use dsn_core::dsn::Dsn;
 use dsn_core::graph::Graph;
 use dsn_core::parallel::Parallelism;
 use dsn_sim::sweep::{format_sweep, load_sweep_cached, paper_load_grid, SweepResult};
 use dsn_sim::{
-    AdaptiveEscape, EngineKind, RoutingCache, RoutingTables, SimConfig, SimRouting, Simulator,
-    TrafficPattern,
+    AdaptiveEscape, DsnAlgorithmic, EngineKind, RoutingCache, RoutingTables, SimConfig, SimRouting,
+    Simulator, TrafficPattern,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -120,14 +137,22 @@ fn summarize(results: &[SweepResult]) {
 struct BenchRow {
     engine: EngineKind,
     workers: usize,
-    /// 0..3 = 64-switch trio, 3..6 = 256-switch trio (trio order).
+    /// Switch count (64/256 for the classic matrix; clean DSN sizes for
+    /// the `--sizes` scale rows).
+    n: usize,
+    /// Index into the paper trio at `n`: 0 = DSN, 1 = torus, 2 = DLN.
     topo_idx: usize,
     gbps: f64,
+    /// Route DSN with the table-free algorithmic DSN-V scheme (scale
+    /// rows) instead of the trio's adaptive + escape routing.
+    algorithmic: bool,
 }
 
 /// The full matrix in emission order: engines × (trio @ 64, trio @ 256)
-/// × (low load, near-saturation load).
-fn bench_rows() -> Vec<BenchRow> {
+/// × (low load, near-saturation load), then the `--sizes` scale rows —
+/// per size, the saturated trio on the event engine plus a sharded-w4
+/// DSN row, with DSN routed table-free.
+fn bench_rows(sizes: &[usize]) -> Vec<BenchRow> {
     let mut rows = Vec::new();
     for (engine, workers) in [
         (EngineKind::Dense, 1usize),
@@ -135,40 +160,115 @@ fn bench_rows() -> Vec<BenchRow> {
         (EngineKind::Sharded, 2),
         (EngineKind::Sharded, 4),
     ] {
-        for topo_idx in 0..6 {
-            for gbps in [1.0f64, 11.0] {
-                rows.push(BenchRow {
-                    engine,
-                    workers,
-                    topo_idx,
-                    gbps,
-                });
+        for n in [64, 256] {
+            for topo_idx in 0..3 {
+                for gbps in [1.0f64, 11.0] {
+                    rows.push(BenchRow {
+                        engine,
+                        workers,
+                        n,
+                        topo_idx,
+                        gbps,
+                        algorithmic: false,
+                    });
+                }
             }
         }
     }
+    for &size in sizes {
+        // Snap to the largest clean DSN size (p | n) at or below the
+        // request — the sizes DSN-V's deadlock-freedom argument covers —
+        // and hold the whole trio to it so the rows stay comparable.
+        let n = Dsn::new_clean(size).expect("clean DSN size").n();
+        for topo_idx in 0..3 {
+            rows.push(BenchRow {
+                engine: EngineKind::Event,
+                workers: 1,
+                n,
+                topo_idx,
+                gbps: 11.0,
+                algorithmic: topo_idx == 0,
+            });
+        }
+        rows.push(BenchRow {
+            engine: EngineKind::Sharded,
+            workers: 4,
+            n,
+            topo_idx: 0,
+            gbps: 11.0,
+            algorithmic: true,
+        });
+    }
     rows
+}
+
+/// Topology + routing choices for one matrix cell.
+struct RowSetup {
+    graph: Arc<Graph>,
+    name: String,
+    routing: Arc<dyn SimRouting>,
+    scheme: &'static str,
+    tables: RoutingTables,
+    flat_bytes: Option<usize>,
 }
 
 /// Run one matrix cell in this process and return its JSON object (no
 /// trailing separator). The human-readable progress line goes to stderr
 /// so a parent process can pass it through.
 fn run_bench_row(cfg: &SimConfig, row: &BenchRow) -> String {
-    let n = if row.topo_idx < 3 { 64 } else { 256 };
-    let built = trio(n)
-        .into_iter()
-        .nth(row.topo_idx % 3)
-        .unwrap()
-        .build()
-        .expect("topology");
-    let graph = Arc::new(built.graph);
+    // Scale DSN rows route table-free; measure the 4-context CSR the
+    // algorithmic path replaces on a throwaway instance first (compile
+    // cost and memory are returned before the run — the real row never
+    // materializes it).
+    let RowSetup {
+        graph,
+        name,
+        routing,
+        scheme,
+        tables,
+        flat_bytes,
+    } = if row.algorithmic {
+        let p = dsn_core::util::ceil_log2(row.n);
+        let dsn = Arc::new(Dsn::new(row.n, p - 1).expect("clean DSN"));
+        let graph = Arc::new(dsn.graph().clone());
+        let name = format!("DSN-{}-{}", p - 1, row.n);
+        let flat_bytes = DsnAlgorithmic::new(dsn.clone())
+            .compiled_flat()
+            .map(|f| f.table_bytes());
+        RowSetup {
+            graph,
+            name,
+            routing: Arc::new(DsnAlgorithmic::new(dsn)),
+            scheme: "dsn-v-algorithmic",
+            tables: RoutingTables::Algorithmic,
+            flat_bytes,
+        }
+    } else {
+        let built = trio(row.n)
+            .into_iter()
+            .nth(row.topo_idx)
+            .unwrap()
+            .build()
+            .expect("topology");
+        let graph = Arc::new(built.graph);
+        let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
+        RowSetup {
+            graph,
+            name: built.name,
+            routing,
+            scheme: "adaptive-escape",
+            tables: cfg.routing_tables,
+            flat_bytes: None,
+        }
+    };
     let cfg = SimConfig {
         engine: row.engine,
         workers: row.workers,
+        routing_tables: tables,
         ..cfg.clone()
     };
     let rate = cfg.packets_per_cycle_for_gbps(row.gbps);
     let build_start = Instant::now();
-    let routing = Arc::new(AdaptiveEscape::new(graph.clone(), cfg.vcs));
     if cfg.routing_tables == RoutingTables::Flat {
         routing.compiled_flat();
     }
@@ -181,6 +281,7 @@ fn run_bench_row(cfg: &SimConfig, row: &BenchRow) -> String {
         rate,
         0x000F_1610,
     );
+    let table_bytes = sim.routing_table_bytes();
     // VmHWM is a process-lifetime high-water mark; reset it so this row's
     // reading covers only the run below (not topology/routing build).
     let rss_fresh = reset_peak_rss();
@@ -189,28 +290,33 @@ fn run_bench_row(cfg: &SimConfig, row: &BenchRow) -> String {
     let wall = start.elapsed().as_secs_f64();
     let cycles = cfg.total_cycles();
     eprintln!(
-        "  {:<7} w{} {:<14} {:>5.1}G  {:>10.0} cycles/s  (routing build {:.3}s)",
+        "  {:<7} w{} {:<14} {:>5.1}G  {:>10.0} cycles/s  (routing build {:.3}s, tables {} B)",
         row.engine.name(),
         row.workers,
-        built.name,
+        name,
         row.gbps,
         cycles as f64 / wall,
         routing_build_s,
+        table_bytes,
     );
     format!(
         "  {{\"engine\": \"{}\", \"workers\": {}, \"topology\": \"{}\", \
-         \"pattern\": \"uniform\", \
+         \"pattern\": \"uniform\", \"routing\": \"{scheme}\", \
          \"load_gbps\": {}, \"cycles\": {cycles}, \"wall_s\": {wall:.6}, \
          \"routing_build_s\": {routing_build_s:.6}, \"cycles_per_sec\": {:.0}, \
          \"delivered_packets\": {}, \
-         \"peak_in_flight_packets\": {}, \"peak_rss_kb\": {}{}}}",
+         \"peak_in_flight_packets\": {}, \"routing_table_bytes\": {table_bytes}{}, \
+         \"peak_rss_kb\": {}{}}}",
         row.engine.name(),
         row.workers,
-        built.name,
+        name,
         row.gbps,
         cycles as f64 / wall,
         stats.delivered_packets,
         stats.peak_in_flight_packets,
+        flat_bytes
+            .map(|b| format!(", \"flat_table_bytes\": {b}"))
+            .unwrap_or_default(),
         peak_rss_kb().unwrap_or(0),
         if rss_fresh {
             ""
@@ -226,21 +332,31 @@ fn run_bench_row(cfg: &SimConfig, row: &BenchRow) -> String {
 /// isolation keeps one row's allocator state from skewing the next and
 /// gives every row — sharded ones included — its own peak-RSS reading.
 /// Falls back to in-process rows if the binary cannot re-exec itself.
-fn emit_bench_json(cfg: &SimConfig) {
+fn emit_bench_json(cfg: &SimConfig, sizes: &[usize]) {
     let exe = std::env::current_exe().ok();
+    let sizes_arg = sizes
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     let mut rows = String::new();
-    for (i, row) in bench_rows().iter().enumerate() {
+    for (i, row) in bench_rows(sizes).iter().enumerate() {
         let json = exe
             .as_deref()
             .and_then(|exe| {
+                let mut args = vec![
+                    "--json".to_string(),
+                    "--bench-row".to_string(),
+                    i.to_string(),
+                    "--routing-tables".to_string(),
+                    cfg.routing_tables.name().to_string(),
+                ];
+                if !sizes_arg.is_empty() {
+                    args.push("--sizes".to_string());
+                    args.push(sizes_arg.clone());
+                }
                 let out = std::process::Command::new(exe)
-                    .args([
-                        "--json",
-                        "--bench-row",
-                        &i.to_string(),
-                        "--routing-tables",
-                        cfg.routing_tables.name(),
-                    ])
+                    .args(&args)
                     .stderr(std::process::Stdio::inherit())
                     .output()
                     .ok()?;
@@ -326,6 +442,14 @@ fn main() {
     let telemetry = take_telemetry_arg(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let opt = args.iter().any(|a| a == "--opt");
+    let sizes_arg = args.iter().position(|a| a == "--sizes").map(|pos| {
+        args.remove(pos);
+        let list = args.remove(pos);
+        list.split(',')
+            .map(|s| s.trim().parse::<usize>().expect("--sizes N,M,..."))
+            .collect::<Vec<usize>>()
+    });
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -347,25 +471,50 @@ fn main() {
         paper_load_grid()
     };
 
+    // Scale sizes: explicit `--sizes` wins; `--json` without it defaults
+    // to the first large-n rungs (snapped to DSN-9-1020 / DSN-10-2046).
+    let sizes = sizes_arg
+        .clone()
+        .unwrap_or_else(|| if json { vec![1024, 2048] } else { Vec::new() });
+
     // Child of a `--json` parent: run exactly one matrix cell, print its
     // JSON object to stdout and exit.
     if let Some(i) = bench_row {
-        let rows = bench_rows();
+        let rows = bench_rows(&sizes);
         let row = rows.get(i).expect("--bench-row index out of range");
         println!("{}", run_bench_row(&cfg, row));
         return;
     }
 
-    let topos = build_topos(64);
-    let cache = Arc::new(RoutingCache::new());
-
     if json {
-        emit_bench_json(&cfg);
+        emit_bench_json(&cfg, &sizes);
         if let Some(window) = telemetry {
+            let topos = build_topos(64);
+            let cache = Arc::new(RoutingCache::new());
             run_telemetry_pass(&cfg, window, &topos, &cache);
         }
         return;
     }
+
+    // `--sizes` without `--json`: run just the scale rows in-process (the
+    // CI large-n smoke) and exit.
+    if let Some(sizes) = &sizes_arg {
+        let base = bench_rows(&[]).len();
+        for row in &bench_rows(sizes)[base..] {
+            println!("{}", run_bench_row(&cfg, row));
+        }
+        return;
+    }
+
+    let mut topos = build_topos(64);
+    if opt {
+        // The frontier study's searched placements, swept like any other
+        // topology (ROADMAP item 2's missing last step).
+        for (name, g) in searched_placements(64, quick, Parallelism::auto()) {
+            topos.push((name, Arc::new(g)));
+        }
+    }
+    let cache = Arc::new(RoutingCache::new());
 
     let patterns: Vec<TrafficPattern> = match which {
         "uniform" => vec![TrafficPattern::Uniform],

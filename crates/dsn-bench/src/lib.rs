@@ -87,12 +87,12 @@ pub fn take_engine_arg(args: &mut Vec<String>) -> dsn_sim::EngineKind {
     }
 }
 
-/// Extract `--routing-tables flat|dyn` (or `--routing-tables=...`) from
-/// `args`, removing the consumed tokens. Defaults to flat tables; exits
-/// with a usage message on an unknown or missing value so every simulation
-/// binary rejects typos the same way.
+/// Extract `--routing-tables flat|dyn|algorithmic` (or
+/// `--routing-tables=...`) from `args`, removing the consumed tokens.
+/// Defaults to flat tables; exits with a usage message on an unknown or
+/// missing value so every simulation binary rejects typos the same way.
 pub fn take_routing_tables_arg(args: &mut Vec<String>) -> dsn_sim::RoutingTables {
-    const USAGE: &str = "flat | dyn";
+    const USAGE: &str = "flat | dyn | algorithmic";
     match take_value_arg(args, "routing-tables", USAGE) {
         None => dsn_sim::RoutingTables::default(),
         Some(v) => dsn_sim::RoutingTables::parse(&v).unwrap_or_else(|| {

@@ -100,6 +100,40 @@ impl FrontierConfig {
     }
 }
 
+/// The two searched placements (Opt-SA, Opt-ES) at size `n`, run under
+/// DSN's own cable budget from the DSN start point with the frontier
+/// study's seeds and budgets — exposed so the Fig. 10 latency-vs-load
+/// sweep can score them alongside the paper trio
+/// (`fig10_simulation --opt`).
+pub fn searched_placements(n: usize, quick: bool, par: Parallelism) -> Vec<(String, Graph)> {
+    let dsn_start = Candidate::from_dsn(n).expect("DSN start point");
+    let budget_m = Objective::aspl_only(par).score(dsn_start.graph()).cable_m;
+    let obj = Objective::aspl_under_budget(budget_m, par);
+    let (sa_iters, es_gens) = if quick { (120, 6) } else { (1_500, 60) };
+    let sa = anneal_shortcuts(
+        &dsn_start,
+        &obj,
+        &SaConfig {
+            iterations: sa_iters,
+            seed: OPT_SEED,
+            ..SaConfig::default()
+        },
+    );
+    let es = evolve(
+        &dsn_start,
+        &obj,
+        &EsConfig {
+            generations: es_gens,
+            seed: OPT_SEED,
+            ..EsConfig::default()
+        },
+    );
+    vec![
+        (format!("Opt-SA-{n}"), sa.best.into_graph()),
+        (format!("Opt-ES-{n}"), es.best.into_graph()),
+    ]
+}
+
 /// Run the sweep: baselines + searched placements at every size, scored
 /// and frontier-marked.
 pub fn run_frontier(cfg: &FrontierConfig) -> OptReport {

@@ -176,6 +176,184 @@ pub fn dsnv_avoid_overshoot_channels(dsn: &Dsn, s: NodeId, t: NodeId) -> Vec<Vir
     out
 }
 
+/// Per-packet state of the *incremental* DSN-V router: the three-phase
+/// walk is memoryless given `(current node, destination)` **within** a
+/// phase, but the phase itself is genuine state — a MAIN node whose level
+/// exceeds the required level walks `succ`, while a fresh route from the
+/// same node would walk `pred` (PRE-WORK), so per-hop route restarts
+/// livelock. Carrying `(phase, crossed)` — 3 bits — is exactly enough to
+/// reproduce the full [`dsnv_route_channels`] hop/VC sequence one hop at a
+/// time in O(levels) per hop and O(1) memory per packet, with no
+/// materialized path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DsnvState {
+    /// Current phase of the three-phase walk.
+    pub phase: IncPhase,
+    /// Whether a FINISH hop has crossed the ring's 0/n-1 dateline (bumps
+    /// the FINISH VC from 2 to 3, permanently).
+    pub crossed: bool,
+}
+
+/// Phase component of [`DsnvState`]. Monotone: PreWork → Main → Finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IncPhase {
+    /// Climbing to the required level via `pred`.
+    #[default]
+    PreWork,
+    /// Distance-halving shortcut/`succ` loop.
+    Main,
+    /// Local ring walk to the destination.
+    Finish,
+}
+
+impl DsnvState {
+    /// Pack into 3 bits (phase in bits 0–1, dateline flag in bit 2), for
+    /// embedding in compact per-packet state words.
+    #[inline]
+    pub fn to_bits(self) -> u8 {
+        let p = match self.phase {
+            IncPhase::PreWork => 0u8,
+            IncPhase::Main => 1,
+            IncPhase::Finish => 2,
+        };
+        p | ((self.crossed as u8) << 2)
+    }
+
+    /// Inverse of [`Self::to_bits`]. Unknown phase encodings map to
+    /// `Finish` (they cannot be produced by `to_bits`).
+    #[inline]
+    pub fn from_bits(bits: u8) -> Self {
+        DsnvState {
+            phase: match bits & 3 {
+                0 => IncPhase::PreWork,
+                1 => IncPhase::Main,
+                _ => IncPhase::Finish,
+            },
+            crossed: bits & 4 != 0,
+        }
+    }
+}
+
+/// One hop of the incremental DSN-V walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsnvHop {
+    /// The node after the hop.
+    pub next: NodeId,
+    /// Ring direction / shortcut kind of the hop.
+    pub step: RouteStep,
+    /// DSN-V virtual channel of the hop (0 = PRE-WORK, 1 = MAIN,
+    /// 2/3 = FINISH before/after the dateline).
+    pub vc: u8,
+    /// State to carry to the next hop.
+    pub state: DsnvState,
+}
+
+/// Compute the next hop of the DSN-V walk from `u` toward `t` given the
+/// packet's carried [`DsnvState`], replicating the per-iteration decisions
+/// of [`route`] (and therefore the exact hop/VC sequence of
+/// [`dsnv_route_channels`]) without materializing the trace. Returns
+/// `None` when `u == t`.
+///
+/// Decision cascade per call, mirroring the loop structure of `route()`:
+/// a PRE-WORK packet whose level has dropped to the required level falls
+/// through to the MAIN decision *at the same node*, and a MAIN packet
+/// whose distance is `<= p` (or whose level exceeds `x`) falls through to
+/// FINISH — each hop is labeled with the phase that actually emitted it.
+pub fn dsnv_step(dsn: &Dsn, u: NodeId, t: NodeId, st: DsnvState) -> Option<DsnvHop> {
+    if u == t {
+        return None;
+    }
+    let d = dsn.cw_dist(u, t);
+    let p = dsn.p() as usize;
+    let x = dsn.x();
+    let mut phase = st.phase;
+
+    if phase == IncPhase::PreWork {
+        let l = dsn.required_level(d);
+        if dsn.level(u) > l {
+            return Some(DsnvHop {
+                next: dsn.pred(u),
+                step: RouteStep::Pred,
+                vc: 0,
+                state: DsnvState {
+                    phase: IncPhase::PreWork,
+                    crossed: st.crossed,
+                },
+            });
+        }
+        phase = IncPhase::Main;
+    }
+
+    if phase == IncPhase::Main {
+        let lu = dsn.level(u);
+        if d > p && lu <= x {
+            let l = dsn.required_level(d);
+            let (next, step, next_phase) = if lu == l {
+                let target = dsn
+                    .shortcut(u)
+                    .expect("level <= x nodes always own a shortcut");
+                let overshoot = dsn.cw_dist(u, target) > d;
+                (
+                    target,
+                    RouteStep::Shortcut,
+                    if overshoot {
+                        IncPhase::Finish
+                    } else {
+                        IncPhase::Main
+                    },
+                )
+            } else {
+                (dsn.succ(u), RouteStep::Succ, IncPhase::Main)
+            };
+            return Some(DsnvHop {
+                next,
+                step,
+                vc: 1,
+                state: DsnvState {
+                    phase: next_phase,
+                    crossed: st.crossed,
+                },
+            });
+        }
+        phase = IncPhase::Finish;
+    }
+
+    debug_assert_eq!(phase, IncPhase::Finish);
+    let back = dsn.cw_dist(t, u);
+    let (next, step) = if d <= back {
+        (dsn.succ(u), RouteStep::Succ)
+    } else {
+        (dsn.pred(u), RouteStep::Pred)
+    };
+    let n = dsn.n();
+    let crossing = (u == n - 1 && next == 0) || (u == 0 && next == n - 1);
+    let crossed = st.crossed || crossing;
+    Some(DsnvHop {
+        next,
+        step,
+        vc: if crossed { 3 } else { 2 },
+        state: DsnvState {
+            phase: IncPhase::Finish,
+            crossed,
+        },
+    })
+}
+
+/// [`dsnv_step`] resolved to a physical `(channel, vc)` over the DSN's own
+/// graph — the incremental counterpart of one element of
+/// [`dsnv_route_channels`].
+pub fn dsnv_step_channel(
+    dsn: &Dsn,
+    u: NodeId,
+    t: NodeId,
+    st: DsnvState,
+) -> Option<(VirtualChannel, NodeId, DsnvState)> {
+    let hop = dsnv_step(dsn, u, t, st)?;
+    let g = dsn.graph();
+    let edge = edge_for_step(g, u, hop.next, hop.step);
+    Some(((g.channel_id(edge, u), hop.vc), hop.next, hop.state))
+}
+
 /// Only the FIRST hop of the DSN-V channel sequence, without materializing
 /// the whole route — O(1)-ish helper for per-cycle retry paths in the
 /// simulator (the first hop of the three-phase algorithm is determined by
@@ -494,6 +672,67 @@ mod tests {
                         "n={n} {s}->{t}: fast first hop diverges from full route"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn dsnv_step_matches_full_route_all_pairs() {
+        // The incremental automaton must reproduce the materialized
+        // hop/VC sequence bit-exactly — clean and non-clean sizes.
+        for &n in &[30usize, 64, 100, 126] {
+            let p = dsn_core::util::ceil_log2(n);
+            let dsn = Dsn::new(n, p - 1).unwrap();
+            for s in 0..n {
+                for t in 0..n {
+                    let full = dsnv_route_channels(&dsn, s, t);
+                    let mut stepped = Vec::new();
+                    let mut u = s;
+                    let mut st = DsnvState::default();
+                    while let Some((ch, next, nst)) = dsnv_step_channel(&dsn, u, t, st) {
+                        stepped.push(ch);
+                        u = next;
+                        st = nst;
+                        assert!(stepped.len() <= 4 * n, "n={n} {s}->{t}: runaway walk");
+                    }
+                    assert_eq!(u, t, "n={n} {s}->{t}: stepped walk did not terminate at t");
+                    assert_eq!(
+                        full, stepped,
+                        "n={n} {s}->{t}: incremental walk diverges from full route"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dsnv_step_matches_full_route_sampled_large() {
+        // Spot-check at the Fig. 7 scale the simulator targets.
+        let dsn = Dsn::new_clean(1024).unwrap();
+        let n = dsn.n();
+        assert_eq!(n, 1020);
+        for s in (0..n).step_by(37) {
+            for t in (0..n).step_by(23) {
+                let full = dsnv_route_channels(&dsn, s, t);
+                let mut stepped = Vec::new();
+                let mut u = s;
+                let mut st = DsnvState::default();
+                while let Some((ch, next, nst)) = dsnv_step_channel(&dsn, u, t, st) {
+                    stepped.push(ch);
+                    u = next;
+                    st = nst;
+                }
+                assert_eq!(full, stepped, "n={n} {s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dsnv_state_bits_roundtrip() {
+        for phase in [IncPhase::PreWork, IncPhase::Main, IncPhase::Finish] {
+            for crossed in [false, true] {
+                let st = DsnvState { phase, crossed };
+                assert_eq!(DsnvState::from_bits(st.to_bits()), st);
             }
         }
     }

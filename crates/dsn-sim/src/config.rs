@@ -69,23 +69,31 @@ pub enum RoutingTables {
     /// Call `SimRouting::candidates` / `on_hop` dynamically every time.
     /// Kept as the equivalence oracle for the flat tables.
     Dyn,
+    /// Table-free: schemes that can compute their next hop algorithmically
+    /// (`SimRouting::algorithmic`) skip table compilation entirely and run
+    /// on the dynamic path with O(n) memory; everything else falls back to
+    /// `Flat`. `Flat` itself auto-degrades to this above
+    /// [`crate::engine::ALGORITHMIC_AUTO_THRESHOLD`] switches.
+    Algorithmic,
 }
 
 impl RoutingTables {
-    /// Parse a CLI value (`flat` | `dyn`).
+    /// Parse a CLI value (`flat` | `dyn` | `algorithmic`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "flat" => Some(RoutingTables::Flat),
             "dyn" => Some(RoutingTables::Dyn),
+            "algorithmic" => Some(RoutingTables::Algorithmic),
             _ => None,
         }
     }
 
-    /// Stable display name (`flat` | `dyn`).
+    /// Stable display name (`flat` | `dyn` | `algorithmic`).
     pub fn name(&self) -> &'static str {
         match self {
             RoutingTables::Flat => "flat",
             RoutingTables::Dyn => "dyn",
+            RoutingTables::Algorithmic => "algorithmic",
         }
     }
 }
@@ -341,10 +349,15 @@ mod tests {
     fn routing_tables_parses() {
         assert_eq!(RoutingTables::parse("flat"), Some(RoutingTables::Flat));
         assert_eq!(RoutingTables::parse("dyn"), Some(RoutingTables::Dyn));
+        assert_eq!(
+            RoutingTables::parse("algorithmic"),
+            Some(RoutingTables::Algorithmic)
+        );
         assert_eq!(RoutingTables::parse("virtual"), None);
         assert_eq!(RoutingTables::default(), RoutingTables::Flat);
         assert_eq!(RoutingTables::Flat.name(), "flat");
         assert_eq!(RoutingTables::Dyn.name(), "dyn");
+        assert_eq!(RoutingTables::Algorithmic.name(), "algorithmic");
     }
 
     #[test]

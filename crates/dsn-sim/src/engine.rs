@@ -536,6 +536,44 @@ pub struct Simulator {
     pub(crate) open_rate: f64,
 }
 
+/// Above this switch count, `RoutingTables::Flat` auto-degrades to the
+/// table-free path for schemes that advertise
+/// [`SimRouting::algorithmic`]: the O(ctxs · n²) CSR offsets alone would
+/// dwarf the simulator's working set (≈ 67 MB at n = 2046 for the
+/// 4-context DSN-V table), while the algorithmic path serves the same
+/// candidates from O(n) LUTs. `RoutingTables::Dyn` and explicit
+/// `Algorithmic` are unaffected by the threshold.
+pub const ALGORITHMIC_AUTO_THRESHOLD: usize = 512;
+
+/// Flat-table selection shared by construction and post-fault refresh.
+/// `Algorithmic` skips compilation for algorithmic schemes and falls back
+/// to the compiled table for everything else (so the mode is safe to set
+/// globally across a mixed-scheme sweep); `Flat` consults the auto
+/// threshold.
+fn select_flat(
+    mode: crate::config::RoutingTables,
+    n: usize,
+    routing: &dyn SimRouting,
+) -> Option<Arc<crate::routing::FlatRouting>> {
+    match mode {
+        crate::config::RoutingTables::Flat => {
+            if routing.algorithmic() && n > ALGORITHMIC_AUTO_THRESHOLD {
+                None
+            } else {
+                routing.compiled_flat()
+            }
+        }
+        crate::config::RoutingTables::Dyn => None,
+        crate::config::RoutingTables::Algorithmic => {
+            if routing.algorithmic() {
+                None
+            } else {
+                routing.compiled_flat()
+            }
+        }
+    }
+}
+
 impl Simulator {
     /// Build a simulator over `graph` with the given routing, traffic
     /// pattern, injection rate (packets per cycle per host) and RNG seed —
@@ -741,10 +779,7 @@ impl Simulator {
                 &cfg.fault_plan,
             )))
         };
-        let flat = match cfg.routing_tables {
-            crate::config::RoutingTables::Flat => routing.compiled_flat(),
-            crate::config::RoutingTables::Dyn => None,
-        };
+        let flat = select_flat(cfg.routing_tables, n, routing.as_ref());
         // Pre-size every buffer the steady state touches so a saturated
         // measure-phase cycle performs no heap allocation (asserted by
         // `tests/zero_alloc.rs`): network input buffers are bounded by the
@@ -828,10 +863,19 @@ impl Simulator {
     /// Recompute `self.flat` for the current `self.routing` (after a fault
     /// rebuild swapped the scheme).
     pub(crate) fn refresh_flat(&mut self) {
-        self.flat = match self.cfg.routing_tables {
-            crate::config::RoutingTables::Flat => self.routing.compiled_flat(),
-            crate::config::RoutingTables::Dyn => None,
-        };
+        self.flat = select_flat(
+            self.cfg.routing_tables,
+            self.graph.node_count(),
+            self.routing.as_ref(),
+        );
+    }
+
+    /// Resident bytes of the routing structures this run serves hops from:
+    /// the compiled flat CSR table (when one is active) plus the scheme's
+    /// own dynamic-path auxiliaries ([`SimRouting::table_bytes`]).
+    /// Benchmark accounting — query before `run()` (which consumes self).
+    pub fn routing_table_bytes(&self) -> usize {
+        self.flat.as_ref().map_or(0, |f| f.table_bytes()) + self.routing.table_bytes()
     }
 
     /// How many VC slots input `i` actually uses (injection inputs have 1).
@@ -2335,6 +2379,7 @@ mod tests {
                 ud_phase: dsn_route::updown::UdPhase::Up,
                 path: None,
                 idx: 0,
+                alg: 0,
             },
             measured: false,
             attempt: 0,

@@ -59,6 +59,10 @@ impl Slot {
         self.links.clear();
         self.routes.clear();
     }
+
+    fn is_empty(&self) -> bool {
+        self.credits.is_empty() && self.links.is_empty() && self.routes.is_empty()
+    }
 }
 
 /// Timing wheel: a power-of-two ring of slots indexed by `cycle & mask`.
@@ -103,6 +107,16 @@ impl Wheel {
     fn recycle(&mut self, mut s: Slot) {
         s.clear();
         self.pool.push(s);
+    }
+
+    /// Earliest cycle `>= now` holding a scheduled event (`None` when the
+    /// wheel is empty). Every pending event lies within one wheel
+    /// revolution of `now`, so a single pass over the slots suffices.
+    fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        (now..=now + self.mask).find(|&t| !self.slots[(t & self.mask) as usize].is_empty())
     }
 }
 
@@ -233,13 +247,24 @@ impl EventState {
         self.inj_heap.peek().map(|&Reverse((t, _))| t)
     }
 
-    /// No scheduled event and no active unit: nothing can happen on this
-    /// shard before its next injection or a cross-shard arrival.
-    pub(crate) fn is_quiescent(&self) -> bool {
-        self.wheel.pending == 0
-            && self.alloc_pending.is_empty()
-            && self.out_active.is_empty()
-            && self.eject_active.is_empty()
+    /// Conservative lower bound on the next cycle this shard can schedule
+    /// or consume an event absent cross-shard arrivals: `now` while any
+    /// unit is active, otherwise the earlier of the wheel's next event and
+    /// the next scheduled injection (`u64::MAX` when the shard is silent
+    /// for good). The sharded driver's horizon-proven window extension
+    /// rests on no shard acting — in particular, emitting a cut-crossing
+    /// flit or credit — before this cycle.
+    pub(crate) fn activity_horizon(&self, now: u64) -> u64 {
+        if !self.alloc_pending.is_empty()
+            || !self.out_active.is_empty()
+            || !self.eject_active.is_empty()
+        {
+            return now;
+        }
+        self.wheel
+            .next_event_cycle(now)
+            .unwrap_or(u64::MAX)
+            .min(self.next_injection_cycle().unwrap_or(u64::MAX))
     }
 
     /// Pre-reserve the wheel for a saturated steady state: every delay is

@@ -45,7 +45,8 @@ pub(crate) enum HopRule {
 pub struct FlatRouting {
     /// Switch count.
     n: usize,
-    /// Row contexts: 1 (state-independent) or 2 (up*/down* phase).
+    /// Row contexts: 1 (state-independent), 2 (up*/down* phase), or 4
+    /// (DSN-V algorithmic phase: PRE-WORK / MAIN / FINISH± dateline).
     ctxs: usize,
     /// CSR row offsets, length `ctxs * n * n + 1`.
     offsets: Vec<u32>,
@@ -78,6 +79,28 @@ fn phase_of_ctx(ctx: usize) -> UdPhase {
     }
 }
 
+/// Packed [`dsn_route::deadlock::DsnvState`] bits for a 4-context row:
+/// contexts 0/1/2 are the PRE-WORK/MAIN/FINISH phases, context 3 is
+/// FINISH after the dateline (phase bits 2, crossed bit set).
+fn alg_of_ctx(ctx: usize) -> u8 {
+    if ctx == 3 {
+        2 | 4
+    } else {
+        ctx as u8
+    }
+}
+
+/// Inverse of [`alg_of_ctx`] over the states the DSN-V automaton can
+/// actually reach (`crossed` implies FINISH).
+#[inline]
+fn ctx_of_alg(alg: u8) -> usize {
+    if alg & 4 != 0 {
+        3
+    } else {
+        (alg & 3) as usize
+    }
+}
+
 impl FlatRouting {
     /// Compile a table by evaluating `row_fn(ctx, cur, dest, out)` for every
     /// `(context, cur, dest)` with `cur != dest`. Row construction fans out
@@ -90,7 +113,7 @@ impl FlatRouting {
         dyn_escape: bool,
         row_fn: impl Fn(usize, usize, usize, &mut Vec<Candidate>) + Sync,
     ) -> Self {
-        debug_assert!(ctxs == 1 || ctxs == 2);
+        debug_assert!(ctxs == 1 || ctxs == 2 || ctxs == 4);
         // Per-(ctx, cur) blocks; rayon's collect preserves index order, so
         // the assembled table is identical for any worker count.
         let blocks: Vec<(Vec<u32>, Vec<u32>)> = (0..ctxs * n)
@@ -136,25 +159,30 @@ impl FlatRouting {
         }
     }
 
-    /// The synthetic per-context [`RouteState`] rows are built with.
+    /// The synthetic per-context [`RouteState`] rows are built with. The
+    /// same state serves both context families: phase schemes read only
+    /// `ud_phase` (contexts 0/1), the DSN-V algorithmic scheme reads only
+    /// `alg` (contexts 0–3 map to PRE-WORK / MAIN / FINISH /
+    /// FINISH-crossed).
     pub(crate) fn synthetic_state(ctx: usize) -> RouteState {
         RouteState {
-            ud_phase: phase_of_ctx(ctx),
+            ud_phase: phase_of_ctx(ctx.min(1)),
             path: None,
             idx: 0,
+            alg: alg_of_ctx(ctx),
         }
     }
 
     /// Row context for a packet's current state.
     #[inline]
     pub(crate) fn ctx(&self, state: &RouteState) -> usize {
-        if self.ctxs == 2 {
-            match state.ud_phase {
+        match self.ctxs {
+            2 => match state.ud_phase {
                 UdPhase::Up => 0,
                 UdPhase::Down => 1,
-            }
-        } else {
-            0
+            },
+            4 => ctx_of_alg(state.alg),
+            _ => 0,
         }
     }
 
@@ -198,6 +226,18 @@ impl FlatRouting {
     /// Total candidates stored (diagnostics).
     pub fn arena_len(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Resident bytes of the compiled table: the CSR offsets + packed
+    /// candidate arena, plus the per-channel up-move bitmap when the hop
+    /// rule carries one. This is the number the benchmarks compare against
+    /// algorithmic (table-free) routing.
+    pub fn table_bytes(&self) -> usize {
+        let hop = match &self.hop {
+            HopRule::Phase { up_move, .. } => up_move.len(),
+            HopRule::Dyn => 0,
+        };
+        (self.offsets.len() + self.arena.len()) * std::mem::size_of::<u32>() + hop
     }
 }
 

@@ -57,10 +57,12 @@ pub use dsn_telemetry::{
     PacketTracer, Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord,
 };
 pub use engine::Simulator;
+pub use engine::ALGORITHMIC_AUTO_THRESHOLD;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, SalvagePolicy};
 pub use flow::{FlowArrivals, FlowSizeDist, StagedSpec};
 pub use routing::{
-    AdaptiveEscape, FlatRouting, MinimalAdaptiveDsn, SimRouting, SourceRouted, UpDownRouting,
+    AdaptiveEscape, DsnAlgorithmic, FlatRouting, MinimalAdaptiveDsn, SimRouting, SourceRouted,
+    UpDownRouting,
 };
 pub use stats::{FlowClassStats, RunStats};
 pub use sweep::{

@@ -27,6 +27,11 @@ pub struct RouteState {
     pub path: Option<Arc<[(usize, u8)]>>,
     /// Next hop index into `path`.
     pub idx: usize,
+    /// Packed algorithmic-router state
+    /// ([`dsn_route::deadlock::DsnvState::to_bits`]): the
+    /// DSN-V phase (bits 0–1) plus the FINISH dateline flag (bit 2).
+    /// Only [`DsnAlgorithmic`] reads/writes it; 0 elsewhere.
+    pub alg: u8,
 }
 
 impl RouteState {
@@ -35,6 +40,7 @@ impl RouteState {
             ud_phase: UdPhase::Up,
             path: None,
             idx: 0,
+            alg: 0,
         }
     }
 }
@@ -92,6 +98,23 @@ pub trait SimRouting: Send + Sync {
     /// stays on the dynamic `candidates` path.
     fn compiled_flat(&self) -> Option<Arc<FlatRouting>> {
         None
+    }
+
+    /// Whether this scheme computes its next hop *algorithmically* in
+    /// O(levels) time and O(n) memory — i.e. the dynamic path needs no
+    /// per-(switch, dest) table at all. Under
+    /// [`RoutingTables::Algorithmic`](crate::config::RoutingTables) (or
+    /// `Flat` above the auto threshold) the engine skips flat compilation
+    /// for such schemes.
+    fn algorithmic(&self) -> bool {
+        false
+    }
+
+    /// Resident bytes of auxiliary routing structures the *dynamic* path
+    /// keeps per scheme instance (distance tables, per-node LUTs, …),
+    /// excluding any compiled flat table. Benchmark accounting only.
+    fn table_bytes(&self) -> usize {
+        0
     }
 
     /// Dynamic escape residue for schemes whose flat table covers only the
@@ -448,6 +471,7 @@ impl SimRouting for MinimalAdaptiveDsn {
             ud_phase: dsn_route::updown::UdPhase::Up,
             path: None,
             idx: 0,
+            alg: 0,
         }
     }
 
@@ -621,6 +645,7 @@ impl SimRouting for SourceRouted {
             ud_phase: UdPhase::Up,
             path: Some(path),
             idx: 0,
+            alg: 0,
         }
     }
 
@@ -704,6 +729,7 @@ impl SimRouting for DetourSourceRouted {
             ud_phase: UdPhase::Up,
             path: Some(path),
             idx: 0,
+            alg: 0,
         }
     }
 
@@ -772,6 +798,188 @@ impl SimRouting for DetourSourceRouted {
 
     fn scheme_key(&self) -> String {
         self.base_key.clone()
+    }
+}
+
+/// Table-free DSN-V routing: the next hop is computed *algorithmically*
+/// from switch ids and the DSN level structure by the incremental
+/// three-phase automaton ([`dsn_route::deadlock::dsnv_step`]), in
+/// O(levels) time per hop with O(n) memory — three per-node channel LUTs
+/// instead of the O(n²) per-(context, switch, dest) CSR arena or the
+/// per-packet materialized paths of [`SourceRouted::dsn_custom`].
+///
+/// Emits candidates bit-identical to `SourceRouted::dsn_custom` (same
+/// `(channel, vc_class * lanes + lane)` sequence, pinned by
+/// `tests/algorithmic_equivalence.rs`), carries the automaton state in
+/// [`RouteState::alg`] (3 bits), and can still lower itself into a
+/// 4-context [`FlatRouting`] table — its own tabulated twin for the
+/// flat-vs-algorithmic equivalence gate and the `routing_table_bytes`
+/// comparison. Post-fault rebuilds fall back to the same ring-detour
+/// scheme as source routing (in-flight packets, which carry no path,
+/// detour greedily from their current switch).
+pub struct DsnAlgorithmic {
+    dsn: Arc<dsn_core::dsn::Dsn>,
+    graph: Arc<Graph>,
+    /// Channel of the clockwise ring link at each node.
+    succ_ch: Vec<u32>,
+    /// Channel of the counter-clockwise ring link at each node.
+    pred_ch: Vec<u32>,
+    /// Channel of the owned shortcut at each node (`u32::MAX` when the
+    /// node owns none).
+    short_ch: Vec<u32>,
+    lanes: u8,
+    flat: OnceLock<Arc<FlatRouting>>,
+}
+
+impl DsnAlgorithmic {
+    /// Build the per-node channel LUTs for `dsn`'s own graph, one lane per
+    /// VC class (the DSN-V discipline uses classes 0–3, so the simulator
+    /// needs `vcs >= 4 * lanes`).
+    pub fn new(dsn: Arc<dsn_core::dsn::Dsn>) -> Self {
+        let graph = Arc::new(dsn.graph().clone());
+        let n = dsn.n();
+        let find = |u: NodeId, v: NodeId, want_shortcut: bool| -> Option<u32> {
+            // Same resolution order as `dsn-route`'s edge_for_step: first
+            // matching-kind edge, then (shortcut only) any edge — the
+            // dedup fallback for shortcuts that coincide with ring links.
+            let kind_match = graph
+                .neighbors(u)
+                .find(|&(w, e)| w == v && (graph.edge(e).kind == LinkKind::Ring) != want_shortcut)
+                .map(|(_, e)| graph.channel_id(e, u) as u32);
+            kind_match.or_else(|| {
+                want_shortcut
+                    .then(|| {
+                        graph
+                            .neighbors(u)
+                            .find(|&(w, _)| w == v)
+                            .map(|(_, e)| graph.channel_id(e, u) as u32)
+                    })
+                    .flatten()
+            })
+        };
+        let mut succ_ch = Vec::with_capacity(n);
+        let mut pred_ch = Vec::with_capacity(n);
+        let mut short_ch = Vec::with_capacity(n);
+        for u in 0..n {
+            succ_ch.push(find(u, dsn.succ(u), false).expect("ring succ link"));
+            pred_ch.push(find(u, dsn.pred(u), false).expect("ring pred link"));
+            short_ch.push(match dsn.shortcut(u) {
+                Some(t) => find(u, t, true).expect("owned shortcut link"),
+                None => u32::MAX,
+            });
+        }
+        DsnAlgorithmic {
+            dsn,
+            graph,
+            succ_ch,
+            pred_ch,
+            short_ch,
+            lanes: 1,
+            flat: OnceLock::new(),
+        }
+    }
+
+    /// Set the number of lanes per VC class, mirroring
+    /// [`SourceRouted::with_lanes`].
+    pub fn with_lanes(mut self, lanes: u8) -> Self {
+        assert!(lanes >= 1);
+        self.lanes = lanes;
+        self
+    }
+
+    /// The single next hop for a packet at `cur` with packed automaton
+    /// state `alg`.
+    #[inline]
+    fn next_hop(&self, cur: NodeId, dest: NodeId, alg: u8) -> dsn_route::deadlock::DsnvHop {
+        dsn_route::deadlock::dsnv_step(
+            &self.dsn,
+            cur,
+            dest,
+            dsn_route::deadlock::DsnvState::from_bits(alg),
+        )
+        .expect("never called with cur == dest")
+    }
+}
+
+impl SimRouting for DsnAlgorithmic {
+    fn name(&self) -> String {
+        "dsn-algorithmic(dsn-v)".to_string()
+    }
+
+    fn init(&self, _src: NodeId, _dest: NodeId) -> RouteState {
+        // alg = 0 is the PRE-WORK start state of the automaton.
+        RouteState::fresh()
+    }
+
+    fn candidates(&self, cur: NodeId, dest: NodeId, state: &RouteState, out: &mut Vec<Candidate>) {
+        let hop = self.next_hop(cur, dest, state.alg);
+        let ch = match hop.step {
+            dsn_route::RouteStep::Succ => self.succ_ch[cur],
+            dsn_route::RouteStep::Pred => self.pred_ch[cur],
+            dsn_route::RouteStep::Shortcut => self.short_ch[cur],
+        };
+        debug_assert_ne!(ch, u32::MAX, "shortcut step at a node without one");
+        for lane in 0..self.lanes {
+            out.push((ch as usize, hop.vc * self.lanes + lane));
+        }
+    }
+
+    fn on_hop(&self, cur: NodeId, dest: NodeId, state: &mut RouteState, _channel: usize, _vc: u8) {
+        state.alg = self.next_hop(cur, dest, state.alg).state.to_bits();
+    }
+
+    fn rebuild(&self, graph: &Arc<Graph>, mask: &EdgeMask) -> Option<Arc<dyn SimRouting>> {
+        // Graceful fallback: same ring-detour discipline as source routing.
+        // New packets get full DSN-V planned paths (materialized once per
+        // packet); packets already in flight carry no path and detour
+        // greedily on survivor-graph distance from wherever they are.
+        let dsn = self.dsn.clone();
+        Some(Arc::new(DetourSourceRouted {
+            name: format!("{}+detour", self.name()),
+            base_key: self.scheme_key(),
+            provider: Arc::new(move |s, t| dsn_route::deadlock::dsnv_route_channels(&dsn, s, t)),
+            lanes: self.lanes,
+            graph: graph.clone(),
+            dist: DistanceTable::new_masked(graph, mask),
+            mask: mask.clone(),
+        }))
+    }
+
+    fn reset_state(&self, state: &mut RouteState) {
+        state.ud_phase = UdPhase::Up;
+        // Restart the automaton: the new epoch's scheme re-plans from the
+        // packet's current switch.
+        state.alg = 0;
+    }
+
+    fn scheme_key(&self) -> String {
+        format!("{}[lanes={}]", self.name(), self.lanes)
+    }
+
+    fn compiled_flat(&self) -> Option<Arc<FlatRouting>> {
+        Some(
+            self.flat
+                .get_or_init(|| {
+                    Arc::new(FlatRouting::compile(
+                        self.graph.node_count(),
+                        4,
+                        HopRule::Dyn,
+                        false,
+                        |ctx, cur, dest, out| {
+                            self.candidates(cur, dest, &FlatRouting::synthetic_state(ctx), out);
+                        },
+                    ))
+                })
+                .clone(),
+        )
+    }
+
+    fn algorithmic(&self) -> bool {
+        true
+    }
+
+    fn table_bytes(&self) -> usize {
+        (self.succ_ch.len() + self.pred_ch.len() + self.short_ch.len()) * std::mem::size_of::<u32>()
     }
 }
 

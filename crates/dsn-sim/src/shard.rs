@@ -27,7 +27,12 @@
 //! boundary, so exchanging mailboxes *between* windows can never deliver an
 //! event into a shard's past. With the paper's 20 ns link latency
 //! (8 cycles) the default window is 8 cycles of fully independent parallel
-//! execution per synchronization.
+//! execution per synchronization. When the shards' *activity horizons*
+//! (active units, pending wheel events, scheduled injections, staged
+//! releases) prove that no shard can act before some cycle `a > win_start`,
+//! the window extends to `a + W` — sends still start at or after `a`, so
+//! arrivals still land at or after the boundary — collapsing idle and
+//! drain-tail stretches into a single synchronization.
 //!
 //! Determinism and bit-identity with the single-thread event engine
 //! (`tests/shard_equivalence.rs`) rest on three mechanisms:
@@ -205,6 +210,23 @@ impl Replay {
             self.cur_stall = 0;
         } else {
             self.cur_stall += 1;
+            self.longest_stall = self.longest_stall.max(self.cur_stall);
+        }
+    }
+
+    /// Fold a run of `len` cycles no shard logged anything for (no
+    /// creates, deliveries, flit movement or progress) in O(1): levels are
+    /// unchanged, and the watchdog either idles (empty network) or counts
+    /// the whole run as one stall streak — exactly what folding
+    /// [`Replay::cycle`] with all-zero deltas `len` times would do.
+    fn silent_gap(&mut self, len: u64) {
+        if len == 0 {
+            return;
+        }
+        if self.live == 0 {
+            self.cur_stall = 0;
+        } else {
+            self.cur_stall += len;
             self.longest_stall = self.longest_stall.max(self.cur_stall);
         }
     }
@@ -472,7 +494,35 @@ pub(crate) fn run(sim: &mut Simulator, total: u64) {
     );
     let mut win_start = 0u64;
     while win_start < total {
-        let win_end = (win_start + window).min(total);
+        // Horizon-proven window extension: the exchange below has drained
+        // every mailbox, so no shard can act — in particular, emit a
+        // cut-crossing flit or credit — before `a`, the minimum of the
+        // shards' activity horizons (active units, wheel events, scheduled
+        // injections, staged releases). Any cross-shard event produced at
+        // `t >= a` arrives at `t + delay >= a + W`, so the window may run
+        // to `a + W` without ever delivering into a shard's past. This
+        // subsumes the old all-quiescent idle fast-forward: with every
+        // shard silent, `a` is the earliest scheduled injection and one
+        // synchronization jumps the whole gap.
+        let a = shards
+            .iter()
+            .map(|sh| {
+                // Staged releases and the cycle-0 closed batch act outside
+                // the event state's bookkeeping.
+                if sh.staged_ready.is_empty() && sh.pending_batch.is_empty() {
+                    sh.ev
+                        .as_ref()
+                        .expect("event state")
+                        .activity_horizon(sh.now)
+                } else {
+                    sh.now
+                }
+            })
+            .min()
+            .expect("at least two shards");
+        let win_end = (win_start + window)
+            .max(a.saturating_add(window))
+            .min(total);
         let t0 = std::time::Instant::now();
         shards.par_iter_mut().for_each(|sh| run_window(sh, win_end));
         if timing {
@@ -562,19 +612,33 @@ pub(crate) fn run(sim: &mut Simulator, total: u64) {
             t_exch += t0.elapsed();
         }
         let t0 = std::time::Instant::now();
-        // Stats replay: fold this window's per-cycle deltas.
+        // Stats replay: k-way merge this window's per-cycle deltas over
+        // the logged (active) cycles only, folding silent gaps in O(1) —
+        // extended windows can span thousands of idle cycles.
         for (s, sh) in shards.iter_mut().enumerate() {
             let sc = sh.shard.as_mut().expect("shard ctx");
             logs[s].clear();
             logs[s].append(&mut sc.log);
             cursors[s] = 0;
         }
-        for c in win_start..win_end {
+        let mut c = win_start;
+        while c < win_end {
+            let next = logs
+                .iter()
+                .zip(&cursors)
+                .filter_map(|(log, &cur)| log.get(cur).map(|e| e.cycle))
+                .min();
+            let Some(nc) = next else {
+                rp.silent_gap(win_end - c);
+                break;
+            };
+            debug_assert!(nc < win_end, "shard logged past its window");
+            rp.silent_gap(nc - c);
             let (mut created, mut delivered, mut pushes, mut pops) = (0u64, 0u64, 0u64, 0u64);
             let mut progress = false;
             for (s, log) in logs.iter().enumerate() {
                 if let Some(e) = log.get(cursors[s]) {
-                    if e.cycle == c {
+                    if e.cycle == nc {
                         cursors[s] += 1;
                         created += e.created as u64;
                         delivered += e.delivered as u64;
@@ -584,7 +648,8 @@ pub(crate) fn run(sim: &mut Simulator, total: u64) {
                     }
                 }
             }
-            rp.cycle(c, created, delivered, pushes, pops, progress);
+            rp.cycle(nc, created, delivered, pushes, pops, progress);
+            c = nc + 1;
         }
         if timing {
             t_stats += t0.elapsed();
@@ -599,32 +664,17 @@ pub(crate) fn run(sim: &mut Simulator, total: u64) {
         }
 
         win_start = win_end;
-
-        // Global idle fast-forward: every shard quiescent (which implies
-        // the exchange above queued nothing) means nothing can happen
-        // before the earliest scheduled injection — jump all clocks there.
-        // Mirrors the single-thread idle skip, which never records stalls
-        // (an empty network has none) nor telemetry across the gap.
-        if shards.iter().all(|sh| {
-            sh.ev.as_ref().expect("event state").is_quiescent() && sh.staged_ready.is_empty()
-        }) {
-            debug_assert_eq!(rp.live, 0);
-            let jump = shards
-                .iter()
-                .filter_map(|sh| sh.ev.as_ref().expect("event state").next_injection_cycle())
-                .min()
-                .unwrap_or(total)
-                .min(total)
-                .max(win_start);
-            for sh in shards.iter_mut() {
-                sh.now = jump;
-            }
-            win_start = jump;
-        }
     }
 
     if timing {
         eprintln!("shard timing: run {t_run:?} exchange {t_exch:?} stats {t_stats:?}");
+    }
+    if sim.phase_timers.is_some() {
+        for (s, sh) in shards.iter().enumerate() {
+            if let Some(t) = &sh.phase_timers {
+                eprint!("{}", t.report(&format!("shard{s}")));
+            }
+        }
     }
     // Fold the shards into the coordinator: integer-exact stat merges plus
     // the replay-reconstructed whole-network quantities.

@@ -95,8 +95,21 @@ fn sweep_routing(
         Some((cache, key)) => cache.get_or_build(graph, key, make_routing),
         None => make_routing(),
     };
-    if cfg.routing_tables == RoutingTables::Flat {
-        routing.compiled_flat(); // memoized per instance; warm it here once
+    // Warm exactly the table the engine will select (memoized per
+    // instance), *before* the parallel fan-out, so workers share it
+    // instead of racing to build it. Algorithmic-capable schemes above
+    // the auto threshold (or under explicit `Algorithmic` mode) never
+    // compile one.
+    let wants_flat = match cfg.routing_tables {
+        RoutingTables::Flat => {
+            !(routing.algorithmic()
+                && graph.node_count() > crate::engine::ALGORITHMIC_AUTO_THRESHOLD)
+        }
+        RoutingTables::Dyn => false,
+        RoutingTables::Algorithmic => !routing.algorithmic(),
+    };
+    if wants_flat {
+        routing.compiled_flat();
     }
     routing
 }
